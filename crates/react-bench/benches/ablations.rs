@@ -1,0 +1,106 @@
+//! Ablations — design-choice sweeps DESIGN.md calls out:
+//!
+//! * charge reclamation on/off (§3.3.4),
+//! * poll-rate sweep (§3.4 / footnote 3),
+//! * comparator threshold sweep (§3.3.5),
+//! * Morphy controller cooldown (switch-thrash sensitivity),
+//! * the extension baselines (Dewdrop, Capybara) against the paper set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::{BufferKind, EnergyBuffer, ReactBuffer, ReactConfig};
+use react_core::report::TextTable;
+use react_core::{Experiment, Simulator, WorkloadKind};
+use react_harvest::{Converter, PowerReplay};
+use react_traces::{paper_trace, PaperTrace};
+use react_units::Seconds;
+
+/// Runs RT on RF Cart with a custom REACT configuration.
+fn react_rt_ops(config: ReactConfig) -> u64 {
+    let trace = paper_trace(PaperTrace::RfCart);
+    let replay = PowerReplay::new(trace.clone(), Converter::ideal());
+    let workload = WorkloadKind::RadioTransmit.build(&trace, Some(PaperTrace::RfCart));
+    let buffer: Box<dyn EnergyBuffer> = Box::new(ReactBuffer::new(config));
+    Simulator::new(replay, buffer, workload).run().metrics.ops_completed
+}
+
+fn regenerate() {
+    let mut table = TextTable::new(
+        "Ablations (RT ops on RF Cart unless noted)",
+        &["Variant", "Ops", "Note"],
+    );
+
+    // Charge reclamation.
+    let base = react_rt_ops(ReactConfig::paper_prototype());
+    let mut no_reclaim = ReactConfig::paper_prototype();
+    no_reclaim.charge_reclamation = false;
+    let without = react_rt_ops(no_reclaim);
+    table.push_row(&["REACT (paper)".into(), base.to_string(), "reclamation on".into()]);
+    table.push_row(&[
+        "REACT, no reclamation".into(),
+        without.to_string(),
+        "banks disconnect at V_low".into(),
+    ]);
+
+    // Poll-rate sweep.
+    for hz in [2.0, 10.0, 50.0] {
+        let mut cfg = ReactConfig::paper_prototype();
+        cfg.poll_period = Seconds::new(1.0 / hz);
+        table.push_row(&[
+            format!("REACT, poll {hz} Hz"),
+            react_rt_ops(cfg).to_string(),
+            String::new(),
+        ]);
+    }
+
+    // Threshold sweep (V_high) — must respect Eq. 2 (higher V_high
+    // loosens the bank limit, lower tightens it; 3.3 V still validates).
+    for v_high in [3.4, 3.5, 3.6] {
+        let mut cfg = ReactConfig::paper_prototype();
+        cfg.v_high = react_units::Volts::new(v_high);
+        if cfg.validate().is_ok() {
+            table.push_row(&[
+                format!("REACT, V_high {v_high} V"),
+                react_rt_ops(cfg).to_string(),
+                String::new(),
+            ]);
+        }
+    }
+
+    // Extension baselines on DE + RT, RF Cart.
+    for kind in [BufferKind::Dewdrop, BufferKind::Capybara, BufferKind::React] {
+        let de = Experiment::new(kind, WorkloadKind::DataEncryption)
+            .run_paper_trace(PaperTrace::RfCart)
+            .metrics
+            .ops_completed;
+        let rt = Experiment::new(kind, WorkloadKind::RadioTransmit)
+            .run_paper_trace(PaperTrace::RfCart)
+            .metrics
+            .ops_completed;
+        table.push_row(&[
+            format!("{} baseline", kind.label()),
+            rt.to_string(),
+            format!("DE ops: {de}"),
+        ]);
+    }
+
+    println!("{}", table.render());
+    save_artifact("ablations", &table.render(), Some(&table.to_csv()));
+}
+
+fn bench_variant_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(30);
+    group.bench_function("react_config_validate", |b| {
+        b.iter(|| ReactConfig::paper_prototype().validate())
+    });
+    group.finish();
+}
+
+fn ablate_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_variant_construction(c);
+}
+
+criterion_group!(benches, ablate_then_bench);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Figure 1 — static buffer operation on the simulated pedestrian solar
+//! harvester (§2.1): 1 mF vs 300 mF voltage traces plus the section's
+//! quantitative claims (charge-time ratio, cycle lengths, duty cycles,
+//! and the night-trace comparison of §2.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::{StaticBuffer, EnergyBuffer};
+use react_circuit::CapacitorSpec;
+use react_core::{ConstantLoad, Simulator};
+use react_harvest::{Converter, PowerReplay};
+use react_traces::{paper_trace, PaperTrace};
+use react_units::{Amps, Farads, Seconds};
+
+fn run_static(c_mf: f64, trace: PaperTrace, probe: bool) -> react_core::RunOutcome {
+    let spec = CapacitorSpec::supercap_scaled(Farads::from_milli(c_mf));
+    let buffer: Box<dyn EnergyBuffer> =
+        Box::new(StaticBuffer::new(format!("{c_mf} mF"), spec));
+    // §2.1: the system "draws 1.5 mA in active mode" — the MCU model
+    // already draws 1.5 mA active, so no extra peripheral load.
+    let workload = Box::new(ConstantLoad::new(Amps::ZERO));
+    let replay = PowerReplay::new(paper_trace(trace), Converter::boost_charger());
+    let mut sim = Simulator::new(replay, buffer, workload);
+    if probe {
+        sim = sim.with_probe(Seconds::new(1.0));
+    }
+    sim.run()
+}
+
+fn regenerate() {
+    let small = run_static(1.0, PaperTrace::Pedestrian, true);
+    let large = run_static(300.0, PaperTrace::Pedestrian, true);
+
+    // CSV series: time, v_small, on_small, v_large, on_large.
+    let mut csv = String::from("time_s,v_1mF,on_1mF,v_300mF,on_300mF\n");
+    for (a, b) in small.voltage_series.iter().zip(&large.voltage_series) {
+        csv.push_str(&format!(
+            "{:.1},{:.4},{},{:.4},{}\n",
+            a.time_s, a.voltage_v, a.on as u8, b.voltage_v, b.on as u8
+        ));
+    }
+
+    let ms = &small.metrics;
+    let ml = &large.metrics;
+    let charge_ratio = match (ml.first_on_latency, ms.first_on_latency) {
+        (Some(l), Some(s)) => l.get() / s.get().max(1e-9),
+        _ => f64::NAN,
+    };
+    let mut summary = String::new();
+    summary.push_str("== Fig. 1: static buffers on the pedestrian solar trace ==\n");
+    summary.push_str(&format!(
+        "1 mF:   latency {:?}, mean cycle {:.1} s, on {:.0}% of trace\n",
+        ms.first_on_latency,
+        ms.mean_on_period.get(),
+        100.0 * ms.duty_cycle()
+    ));
+    summary.push_str(&format!(
+        "300 mF: latency {:?}, mean cycle {:.1} s, on {:.0}% of trace\n",
+        ml.first_on_latency,
+        ml.mean_on_period.get(),
+        100.0 * ml.duty_cycle()
+    ));
+    summary.push_str(&format!(
+        "charge-time ratio (300 mF / 1 mF): {charge_ratio:.1}x (paper: >8x)\n"
+    ));
+
+    // §2.1.2 night-time comparison: 1 mF vs 10 mF duty cycle.
+    let night_small = run_static(1.0, PaperTrace::SolarNight, false);
+    let night_big = run_static(10.0, PaperTrace::SolarNight, false);
+    summary.push_str(&format!(
+        "night duty cycle: 1 mF {:.2}% vs 10 mF {:.2}% (paper: 5.7% vs 3.3%)\n",
+        100.0 * night_small.metrics.duty_cycle(),
+        100.0 * night_big.metrics.duty_cycle()
+    ));
+    // Spike structure of the driving trace (§2.1.2).
+    let trace = paper_trace(PaperTrace::Pedestrian);
+    summary.push_str(&format!(
+        "trace: {:.0}% of energy above 10 mW, {:.0}% of time below 3 mW\n",
+        100.0 * trace.energy_fraction_above(react_units::Watts::from_milli(10.0)),
+        100.0 * trace.time_fraction_below(react_units::Watts::from_milli(3.0)),
+    ));
+
+    println!("{summary}");
+    save_artifact("fig1", &summary, Some(&csv));
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("pedestrian_300s_1mF", |b| {
+        let trace = paper_trace(PaperTrace::Pedestrian).truncated(Seconds::new(300.0));
+        b.iter(|| {
+            let spec = CapacitorSpec::supercap_scaled(Farads::from_milli(1.0));
+            let buffer: Box<dyn EnergyBuffer> = Box::new(StaticBuffer::new("1 mF", spec));
+            let replay = PowerReplay::new(trace.clone(), Converter::boost_charger());
+            Simulator::new(replay, buffer, Box::new(ConstantLoad::new(Amps::ZERO)))
+                .run()
+                .metrics
+                .on_time
+        })
+    });
+    group.finish();
+}
+
+fn fig_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_fig1(c);
+}
+
+criterion_group!(benches, fig_then_bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Figure 6 — buffer voltage and on-time for the SC benchmark under the
+//! RF Mobile trace, for 770 µF / 10 mF / Morphy / REACT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::BufferKind;
+use react_core::{Experiment, WorkloadKind};
+use react_traces::{paper_trace, PaperTrace};
+use react_units::Seconds;
+
+const COLUMNS: [BufferKind; 4] = [
+    BufferKind::Static770uF,
+    BufferKind::Static10mF,
+    BufferKind::Morphy,
+    BufferKind::React,
+];
+
+fn regenerate() {
+    let trace = paper_trace(PaperTrace::RfMobile);
+    let mut runs = Vec::new();
+    for kind in COLUMNS {
+        let out = Experiment::new(kind, WorkloadKind::SenseCompute).run_configured(
+            &trace,
+            Some(PaperTrace::RfMobile),
+            react_core::calib::DEFAULT_DT,
+            Some(Seconds::new(0.5)),
+        );
+        runs.push((kind, out));
+    }
+
+    let mut csv = String::from("time_s");
+    for (kind, _) in &runs {
+        csv.push_str(&format!(",v_{0},on_{0},cap_{0}", kind.label().replace(' ', "")));
+    }
+    csv.push('\n');
+    let len = runs.iter().map(|(_, o)| o.voltage_series.len()).min().unwrap_or(0);
+    for i in 0..len {
+        csv.push_str(&format!("{:.1}", runs[0].1.voltage_series[i].time_s));
+        for (_, out) in &runs {
+            let s = &out.voltage_series[i];
+            csv.push_str(&format!(",{:.4},{},{:.6}", s.voltage_v, s.on as u8, s.capacitance_f));
+        }
+        csv.push('\n');
+    }
+
+    let mut summary = String::from("== Fig. 6: SC under RF Mobile ==\n");
+    for (kind, out) in &runs {
+        let m = &out.metrics;
+        let max_cap = out
+            .voltage_series
+            .iter()
+            .map(|s| s.capacitance_f)
+            .fold(0.0, f64::max);
+        summary.push_str(&format!(
+            "{:>7}: ops {:>3}, on {:>5.0} s, boots {:>3}, peak C {:.2} mF, clipped {:.1} mJ\n",
+            kind.label(),
+            m.ops_completed,
+            m.on_time.get(),
+            m.boots,
+            max_cap * 1e3,
+            m.ledger.clipped.to_milli(),
+        ));
+    }
+    // The figure's qualitative content: REACT expands beyond its LLB
+    // while the small static buffer clips.
+    let react = &runs[3].1;
+    let react_peak = react
+        .voltage_series
+        .iter()
+        .map(|s| s.capacitance_f)
+        .fold(0.0, f64::max);
+    assert!(react_peak > 770e-6, "REACT never expanded in Fig. 6 run");
+    println!("{summary}");
+    save_artifact("fig6", &summary, Some(&csv));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let trace = paper_trace(PaperTrace::RfMobile).truncated(Seconds::new(60.0));
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("sc_rf_mobile_60s_react", |b| {
+        b.iter(|| {
+            Experiment::new(BufferKind::React, WorkloadKind::SenseCompute)
+                .run(&trace)
+                .metrics
+                .ops_completed
+        })
+    });
+    group.finish();
+}
+
+fn fig_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_fig6(c);
+}
+
+criterion_group!(benches, fig_then_bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Figure 7 — normalized figures of merit across benchmarks, plus the
+//! paper's headline improvement percentages (§5.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::BufferKind;
+use react_core::fom::{mean_improvement_over, normalize_to_react};
+use react_core::report::TextTable;
+use react_core::{ExperimentMatrix, WorkloadKind};
+
+fn regenerate() {
+    let mut table = TextTable::new(
+        "Fig. 7: normalized performance (REACT = 1.00)",
+        &["Benchmark", "770 µF", "10 mF", "17 mF", "Morphy", "REACT"],
+    );
+    let mut all_scores = Vec::new();
+    for workload in WorkloadKind::ALL {
+        let matrix = ExperimentMatrix::run(workload);
+        let scores = normalize_to_react(&matrix);
+        let mut cells = vec![workload.label().to_string()];
+        for kind in BufferKind::PAPER_COLUMNS {
+            let s = scores
+                .iter()
+                .find(|s| s.buffer == kind)
+                .map(|s| s.score)
+                .unwrap_or(0.0);
+            cells.push(format!("{s:.2}"));
+        }
+        table.push_row(&cells);
+        all_scores.push(scores);
+    }
+    // Mean row.
+    let mut mean = vec!["Mean".to_string()];
+    for kind in BufferKind::PAPER_COLUMNS {
+        let avg: f64 = all_scores
+            .iter()
+            .filter_map(|scores| scores.iter().find(|s| s.buffer == kind))
+            .map(|s| s.score)
+            .sum::<f64>()
+            / all_scores.len() as f64;
+        mean.push(format!("{avg:.2}"));
+    }
+    table.push_row(&mean);
+
+    let mut text = table.render();
+    text.push('\n');
+    for (baseline, paper) in [
+        (BufferKind::Static770uF, 39.1),
+        (BufferKind::Static10mF, 18.8),
+        (BufferKind::Static17mF, 19.3),
+        (BufferKind::Morphy, 26.2),
+    ] {
+        let imp = 100.0 * mean_improvement_over(&all_scores, baseline);
+        text.push_str(&format!(
+            "REACT improvement over {:>7}: {imp:+.1}% (paper: +{paper:.1}%)\n",
+            baseline.label()
+        ));
+    }
+    println!("{text}");
+    save_artifact("fig7", &text, Some(&table.to_csv()));
+}
+
+fn bench_fom(c: &mut Criterion) {
+    let matrix = ExperimentMatrix::run_with(
+        WorkloadKind::DataEncryption,
+        &[react_traces::PaperTrace::RfCart],
+        &BufferKind::PAPER_COLUMNS,
+        react_units::Seconds::new(0.002),
+    );
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("normalize_to_react", |b| {
+        b.iter(|| normalize_to_react(&matrix))
+    });
+    group.finish();
+}
+
+fn fig_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_fom(c);
+}
+
+criterion_group!(benches, fig_then_bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! §5.1 — characterization and overhead: REACT's software poller costs
+//! ~1.8 % of DE throughput; its hardware draws ≈68 µW (~13.6 µW/bank).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::{BufferKind, EnergyBuffer, ReactBuffer};
+use react_core::{Simulator, WorkloadKind};
+use react_harvest::{Converter, PowerReplay};
+use react_traces::PowerTrace;
+use react_units::{Amps, Seconds, Volts, Watts};
+use react_workloads::DataEncryption;
+
+/// DE on continuous power for 5 minutes (the paper's §5.1 method).
+fn de_ops(with_software: bool) -> u64 {
+    let trace = PowerTrace::constant(
+        "continuous",
+        Watts::from_milli(20.0),
+        Seconds::new(300.0),
+        Seconds::new(0.1),
+    );
+    let replay = PowerReplay::new(trace, Converter::ideal());
+    let mut sim = Simulator::new(
+        replay,
+        BufferKind::React.build(),
+        Box::new(DataEncryption::new()),
+    )
+    .with_max_drain(Seconds::new(10.0));
+    if !with_software {
+        sim = sim.without_software_overhead();
+    }
+    sim.run().metrics.ops_completed
+}
+
+fn regenerate() {
+    let with = de_ops(true);
+    let without = de_ops(false);
+    let penalty = 100.0 * (1.0 - with as f64 / without as f64);
+
+    // Hardware overhead: REACT idle with all banks connected for 100 s.
+    let mut react = ReactBuffer::paper_prototype();
+    react.set_llb_voltage(Volts::new(3.0));
+    for i in 0..5 {
+        react.force_bank_state(i, Volts::new(3.0), react_circuit::BankMode::Parallel);
+    }
+    for _ in 0..100_000 {
+        react.step(Watts::ZERO, Amps::ZERO, Seconds::from_milli(1.0), false);
+    }
+    let hw_uw = react.ledger().overhead_consumed.to_micro() / 100.0;
+
+    let text = format!(
+        "== §5.1 overhead characterization ==\n\
+         DE ops in 5 min, software poller on : {with}\n\
+         DE ops in 5 min, software poller off: {without}\n\
+         software overhead: {penalty:.1}% (paper: 1.8% at 10 Hz)\n\
+         hardware quiescent draw, 5 banks connected: {hw_uw:.1} µW \
+         (paper: ≈68 µW, ~13.6 µW/bank)\n"
+    );
+    println!("{text}");
+    assert!(penalty > 0.5 && penalty < 5.0, "software penalty {penalty}%");
+    assert!(hw_uw > 40.0 && hw_uw < 100.0, "hardware overhead {hw_uw} µW");
+    save_artifact("overhead", &text, None);
+}
+
+fn bench_step_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(20);
+    group.bench_function("react_buffer_step", |b| {
+        let mut react = ReactBuffer::paper_prototype();
+        react.set_llb_voltage(Volts::new(3.0));
+        b.iter(|| {
+            react.step(
+                Watts::from_milli(2.0),
+                Amps::from_milli(1.5),
+                Seconds::from_milli(1.0),
+                true,
+            )
+        })
+    });
+    group.bench_function("de_workload_kind_label", |b| {
+        b.iter(|| WorkloadKind::DataEncryption.label())
+    });
+    group.finish();
+}
+
+fn characterize_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_step_rate(c);
+}
+
+criterion_group!(benches, characterize_then_bench);
+criterion_main!(benches);

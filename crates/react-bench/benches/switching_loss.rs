@@ -1,0 +1,121 @@
+//! §3.3.1 / Fig. 5 — dissipative reconfiguration in fully-connected
+//! capacitor networks, versus REACT's lossless bank switching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::morphy_transition_path;
+use react_circuit::{
+    BankMode, BankSpec, CapacitorSpec, ChainNetwork, Partition, SeriesParallelBank,
+};
+use react_core::report::TextTable;
+use react_units::{Farads, Volts};
+
+/// Loss fraction for the canonical single-capacitor move on an
+/// `n`-capacitor array: full-series → (n−1)-series ‖ 1.
+fn single_move_loss(n: usize) -> f64 {
+    let unit = CapacitorSpec::new(Farads::from_milli(2.0)).with_max_voltage(Volts::new(1e9));
+    let mut net = ChainNetwork::new(unit, n, Partition::all_series(n));
+    net.set_all_voltages(Volts::new(1.0));
+    let before = net.stored_energy();
+    let out = net.reconfigure(Partition::new(vec![n - 1, 1]).expect("valid"));
+    out.dissipated.get() / before.get()
+}
+
+/// Loss fraction for 8-parallel → 7-series-1-parallel (§3.3.1's second
+/// example: 56.25 %).
+fn eight_cap_example_loss() -> f64 {
+    let unit = CapacitorSpec::new(Farads::from_milli(2.0)).with_max_voltage(Volts::new(1e9));
+    let mut net = ChainNetwork::new(unit, 8, Partition::all_parallel(8));
+    net.set_all_voltages(Volts::new(1.0));
+    let before = net.stored_energy();
+    let out = net.reconfigure(Partition::new(vec![7, 1]).expect("valid"));
+    out.dissipated.get() / before.get()
+}
+
+fn regenerate() {
+    let mut table = TextTable::new(
+        "§3.3.1: reconfiguration loss, fully-connected network",
+        &["Transition", "Loss", "Paper"],
+    );
+    let four = single_move_loss(4);
+    table.push_row(&[
+        "4-series -> 3-series||1".into(),
+        format!("{:.2}%", 100.0 * four),
+        "25%".into(),
+    ]);
+    let eight = eight_cap_example_loss();
+    table.push_row(&[
+        "8-parallel -> 7-series||1".into(),
+        format!("{:.2}%", 100.0 * eight),
+        "56.25%".into(),
+    ]);
+    assert!((four - 0.25).abs() < 1e-9);
+    assert!((eight - 0.5625).abs() < 1e-9);
+
+    // Morphy ladder transitions at a charged 3.5 V terminal.
+    let ladder = react_buffers::MorphyBuffer::standard_ladder();
+    let unit = CapacitorSpec::new(Farads::from_milli(2.0)).with_max_voltage(Volts::new(1e9));
+    for w in ladder.windows(2) {
+        let mut net = ChainNetwork::new(unit, 8, w[0].clone());
+        // Charge so the terminal sits at 3.5 V in the current config.
+        let v_term = 3.5;
+        let per_cap = v_term / w[0].chains().iter().map(|&l| l as f64).fold(0.0, f64::max);
+        net.set_all_voltages(Volts::new(per_cap));
+        let before = net.stored_energy();
+        let mut lost = 0.0;
+        for step in morphy_transition_path(w[0].chains(), w[1].chains()) {
+            lost += net.reconfigure(step).dissipated.get();
+        }
+        table.push_row(&[
+            format!("{:?} -> {:?}", w[0].chains(), w[1].chains()),
+            format!("{:.1}%", 100.0 * lost / before.get()),
+            "-".into(),
+        ]);
+    }
+
+    // REACT's bank switching, for contrast: exactly zero.
+    let mut bank = SeriesParallelBank::new(BankSpec::new(CapacitorSpec::ceramic_220uf(), 3));
+    bank.set_unit_voltage(Volts::new(1.9));
+    bank.reconfigure(BankMode::Parallel);
+    let e0 = bank.stored_energy();
+    bank.reconfigure(BankMode::Series);
+    let react_loss = (e0.get() - bank.stored_energy().get()).abs();
+    table.push_row(&[
+        "REACT bank parallel -> series".into(),
+        format!("{:.2}%", 100.0 * react_loss / e0.get()),
+        "0%".into(),
+    ]);
+
+    println!("{}", table.render());
+    save_artifact("switching_loss", &table.render(), Some(&table.to_csv()));
+}
+
+fn bench_reconfigure(c: &mut Criterion) {
+    let unit = CapacitorSpec::new(Farads::from_milli(2.0)).with_max_voltage(Volts::new(1e9));
+    let mut group = c.benchmark_group("switching_loss");
+    group.sample_size(50);
+    group.bench_function("network_reconfigure_8", |b| {
+        b.iter(|| {
+            let mut net = ChainNetwork::new(unit, 8, Partition::all_parallel(8));
+            net.set_all_voltages(Volts::new(1.0));
+            net.reconfigure(Partition::new(vec![7, 1]).expect("valid"))
+        })
+    });
+    group.bench_function("bank_reconfigure", |b| {
+        let mut bank = SeriesParallelBank::new(BankSpec::new(CapacitorSpec::ceramic_220uf(), 3));
+        bank.set_unit_voltage(Volts::new(1.9));
+        b.iter(|| {
+            bank.reconfigure(BankMode::Series);
+            bank.reconfigure(BankMode::Parallel);
+        })
+    });
+    group.finish();
+}
+
+fn analyze_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_reconfigure(c);
+}
+
+criterion_group!(benches, analyze_then_bench);
+criterion_main!(benches);

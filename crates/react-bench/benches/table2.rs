@@ -1,0 +1,58 @@
+//! Table 2 — DE / SC / RT performance across traces and buffers.
+//!
+//! Prints the three sub-tables the paper reports (operation counts per
+//! trace × buffer plus the mean row), saves them under
+//! `target/paper-artifacts/`, then benchmarks the simulation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::{render_ops_table, save_artifact};
+use react_buffers::BufferKind;
+use react_core::{Experiment, ExperimentMatrix, WorkloadKind};
+use react_traces::PowerTrace;
+use react_units::{Seconds, Watts};
+
+fn regenerate() {
+    for (name, workload) in [
+        ("table2a_de", WorkloadKind::DataEncryption),
+        ("table2b_sc", WorkloadKind::SenseCompute),
+        ("table2c_rt", WorkloadKind::RadioTransmit),
+    ] {
+        let matrix = ExperimentMatrix::run(workload);
+        let table = render_ops_table(
+            &format!("Table 2 ({}): {} ops", name, workload.label()),
+            &matrix,
+        );
+        println!("{}", table.render());
+        save_artifact(name, &table.render(), Some(&table.to_csv()));
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let trace = PowerTrace::constant(
+        "kernel",
+        Watts::from_milli(5.0),
+        Seconds::new(30.0),
+        Seconds::new(0.1),
+    );
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for kind in [BufferKind::Static770uF, BufferKind::React] {
+        group.bench_function(format!("de_30s_{}", kind.label()), |b| {
+            b.iter(|| {
+                Experiment::new(kind, WorkloadKind::DataEncryption)
+                    .run(&trace)
+                    .metrics
+                    .ops_completed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_kernel(c);
+}
+
+criterion_group!(benches, table_then_bench);
+criterion_main!(benches);

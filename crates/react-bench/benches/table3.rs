@@ -1,0 +1,51 @@
+//! Table 3 — the power-trace statistics, regenerated and verified
+//! against the paper's published values, then a synthesis benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_core::report::TextTable;
+use react_traces::{paper_trace, PaperTrace, TABLE3_TARGETS};
+
+fn regenerate() {
+    let mut table = TextTable::new(
+        "Table 3: power traces",
+        &["Trace", "Time (s)", "Avg. Pow. (mW)", "Power CV", "Paper CV"],
+    );
+    for row in TABLE3_TARGETS {
+        let stats = paper_trace(row.trace).stats();
+        table.push_row(&[
+            row.trace.label().to_string(),
+            format!("{:.0}", stats.duration.get()),
+            format!("{:.3}", stats.mean_power.to_milli()),
+            format!("{:.0}%", stats.cv_percent()),
+            format!("{:.0}%", row.cv_percent),
+        ]);
+        assert!(
+            (stats.mean_power.to_milli() - row.avg_power_mw).abs() / row.avg_power_mw < 0.01,
+            "{} mean power drifted from Table 3",
+            row.trace.label()
+        );
+    }
+    println!("{}", table.render());
+    save_artifact("table3", &table.render(), Some(&table.to_csv()));
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("synthesize_rf_cart", |b| {
+        b.iter(|| paper_trace(PaperTrace::RfCart).stats().cv)
+    });
+    group.bench_function("synthesize_solar_commute", |b| {
+        b.iter(|| paper_trace(PaperTrace::SolarCommute).stats().cv)
+    });
+    group.finish();
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_synthesis(c);
+}
+
+criterion_group!(benches, table_then_bench);
+criterion_main!(benches);

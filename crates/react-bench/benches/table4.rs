@@ -1,0 +1,80 @@
+//! Table 4 — system latency (cold start to first enable) across traces
+//! and buffers. Latency is software-invariant, so the DE matrix is used.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::BufferKind;
+use react_core::report::TextTable;
+use react_core::{Experiment, ExperimentMatrix, WorkloadKind};
+use react_traces::PowerTrace;
+use react_units::{Seconds, Watts};
+
+fn regenerate() {
+    let matrix = ExperimentMatrix::run(WorkloadKind::DataEncryption);
+    let mut table = TextTable::new(
+        "Table 4: system latency (s)",
+        &["Trace", "770 µF", "10 mF", "17 mF", "Morphy", "REACT"],
+    );
+    let ncols = BufferKind::PAPER_COLUMNS.len();
+    let mut sums = vec![0.0; ncols];
+    let mut counts = vec![0usize; ncols];
+    for row in &matrix.rows {
+        let mut cells = vec![row.trace.label().to_string()];
+        for (i, cell) in row.cells.iter().enumerate() {
+            match cell.outcome.metrics.first_on_latency {
+                Some(l) => {
+                    cells.push(format!("{:.2}", l.get()));
+                    sums[i] += l.get();
+                    counts[i] += 1;
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        table.push_row(&cells);
+    }
+    let mut mean = vec!["Mean".to_string()];
+    for (s, c) in sums.iter().zip(&counts) {
+        mean.push(if *c > 0 { format!("{:.2}", s / *c as f64) } else { "-".into() });
+    }
+    table.push_row(&mean);
+    println!("{}", table.render());
+    save_artifact("table4", &table.render(), Some(&table.to_csv()));
+
+    // The paper's headline: REACT matches the smallest static buffer.
+    let react_mean = sums[4] / counts[4].max(1) as f64;
+    let small_mean = sums[0] / counts[0].max(1) as f64;
+    println!(
+        "REACT mean latency {:.1} s vs 770 µF {:.1} s (ratio {:.2})",
+        react_mean,
+        small_mean,
+        react_mean / small_mean
+    );
+}
+
+fn bench_charge_time(c: &mut Criterion) {
+    let trace = PowerTrace::constant(
+        "charge",
+        Watts::from_milli(2.0),
+        Seconds::new(60.0),
+        Seconds::new(0.1),
+    );
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("cold_start_latency_770uF", |b| {
+        b.iter(|| {
+            Experiment::new(BufferKind::Static770uF, WorkloadKind::DataEncryption)
+                .run(&trace)
+                .metrics
+                .first_on_latency
+        })
+    });
+    group.finish();
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_charge_time(c);
+}
+
+criterion_group!(benches, table_then_bench);
+criterion_main!(benches);

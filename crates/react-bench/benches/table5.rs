@@ -1,0 +1,67 @@
+//! Table 5 — Packet Forwarding: packets received and retransmitted per
+//! trace and buffer, plus the fungibility summary of §5.4.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::BufferKind;
+use react_core::report::TextTable;
+use react_core::{Experiment, ExperimentMatrix, WorkloadKind};
+use react_traces::PowerTrace;
+use react_units::{Seconds, Watts};
+
+fn regenerate() {
+    let matrix = ExperimentMatrix::run(WorkloadKind::PacketForward);
+    let mut table = TextTable::new(
+        "Table 5: Packet Forwarding (Rx / Tx)",
+        &["Trace", "770 µF", "10 mF", "17 mF", "Morphy", "REACT"],
+    );
+    let ncols = BufferKind::PAPER_COLUMNS.len();
+    let mut rx_sum = vec![0u64; ncols];
+    let mut tx_sum = vec![0u64; ncols];
+    for row in &matrix.rows {
+        let mut cells = vec![row.trace.label().to_string()];
+        for (i, cell) in row.cells.iter().enumerate() {
+            let m = &cell.outcome.metrics;
+            rx_sum[i] += m.aux_completed;
+            tx_sum[i] += m.ops_completed;
+            cells.push(format!("{}/{}", m.aux_completed, m.ops_completed));
+        }
+        table.push_row(&cells);
+    }
+    let mut mean = vec!["Mean".to_string()];
+    let n = matrix.rows.len().max(1) as u64;
+    for (rx, tx) in rx_sum.iter().zip(&tx_sum) {
+        mean.push(format!("{}/{}", rx / n, tx / n));
+    }
+    table.push_row(&mean);
+    println!("{}", table.render());
+    save_artifact("table5", &table.render(), Some(&table.to_csv()));
+}
+
+fn bench_pf(c: &mut Criterion) {
+    let trace = PowerTrace::constant(
+        "pf",
+        Watts::from_milli(3.0),
+        Seconds::new(60.0),
+        Seconds::new(0.1),
+    );
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("pf_60s_react", |b| {
+        b.iter(|| {
+            Experiment::new(BufferKind::React, WorkloadKind::PacketForward)
+                .run(&trace)
+                .metrics
+                .aux_completed
+        })
+    });
+    group.finish();
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    regenerate();
+    bench_pf(c);
+}
+
+criterion_group!(benches, table_then_bench);
+criterion_main!(benches);

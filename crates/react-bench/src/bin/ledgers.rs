@@ -1,0 +1,59 @@
+//! Per-buffer energy-ledger breakdown for one (trace, workload) pair —
+//! the diagnostic view behind §5.5's efficiency discussion.
+//!
+//! ```text
+//! cargo run --release -p react-bench --bin ledgers [trace] [workload]
+//! ```
+
+use react_buffers::BufferKind;
+use react_core::{Experiment, WorkloadKind};
+use react_traces::PaperTrace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = match args.get(1).map(String::as_str) {
+        Some("cart") | None => PaperTrace::RfCart,
+        Some("obs") => PaperTrace::RfObstructed,
+        Some("mob") => PaperTrace::RfMobile,
+        Some("camp") => PaperTrace::SolarCampus,
+        Some("comm") => PaperTrace::SolarCommute,
+        Some(other) => panic!("unknown trace {other}"),
+    };
+    let workload = match args.get(2).map(String::as_str) {
+        Some("de") | None => WorkloadKind::DataEncryption,
+        Some("sc") => WorkloadKind::SenseCompute,
+        Some("rt") => WorkloadKind::RadioTransmit,
+        Some("pf") => WorkloadKind::PacketForward,
+        Some(other) => panic!("unknown workload {other}"),
+    };
+
+    println!(
+        "trace={} workload={} (all numbers mJ)",
+        trace.label(),
+        workload.label()
+    );
+    println!(
+        "{:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>7}",
+        "buffer", "ops", "harvest", "clip", "leak", "diode", "switch", "load", "ovrhd", "fail", "miss", "on-time"
+    );
+    for kind in BufferKind::PAPER_COLUMNS {
+        let out = Experiment::new(kind, workload).run_paper_trace(trace);
+        let m = &out.metrics;
+        let l = &m.ledger;
+        println!(
+            "{:>8} {:>7} {:>9.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>6} {:>6} {:>7.0}",
+            kind.label(),
+            m.ops_completed,
+            l.harvested.to_milli(),
+            l.clipped.to_milli(),
+            l.leaked.to_milli(),
+            l.diode_loss.to_milli(),
+            l.switch_loss.to_milli(),
+            l.load_consumed.to_milli(),
+            l.overhead_consumed.to_milli(),
+            m.ops_failed,
+            m.events_missed,
+            m.on_time.get(),
+        );
+    }
+}

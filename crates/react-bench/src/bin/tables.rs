@@ -1,0 +1,111 @@
+//! Regenerates every table of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p react-bench --bin tables
+//! ```
+
+use react_bench::render_ops_table;
+use react_buffers::BufferKind;
+use react_core::report::TextTable;
+use react_core::{ExperimentMatrix, WorkloadKind};
+use react_traces::{paper_trace, PaperTrace, TABLE3_TARGETS};
+
+fn main() {
+    // Table 3 — trace statistics.
+    let mut t3 = TextTable::new(
+        "Table 3: power traces",
+        &["Trace", "Time (s)", "Avg. Pow. (mW)", "Power CV", "Paper CV"],
+    );
+    for row in TABLE3_TARGETS {
+        let stats = paper_trace(row.trace).stats();
+        t3.push_row(&[
+            row.trace.label().to_string(),
+            format!("{:.0}", stats.duration.get()),
+            format!("{:.3}", stats.mean_power.to_milli()),
+            format!("{:.0}%", stats.cv_percent()),
+            format!("{:.0}%", row.cv_percent),
+        ]);
+    }
+    println!("{}", t3.render());
+
+    // Table 4 — latency.
+    let mut t4 = TextTable::new(
+        "Table 4: system latency (s)",
+        &["Trace", "770 µF", "10 mF", "17 mF", "Morphy", "REACT"],
+    );
+    let de = ExperimentMatrix::run(WorkloadKind::DataEncryption);
+    let mut means = vec![0.0f64; BufferKind::PAPER_COLUMNS.len()];
+    let mut counts = vec![0usize; BufferKind::PAPER_COLUMNS.len()];
+    for row in &de.rows {
+        let mut cells = vec![row.trace.label().to_string()];
+        for (i, cell) in row.cells.iter().enumerate() {
+            match cell.outcome.metrics.first_on_latency {
+                Some(l) => {
+                    cells.push(format!("{:.2}", l.get()));
+                    means[i] += l.get();
+                    counts[i] += 1;
+                }
+                None => cells.push("-".to_string()),
+            }
+        }
+        t4.push_row(&cells);
+    }
+    let mut mean_row = vec!["Mean".to_string()];
+    for (m, c) in means.iter().zip(&counts) {
+        mean_row.push(if *c > 0 { format!("{:.2}", m / *c as f64) } else { "-".into() });
+    }
+    t4.push_row(&mean_row);
+    println!("{}", t4.render());
+
+    // Table 2 — DE / SC / RT.
+    println!("{}", render_ops_table("Table 2a: Data Encryption", &de).render());
+    let sc = ExperimentMatrix::run(WorkloadKind::SenseCompute);
+    println!("{}", render_ops_table("Table 2b: Sense and Compute", &sc).render());
+    let rt = ExperimentMatrix::run(WorkloadKind::RadioTransmit);
+    println!("{}", render_ops_table("Table 2c: Radio Transmit", &rt).render());
+
+    // Table 5 — PF Rx/Tx.
+    let pf = ExperimentMatrix::run(WorkloadKind::PacketForward);
+    let mut t5 = TextTable::new(
+        "Table 5: Packet Forwarding (Rx / Tx)",
+        &["Trace", "770 µF", "10 mF", "17 mF", "Morphy", "REACT"],
+    );
+    for row in &pf.rows {
+        let mut cells = vec![row.trace.label().to_string()];
+        for cell in &row.cells {
+            cells.push(format!(
+                "{}/{}",
+                cell.outcome.metrics.aux_completed, cell.outcome.metrics.ops_completed
+            ));
+        }
+        t5.push_row(&cells);
+    }
+    println!("{}", t5.render());
+
+    // Fig. 7 summary — normalized scores.
+    println!("== Fig. 7: normalized performance (to REACT) ==");
+    let mut all_scores = Vec::new();
+    for (label, matrix) in [("DE", &de), ("SC", &sc), ("RT", &rt), ("PF", &pf)] {
+        let scores = react_core::fom::normalize_to_react(matrix);
+        print!("{label}: ");
+        for s in &scores {
+            print!("{}={:.2} ", s.buffer.label(), s.score);
+        }
+        println!();
+        all_scores.push(scores);
+    }
+    for baseline in [
+        BufferKind::Static770uF,
+        BufferKind::Static10mF,
+        BufferKind::Static17mF,
+        BufferKind::Morphy,
+    ] {
+        let imp = react_core::fom::mean_improvement_over(&all_scores, baseline);
+        println!(
+            "REACT improvement over {}: {:+.1}%",
+            baseline.label(),
+            imp * 100.0
+        );
+    }
+    let _ = PaperTrace::EVALUATION; // anchor
+}

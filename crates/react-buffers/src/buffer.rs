@@ -1,0 +1,166 @@
+//! The energy-buffer abstraction every architecture implements.
+
+use react_circuit::EnergyLedger;
+use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts, Watts};
+
+/// Converts harvested rail power into charge at a receiving element's
+/// voltage, modelling the constant-current cold-start region of real
+/// boost chargers: below [`CONVERSION_FLOOR`] the converter delivers its
+/// current limit rather than unbounded current.
+pub fn power_intake(power: Watts, v_element: Volts, dt: Seconds) -> Coulombs {
+    if power.get() <= 0.0 {
+        return Coulombs::ZERO;
+    }
+    let v_eff = v_element.max(CONVERSION_FLOOR);
+    (power / v_eff).min(CHARGE_CURRENT_LIMIT) * dt
+}
+
+/// Minimum conversion voltage (constant-current region boundary).
+pub const CONVERSION_FLOOR: Volts = Volts::new(0.3);
+
+/// Charge-current ceiling of the harvester IC.
+pub const CHARGE_CURRENT_LIMIT: Amps = Amps::new(0.05);
+
+/// An energy buffer between the harvester frontend and the load.
+///
+/// One `step` advances the buffer by `dt`: the harvester offers `input`
+/// *power* at the rail (converters move power, not fixed current — each
+/// buffer converts it to charge at its receiving element's voltage via
+/// [`power_intake`]), the load draws `load` current, internal physics
+/// (leakage, diode conduction, controller actions) play out, and every
+/// joule is booked into the [`EnergyLedger`].
+pub trait EnergyBuffer {
+    /// Display name used in tables (`"770 µF"`, `"REACT"`, …).
+    fn name(&self) -> &str;
+
+    /// Voltage presented to the load rail.
+    fn rail_voltage(&self) -> Volts;
+
+    /// Voltage the *harvester* sees at the buffer's input node. For a
+    /// single capacitor this is the rail; REACT's input isolation diodes
+    /// steer charging current to the lowest-voltage connected element
+    /// (§3.2.1), so its input node sits at that element's voltage.
+    fn input_voltage(&self) -> Volts {
+        self.rail_voltage()
+    }
+
+    /// Present equivalent capacitance at the rail.
+    fn equivalent_capacitance(&self) -> Farads;
+
+    /// Total energy stored across all internal capacitors.
+    fn stored_energy(&self) -> Joules;
+
+    /// Energy this buffer can still deliver to the load above `v_floor`
+    /// (the brown-out voltage), accounting for the buffer's own
+    /// extraction mechanism (REACT's series reclamation, a static
+    /// buffer's plain ½C(V²−V_f²)).
+    fn usable_energy_above(&self, v_floor: Volts) -> Joules;
+
+    /// `true` if the buffer exposes the software-directed longevity API
+    /// (§3.4.1). REACT and Morphy do; static buffers cannot.
+    fn supports_longevity(&self) -> bool {
+        false
+    }
+
+    /// The buffer's capacitance-level surrogate for stored energy
+    /// (§3.4.1): 0 for static buffers, the bank/ladder step otherwise.
+    fn capacitance_level(&self) -> u32 {
+        0
+    }
+
+    /// Advances the buffer by `dt`. `mcu_running` gates controller
+    /// software that runs on the target MCU (REACT's poller); externally
+    /// powered controllers (Morphy) ignore it.
+    fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool);
+
+    /// Energy accounting so far.
+    fn ledger(&self) -> &EnergyLedger;
+}
+
+/// Catalog of buffer designs evaluated in the paper (§4.1) plus the
+/// extension baselines from the related-work discussion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// 770 µF static buffer (equal reactivity to REACT's LLB).
+    Static770uF,
+    /// 10 mF static buffer.
+    Static10mF,
+    /// 17 mF static buffer (≈ REACT's full capacity).
+    Static17mF,
+    /// The REACT prototype (Table 1 configuration).
+    React,
+    /// The Morphy \[49\] switched-capacitor network (8 × 2 mF).
+    Morphy,
+    /// Dewdrop-style \[6\] static buffer with an adaptive enable voltage.
+    Dewdrop,
+    /// Capybara-style \[7\] dual-capacitor programmer-selected buffer.
+    Capybara,
+}
+
+impl BufferKind {
+    /// The five designs the paper's tables compare, in column order.
+    pub const PAPER_COLUMNS: [BufferKind; 5] = [
+        BufferKind::Static770uF,
+        BufferKind::Static10mF,
+        BufferKind::Static17mF,
+        BufferKind::Morphy,
+        BufferKind::React,
+    ];
+
+    /// Table-style display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BufferKind::Static770uF => "770 µF",
+            BufferKind::Static10mF => "10 mF",
+            BufferKind::Static17mF => "17 mF",
+            BufferKind::React => "REACT",
+            BufferKind::Morphy => "Morphy",
+            BufferKind::Dewdrop => "Dewdrop",
+            BufferKind::Capybara => "Capybara",
+        }
+    }
+
+    /// Builds a fresh buffer of this kind with the paper's parameters.
+    pub fn build(self) -> Box<dyn EnergyBuffer> {
+        match self {
+            BufferKind::Static770uF => Box::new(crate::StaticBuffer::static_770uf()),
+            BufferKind::Static10mF => Box::new(crate::StaticBuffer::static_10mf()),
+            BufferKind::Static17mF => Box::new(crate::StaticBuffer::static_17mf()),
+            BufferKind::React => Box::new(crate::ReactBuffer::paper_prototype()),
+            BufferKind::Morphy => Box::new(crate::MorphyBuffer::paper_implementation()),
+            BufferKind::Dewdrop => Box::new(crate::DewdropBuffer::reference()),
+            BufferKind::Capybara => Box::new(crate::CapybaraBuffer::reference()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(BufferKind::Static770uF.label(), "770 µF");
+        assert_eq!(BufferKind::React.label(), "REACT");
+        assert_eq!(BufferKind::PAPER_COLUMNS.len(), 5);
+        // REACT is the last column, as in Tables 2/4/5.
+        assert_eq!(BufferKind::PAPER_COLUMNS[4], BufferKind::React);
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        for kind in [
+            BufferKind::Static770uF,
+            BufferKind::Static10mF,
+            BufferKind::Static17mF,
+            BufferKind::React,
+            BufferKind::Morphy,
+            BufferKind::Dewdrop,
+            BufferKind::Capybara,
+        ] {
+            let buf = kind.build();
+            assert!(buf.rail_voltage().get().abs() < 1e-9, "{} starts empty", buf.name());
+            assert!(buf.equivalent_capacitance().get() > 0.0);
+        }
+    }
+}

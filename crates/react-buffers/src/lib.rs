@@ -1,0 +1,43 @@
+//! Energy-buffer architectures for batteryless systems.
+//!
+//! This crate holds the paper's primary contribution and its baselines:
+//!
+//! * [`StaticBuffer`] — fixed capacitors (770 µF / 10 mF / 17 mF, §4.1).
+//! * [`ReactBuffer`] — REACT: the last-level buffer plus isolated
+//!   series/parallel banks with a polled software controller (§3).
+//! * [`MorphyBuffer`] — the Morphy \[49\] fully-interconnected
+//!   switched-capacitor network used as the dynamic-buffer comparison.
+//! * [`DewdropBuffer`] / [`CapybaraBuffer`] — extension baselines from
+//!   the related-work discussion (§2.3–2.4), used by the ablation
+//!   benches.
+//!
+//! All designs implement [`EnergyBuffer`] and are driven step-by-step by
+//! the simulator in `react-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use react_buffers::{BufferKind, EnergyBuffer};
+//! use react_units::{Amps, Seconds, Watts};
+//!
+//! let mut buffer = BufferKind::React.build();
+//! // Charge at 3 mW for one simulated second.
+//! for _ in 0..1000 {
+//!     buffer.step(Watts::from_milli(3.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+//! }
+//! assert!(buffer.rail_voltage().get() > 1.0);
+//! ```
+
+mod buffer;
+mod capybara;
+mod dewdrop;
+mod morphy;
+mod react;
+pub mod static_buf;
+
+pub use buffer::{power_intake, BufferKind, EnergyBuffer, CHARGE_CURRENT_LIMIT, CONVERSION_FLOOR};
+pub use capybara::CapybaraBuffer;
+pub use dewdrop::DewdropBuffer;
+pub use morphy::{transition_path as morphy_transition_path, MorphyBuffer};
+pub use react::{ConfigError, ReactBuffer, ReactConfig};
+pub use static_buf::StaticBuffer;

@@ -1,0 +1,549 @@
+//! REACT: the paper's reconfigurable, energy-adaptive capacitor buffer.
+//!
+//! Hardware structure (Fig. 2): a small always-connected *last-level
+//! buffer* (LLB) feeds the load; configurable [`SeriesParallelBank`]s sit
+//! behind isolation diodes — charged only from the harvester, discharged
+//! only into the LLB. Two comparators watch the LLB voltage; a software
+//! state machine polled at 10 Hz steps bank configurations up
+//! (disconnected → series → parallel) on a near-capacity signal and down
+//! (parallel → series → disconnected) on a near-empty signal, reclaiming
+//! otherwise-stranded charge by boosting bank output voltage (§3.3.4).
+//!
+//! Because banks only ever reconfigure between full-series and
+//! full-parallel, no current flows between capacitors during a switch:
+//! reconfiguration is lossless, unlike the fully-connected network of
+//! [`MorphyBuffer`](crate::MorphyBuffer).
+
+mod config;
+
+pub use config::{ConfigError, ReactConfig};
+
+use react_circuit::{BankMode, Capacitor, EnergyLedger, SeriesParallelBank};
+use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts, Watts};
+
+use crate::{power_intake, EnergyBuffer};
+
+/// The REACT buffer: LLB + banks + instrumentation + controller FSM.
+#[derive(Clone, Debug)]
+pub struct ReactBuffer {
+    config: ReactConfig,
+    llb: Capacitor,
+    banks: Vec<SeriesParallelBank>,
+    poll_acc: Seconds,
+    ledger: EnergyLedger,
+    reconfigurations: u64,
+    /// Whether the MCU was running last step — REACT's bank switches are
+    /// normally-open (§3.2), so every bank disconnects (keeping its
+    /// charge) the moment the MCU loses power.
+    mcu_was_running: bool,
+}
+
+impl ReactBuffer {
+    /// Builds a buffer from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ReactConfig::validate`]
+    /// (use `validate` first for a recoverable error).
+    pub fn new(config: ReactConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid REACT configuration");
+        let llb_spec = config.llb.with_max_voltage(config.rail_clamp);
+        Self {
+            llb: Capacitor::new(llb_spec),
+            banks: config.banks.iter().map(|&b| SeriesParallelBank::new(b)).collect(),
+            config,
+            poll_acc: Seconds::ZERO,
+            ledger: EnergyLedger::new(),
+            reconfigurations: 0,
+            mcu_was_running: false,
+        }
+    }
+
+    /// The paper's Table 1 prototype.
+    pub fn paper_prototype() -> Self {
+        Self::new(ReactConfig::paper_prototype())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ReactConfig {
+        &self.config
+    }
+
+    /// Bank modes in connection order (diagnostics/tests).
+    pub fn bank_modes(&self) -> Vec<BankMode> {
+        self.banks.iter().map(|b| b.mode()).collect()
+    }
+
+    /// Count of bank reconfigurations performed so far.
+    pub fn reconfiguration_count(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Force LLB voltage (test setup).
+    pub fn set_llb_voltage(&mut self, v: Volts) {
+        self.llb.set_voltage(v);
+    }
+
+    /// Force a bank's unit voltage and mode (test setup).
+    pub fn force_bank_state(&mut self, index: usize, unit_voltage: Volts, mode: BankMode) {
+        self.banks[index].set_unit_voltage(unit_voltage);
+        self.banks[index].reconfigure(mode);
+    }
+
+    /// Output isolation diodes: every connected bank whose terminal sits
+    /// above the LLB dumps charge into it until the voltages meet.
+    fn drain_banks_into_llb(&mut self) {
+        const EPS: f64 = 1e-6;
+        // Bounded sweep: each bank needs at most one equalization per
+        // call because diodes only conduct bank→LLB (the LLB only rises).
+        for _ in 0..self.banks.len() {
+            let candidate = self
+                .banks
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.mode() != BankMode::Disconnected)
+                .map(|(i, b)| (i, b.terminal_voltage()))
+                .filter(|(_, v)| v.get() > self.llb.voltage().get() + EPS)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite voltages"));
+            let Some((idx, v_bank)) = candidate else { break };
+            let bank = &mut self.banks[idx];
+            let c_bank = bank.terminal_capacitance();
+            let c_llb = self.llb.capacitance();
+            let v_llb = self.llb.voltage();
+            let e_before = bank.stored_energy() + self.llb.energy();
+            let v_star = (c_bank * v_bank + c_llb * v_llb) / (c_bank + c_llb);
+            let dq = c_bank * (v_bank - v_star);
+            let got = bank.draw_charge(dq);
+            self.llb.shift_charge(got);
+            let e_after = bank.stored_energy() + self.llb.energy();
+            self.ledger.diode_loss += (e_before - e_after).max(Joules::ZERO);
+        }
+    }
+
+    /// Input isolation diodes route harvester power to the
+    /// lowest-voltage connected element (§3.2.1); the converter delivers
+    /// charge at that element's voltage.
+    fn route_input(&mut self, input: Watts, dt: Seconds) {
+        if input.get() <= 0.0 {
+            return;
+        }
+        // Candidates: LLB plus connected banks, by terminal voltage.
+        let llb_v = self.llb.voltage();
+        let bank_candidate = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.mode() != BankMode::Disconnected)
+            .map(|(i, b)| (i, b.terminal_voltage()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite voltages"));
+
+        let e_before: Joules = self.llb.energy()
+            + self.banks.iter().map(|b| b.stored_energy()).sum::<Joules>();
+
+        let clipped = match bank_candidate {
+            Some((idx, v_bank)) if v_bank < llb_v => {
+                // Charge the bank, clamping its terminal at the rail.
+                let dq = power_intake(input, v_bank, dt);
+                let bank = &mut self.banks[idx];
+                let headroom =
+                    bank.terminal_capacitance() * (self.config.rail_clamp - v_bank);
+                let store = dq.min(headroom.max(Coulombs::ZERO));
+                let clip_units = bank.deposit_charge(store);
+                clip_units + (dq - store) * self.config.rail_clamp
+            }
+            _ => {
+                let dq = power_intake(input, llb_v, dt);
+                self.llb.deposit(dq / dt, dt)
+            }
+        };
+
+        let e_after: Joules = self.llb.energy()
+            + self.banks.iter().map(|b| b.stored_energy()).sum::<Joules>();
+        let delivered = (e_after - e_before).max(Joules::ZERO);
+        self.ledger.delivered += delivered;
+        self.ledger.clipped += clipped;
+        self.ledger.harvested += delivered + clipped;
+    }
+
+    /// One software poll (§3.4): read the comparators, step the bank
+    /// state machine.
+    fn poll_controller(&mut self) {
+        let v = self.llb.voltage();
+        if v >= self.config.v_high {
+            self.step_up();
+        } else if v <= self.config.v_low {
+            self.step_down();
+        }
+    }
+
+    /// Near-capacity: connect the next bank in series, or promote the
+    /// most recently connected series bank to parallel.
+    ///
+    /// A disconnected bank that *retained* a high charge (normally-open
+    /// switches opened at a brown-out) reconnects in parallel instead —
+    /// reconnecting it in series would multiply its terminal voltage
+    /// past the rail and burn the charge in the clamp.
+    fn step_up(&mut self) {
+        let v_high = self.config.v_high;
+        for bank in &mut self.banks {
+            match bank.mode() {
+                BankMode::Disconnected => {
+                    let n = bank.spec().count as f64;
+                    if bank.unit_voltage() * n > v_high {
+                        bank.reconfigure(BankMode::Parallel);
+                    } else {
+                        bank.reconfigure(BankMode::Series);
+                    }
+                    self.reconfigurations += 1;
+                    return;
+                }
+                BankMode::Series => {
+                    bank.reconfigure(BankMode::Parallel);
+                    self.reconfigurations += 1;
+                    return;
+                }
+                BankMode::Parallel => continue,
+            }
+        }
+    }
+
+    /// Near-empty: reclaim charge by boosting the most recently expanded
+    /// bank (parallel → series), or disconnect a drained series bank.
+    /// With reclamation disabled (ablation), parallel banks disconnect
+    /// outright, stranding their sub-threshold charge (§3.3.4).
+    fn step_down(&mut self) {
+        let reclaim = self.config.charge_reclamation;
+        for bank in self.banks.iter_mut().rev() {
+            match bank.mode() {
+                BankMode::Parallel => {
+                    bank.reconfigure(if reclaim {
+                        BankMode::Series
+                    } else {
+                        BankMode::Disconnected
+                    });
+                    self.reconfigurations += 1;
+                    return;
+                }
+                BankMode::Series => {
+                    bank.reconfigure(BankMode::Disconnected);
+                    self.reconfigurations += 1;
+                    return;
+                }
+                BankMode::Disconnected => continue,
+            }
+        }
+    }
+}
+
+impl EnergyBuffer for ReactBuffer {
+    fn name(&self) -> &str {
+        "REACT"
+    }
+
+    fn rail_voltage(&self) -> Volts {
+        self.llb.voltage()
+    }
+
+    fn input_voltage(&self) -> Volts {
+        // The input diodes steer current to the lowest-voltage connected
+        // element; the harvester sees that node.
+        let bank_min = self
+            .banks
+            .iter()
+            .filter(|b| b.mode() != BankMode::Disconnected)
+            .map(|b| b.terminal_voltage())
+            .fold(f64::MAX, |m, v| m.min(v.get()));
+        Volts::new(self.llb.voltage().get().min(bank_min))
+    }
+
+    fn equivalent_capacitance(&self) -> Farads {
+        self.llb.capacitance()
+            + self
+                .banks
+                .iter()
+                .map(|b| b.terminal_capacitance())
+                .sum::<Farads>()
+    }
+
+    fn stored_energy(&self) -> Joules {
+        self.llb.energy() + self.banks.iter().map(|b| b.stored_energy()).sum::<Joules>()
+    }
+
+    fn usable_energy_above(&self, v_floor: Volts) -> Joules {
+        // The §3.4.1 guarantee: energy deliverable during an *atomic*
+        // operation, i.e. without waiting on reconfiguration cascades.
+        // Connected banks ride the LLB down through their output diodes
+        // at their present terminal capacitance; disconnected banks and
+        // charge below `v_floor` (recoverable later via series boosts,
+        // §3.3.4) are deliberately not promised to the application.
+        let mut usable = Joules::ZERO;
+        if self.llb.voltage() > v_floor {
+            usable += self.llb.capacitance().energy_at(self.llb.voltage())
+                - self.llb.capacitance().energy_at(v_floor);
+        }
+        for bank in &self.banks {
+            if bank.mode() == BankMode::Disconnected {
+                continue;
+            }
+            let v = bank.terminal_voltage();
+            if v > v_floor {
+                let c = bank.terminal_capacitance();
+                usable += c.energy_at(v) - c.energy_at(v_floor);
+            }
+        }
+        usable
+    }
+
+    fn supports_longevity(&self) -> bool {
+        true
+    }
+
+    fn capacitance_level(&self) -> u32 {
+        self.banks
+            .iter()
+            .map(|b| match b.mode() {
+                BankMode::Disconnected => 0,
+                BankMode::Series => 1,
+                BankMode::Parallel => 2,
+            })
+            .sum()
+    }
+
+    fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool) {
+        // 0. Normally-open switches (§3.2): when the MCU loses power the
+        // switch drivers de-energize and every bank disconnects, keeping
+        // its charge. Cold starts therefore always see only the LLB.
+        if self.mcu_was_running && !mcu_running {
+            for bank in &mut self.banks {
+                bank.reconfigure(BankMode::Disconnected);
+            }
+        }
+        self.mcu_was_running = mcu_running;
+
+        // 1. Leakage everywhere (disconnected banks still leak).
+        self.ledger.leaked += self.llb.leak(dt);
+        for bank in &mut self.banks {
+            self.ledger.leaked += bank.leak(dt);
+        }
+
+        // 2. Load + REACT's own quiescent draw come from the LLB.
+        let v = self.llb.voltage();
+        if v.get() > 0.5 {
+            let connected = self
+                .banks
+                .iter()
+                .filter(|b| b.mode() != BankMode::Disconnected)
+                .count() as f64;
+            let overhead = self.config.instrumentation_overhead
+                + self.config.overhead_per_bank * connected;
+            let i_overhead = overhead / v;
+            // Book the overhead separately from the application load.
+            let before = self.llb.energy();
+            self.llb.draw(i_overhead, dt);
+            self.ledger.overhead_consumed += before - self.llb.energy();
+        }
+        let before = self.llb.energy();
+        self.llb.draw(load, dt);
+        self.ledger.load_consumed += before - self.llb.energy();
+
+        // 3. Output diodes hold the LLB up from the banks.
+        self.drain_banks_into_llb();
+
+        // 4. Harvester input to the lowest-voltage element.
+        self.route_input(input, dt);
+
+        // 5. Software controller, 10 Hz while the MCU runs (§3.4). A
+        // reconfiguration takes effect immediately: the output diodes
+        // conduct as soon as a boosted bank rises above the LLB, so
+        // drain again after a poll.
+        if mcu_running {
+            self.poll_acc += dt;
+            if self.poll_acc >= self.config.poll_period {
+                self.poll_acc = Seconds::ZERO;
+                let before = self.reconfigurations;
+                self.poll_controller();
+                if self.reconfigurations != before {
+                    self.drain_banks_into_llb();
+                }
+            }
+        } else {
+            self.poll_acc = Seconds::ZERO;
+        }
+    }
+
+    fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn charged_react(v: f64) -> ReactBuffer {
+        let mut r = ReactBuffer::paper_prototype();
+        r.set_llb_voltage(Volts::new(v));
+        r
+    }
+
+    #[test]
+    fn cold_start_uses_only_the_llb() {
+        let r = ReactBuffer::paper_prototype();
+        assert!((r.equivalent_capacitance().to_micro() - 770.0).abs() < 1e-9);
+        assert_eq!(r.capacitance_level(), 0);
+        assert!(r.bank_modes().iter().all(|&m| m == BankMode::Disconnected));
+    }
+
+    #[test]
+    fn overvoltage_signal_connects_banks_stepwise() {
+        let mut r = charged_react(3.55);
+        // One poll period with the MCU running.
+        r.step(Watts::ZERO, Amps::ZERO, Seconds::new(0.1), true);
+        assert_eq!(r.bank_modes()[0], BankMode::Series);
+        assert_eq!(r.capacitance_level(), 1);
+        // Keep the LLB pinned high: next poll promotes to parallel.
+        r.set_llb_voltage(Volts::new(3.55));
+        r.step(Watts::ZERO, Amps::ZERO, Seconds::new(0.1), true);
+        assert_eq!(r.bank_modes()[0], BankMode::Parallel);
+        // Then the second bank connects in series.
+        r.set_llb_voltage(Volts::new(3.55));
+        r.step(Watts::ZERO, Amps::ZERO, Seconds::new(0.1), true);
+        assert_eq!(r.bank_modes()[1], BankMode::Series);
+        assert_eq!(r.reconfiguration_count(), 3);
+    }
+
+    #[test]
+    fn controller_is_dead_while_mcu_is_off() {
+        let mut r = charged_react(3.55);
+        for _ in 0..20 {
+            r.step(Watts::ZERO, Amps::ZERO, Seconds::new(0.1), false);
+        }
+        assert_eq!(r.capacitance_level(), 0);
+    }
+
+    #[test]
+    fn undervoltage_boosts_parallel_bank_and_spikes_llb() {
+        let mut r = ReactBuffer::paper_prototype();
+        r.set_llb_voltage(Volts::new(1.9));
+        // Bank 0 (3 × 220 µF) charged in parallel at 1.9 V.
+        r.force_bank_state(0, Volts::new(1.9), BankMode::Parallel);
+        let e_before = r.stored_energy();
+        r.step(Watts::ZERO, Amps::ZERO, Seconds::new(0.1), true);
+        // Controller flips the bank to series (3 × 1.9 = 5.7 V terminal);
+        // the output diode then dumps it into the LLB.
+        assert_eq!(r.bank_modes()[0], BankMode::Series);
+        let v = r.rail_voltage();
+        // Eq. 1 for C_unit = 220 µF, N = 3: ≈ 2.18 V.
+        let expected = r.config().eq1_post_boost_voltage(Farads::from_micro(220.0), 3);
+        assert!(
+            (v.get() - expected.get()).abs() < 0.02,
+            "post-boost LLB {v:?} vs Eq.1 {expected:?}"
+        );
+        assert!(v > Volts::new(1.9) && v < r.config().v_high);
+        // Equalization dissipated something, booked as diode loss.
+        assert!(r.ledger().diode_loss.get() > 0.0);
+        assert!(r.stored_energy() < e_before);
+    }
+
+    #[test]
+    fn bank_reconfiguration_itself_is_lossless() {
+        let mut r = ReactBuffer::paper_prototype();
+        r.force_bank_state(2, Volts::new(1.5), BankMode::Parallel);
+        let e = r.banks[2].stored_energy();
+        r.banks[2].reconfigure(BankMode::Series);
+        assert!((r.banks[2].stored_energy().get() - e.get()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn input_routes_to_lowest_voltage_element() {
+        let mut r = charged_react(3.0);
+        r.force_bank_state(0, Volts::new(0.2), BankMode::Series); // 0.6 V terminal
+        let llb_e = r.llb.energy();
+        r.step(Watts::from_milli(10.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+        // The bank (lower terminal) got the charge, not the LLB.
+        assert!(r.banks[0].unit_voltage() > Volts::new(0.2));
+        assert!(r.llb.energy() <= llb_e + Joules::new(1e-12));
+    }
+
+    #[test]
+    fn llb_clips_when_everything_full() {
+        let mut r = charged_react(3.6);
+        r.step(Watts::from_milli(30.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+        assert!(r.ledger().clipped.get() > 0.0);
+        assert!((r.rail_voltage().get() - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banks_above_llb_hold_it_up() {
+        let mut r = charged_react(2.0);
+        r.force_bank_state(1, Volts::new(3.0), BankMode::Parallel); // 3 V terminal
+        r.step(Watts::ZERO, Amps::from_milli(1.5), Seconds::from_milli(1.0), false);
+        // The LLB equalized up toward the bank.
+        assert!(r.rail_voltage().get() > 2.5);
+    }
+
+    #[test]
+    fn usable_energy_counts_reclaimable_bank_charge() {
+        let mut r = ReactBuffer::paper_prototype();
+        r.set_llb_voltage(Volts::new(3.3));
+        r.force_bank_state(4, Volts::new(3.3), BankMode::Parallel); // 2×5 mF
+        let usable = r.usable_energy_above(Volts::new(1.8));
+        // LLB: ½·770µ·(3.3²−1.8²) ≈ 2.94 mJ. Bank 5 (2 × 5 mF parallel
+        // at 3.3 V) rides the LLB down: ½·10m·(3.3²−1.8²) ≈ 38.25 mJ.
+        let expected = 0.5 * (770e-6 + 10e-3) * (3.3_f64.powi(2) - 1.8_f64.powi(2));
+        assert!((usable.get() - expected).abs() < 1e-6, "usable {} mJ", usable.to_milli());
+        // A disconnected charged bank is not promised to the app.
+        r.force_bank_state(4, Volts::new(3.3), BankMode::Disconnected);
+        let llb_only = r.usable_energy_above(Volts::new(1.8));
+        assert!((llb_only.get() - 0.5 * 770e-6 * (3.3_f64.powi(2) - 1.8_f64.powi(2))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overhead_scales_with_connected_banks() {
+        let mut none = charged_react(3.0);
+        let mut many = charged_react(3.0);
+        for i in 0..5 {
+            many.force_bank_state(i, Volts::new(3.0), BankMode::Parallel);
+        }
+        for _ in 0..1000 {
+            none.step(Watts::ZERO, Amps::ZERO, Seconds::from_milli(1.0), false);
+            many.step(Watts::ZERO, Amps::ZERO, Seconds::from_milli(1.0), false);
+        }
+        assert!(many.ledger().overhead_consumed > none.ledger().overhead_consumed);
+        // ~68 µW for one second across five banks.
+        let drawn = many.ledger().overhead_consumed.to_micro();
+        assert!(drawn > 50.0 && drawn < 90.0, "overhead {drawn} µJ");
+    }
+
+    #[test]
+    fn step_down_sequence_reverses_step_up() {
+        let mut r = charged_react(1.8);
+        r.force_bank_state(0, Volts::new(1.0), BankMode::Parallel);
+        r.force_bank_state(1, Volts::new(1.0), BankMode::Parallel);
+        r.set_llb_voltage(Volts::new(1.8));
+        r.step(Watts::ZERO, Amps::ZERO, Seconds::new(0.1), true);
+        // The *last* connected bank (index 1) boosts first.
+        assert_eq!(r.bank_modes()[1], BankMode::Series);
+        assert_eq!(r.bank_modes()[0], BankMode::Parallel);
+    }
+
+    #[test]
+    fn energy_conservation_over_noisy_run() {
+        let mut r = ReactBuffer::paper_prototype();
+        let e0 = r.stored_energy();
+        for i in 0..20_000u32 {
+            let input = if i % 7 < 4 { Watts::from_milli(8.0) } else { Watts::ZERO };
+            let load = if i % 5 < 2 { Amps::from_milli(1.5) } else { Amps::ZERO };
+            r.step(input, load, Seconds::from_milli(1.0), i % 3 == 0);
+        }
+        let resid = r.ledger().conservation_residual(e0, r.stored_energy());
+        assert!(
+            resid.get().abs() < 1e-3 * r.ledger().harvested.get().max(1e-9),
+            "residual {} J vs harvested {} J",
+            resid.get(),
+            r.ledger().harvested.get()
+        );
+    }
+}

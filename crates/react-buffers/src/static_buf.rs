@@ -1,0 +1,186 @@
+//! Fixed-capacity buffers: the paper's baseline designs (§4.1).
+
+use react_circuit::{Capacitor, CapacitorSpec, EnergyLedger};
+use react_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
+
+use crate::{power_intake, EnergyBuffer};
+
+/// A single static buffer capacitor with an overvoltage clamp.
+#[derive(Clone, Debug)]
+pub struct StaticBuffer {
+    name: String,
+    cap: Capacitor,
+    ledger: EnergyLedger,
+}
+
+/// The rail clamp every tested configuration shares (Fig. 6 shows the
+/// buffers clipping at 3.6 V).
+pub const RAIL_CLAMP: Volts = Volts::new(3.6);
+
+impl StaticBuffer {
+    /// Creates a static buffer from a capacitor spec, clamped at the
+    /// shared rail voltage.
+    pub fn new(name: impl Into<String>, spec: CapacitorSpec) -> Self {
+        Self {
+            name: name.into(),
+            cap: Capacitor::new(spec.with_max_voltage(RAIL_CLAMP)),
+            ledger: EnergyLedger::new(),
+        }
+    }
+
+    /// The paper's 770 µF baseline (ceramic-class leakage).
+    pub fn static_770uf() -> Self {
+        Self::new("770 µF", CapacitorSpec::ceramic_scaled(Farads::from_micro(770.0)))
+    }
+
+    /// The paper's 10 mF baseline (supercapacitor-class leakage).
+    pub fn static_10mf() -> Self {
+        Self::new("10 mF", CapacitorSpec::supercap_scaled(Farads::from_milli(10.0)))
+    }
+
+    /// The paper's 17 mF baseline, matching REACT's full capacity.
+    pub fn static_17mf() -> Self {
+        Self::new("17 mF", CapacitorSpec::supercap_scaled(Farads::from_milli(17.0)))
+    }
+
+    /// Force the stored voltage (test setup).
+    pub fn set_voltage(&mut self, v: Volts) {
+        self.cap.set_voltage(v);
+    }
+}
+
+impl EnergyBuffer for StaticBuffer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rail_voltage(&self) -> Volts {
+        self.cap.voltage()
+    }
+
+    fn equivalent_capacitance(&self) -> Farads {
+        self.cap.capacitance()
+    }
+
+    fn stored_energy(&self) -> Joules {
+        self.cap.energy()
+    }
+
+    fn usable_energy_above(&self, v_floor: Volts) -> Joules {
+        let v = self.cap.voltage();
+        if v <= v_floor {
+            return Joules::ZERO;
+        }
+        self.cap.capacitance().energy_at(v) - self.cap.capacitance().energy_at(v_floor)
+    }
+
+    fn step(&mut self, input: Watts, load: Amps, dt: Seconds, _mcu_running: bool) {
+        // Leakage.
+        self.ledger.leaked += self.cap.leak(dt);
+
+        // Load draw (energy booked exactly as the stored-energy drop).
+        let before = self.cap.energy();
+        self.cap.draw(load, dt);
+        self.ledger.load_consumed += before - self.cap.energy();
+
+        // Harvest deposit with overvoltage clipping: the converter moves
+        // power; charge arrives at the capacitor's own voltage.
+        let dq = power_intake(input, self.cap.voltage(), dt);
+        let before = self.cap.energy();
+        let clipped = self.cap.deposit(dq / dt, dt);
+        let delivered = self.cap.energy() - before;
+        self.ledger.delivered += delivered;
+        self.ledger.clipped += clipped;
+        self.ledger.harvested += delivered + clipped;
+    }
+
+    fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert!((StaticBuffer::static_770uf().equivalent_capacitance().to_micro() - 770.0).abs() < 1e-9);
+        assert!((StaticBuffer::static_10mf().equivalent_capacitance().to_milli() - 10.0).abs() < 1e-9);
+        assert!((StaticBuffer::static_17mf().equivalent_capacitance().to_milli() - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charges_under_input() {
+        let mut b = StaticBuffer::static_770uf();
+        // 2 mW for 1 s = 2 mJ stored → V = sqrt(2·2m/770µ) ≈ 2.28 V.
+        for _ in 0..1000 {
+            b.step(Watts::from_milli(2.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+        }
+        let expected = (2.0 * 2e-3 / 770e-6_f64).sqrt();
+        assert!(
+            (b.rail_voltage().get() - expected).abs() < 0.05,
+            "v = {}",
+            b.rail_voltage().get()
+        );
+        assert!(b.ledger().delivered.get() > 0.0);
+        assert_eq!(b.ledger().clipped, Joules::ZERO);
+    }
+
+    #[test]
+    fn clips_at_rail_clamp() {
+        let mut b = StaticBuffer::static_770uf();
+        b.set_voltage(Volts::new(3.6));
+        b.step(Watts::from_milli(15.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+        assert!((b.rail_voltage().get() - 3.6).abs() < 1e-9);
+        assert!(b.ledger().clipped.get() > 0.0);
+    }
+
+    #[test]
+    fn load_discharges_and_is_booked() {
+        let mut b = StaticBuffer::static_770uf();
+        b.set_voltage(Volts::new(3.3));
+        let e0 = b.stored_energy();
+        for _ in 0..100 {
+            b.step(Watts::ZERO, Amps::from_milli(1.5), Seconds::from_milli(1.0), true);
+        }
+        assert!(b.rail_voltage().get() < 3.3);
+        let spent = e0 - b.stored_energy();
+        let booked = b.ledger().load_consumed + b.ledger().leaked;
+        assert!((spent.get() - booked.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usable_energy_formula() {
+        let mut b = StaticBuffer::static_10mf();
+        b.set_voltage(Volts::new(3.3));
+        let usable = b.usable_energy_above(Volts::new(1.8));
+        let expected = 0.5 * 10e-3 * (3.3 * 3.3 - 1.8 * 1.8);
+        assert!((usable.get() - expected).abs() < 1e-9);
+        assert_eq!(b.usable_energy_above(Volts::new(3.4)), Joules::ZERO);
+    }
+
+    #[test]
+    fn no_longevity_api() {
+        let b = StaticBuffer::static_770uf();
+        assert!(!b.supports_longevity());
+        assert_eq!(b.capacitance_level(), 0);
+    }
+
+    #[test]
+    fn conservation_residual_is_tiny() {
+        let mut b = StaticBuffer::static_17mf();
+        let initial = b.stored_energy();
+        for i in 0..10_000 {
+            let input = if i % 3 == 0 { Watts::from_milli(5.0) } else { Watts::ZERO };
+            let load = if i % 2 == 0 { Amps::from_milli(1.5) } else { Amps::ZERO };
+            b.step(input, load, Seconds::from_milli(1.0), true);
+        }
+        let resid = b.ledger().conservation_residual(initial, b.stored_energy());
+        assert!(
+            resid.get().abs() < 1e-3 * b.ledger().harvested.get().max(1e-9),
+            "residual {} J",
+            resid.get()
+        );
+    }
+}

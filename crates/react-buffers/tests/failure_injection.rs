@@ -1,0 +1,128 @@
+//! Failure injection: degraded components and hostile conditions.
+//!
+//! Deployed batteryless systems age: capacitors lose capacitance and
+//! leak more, harvesters brown out mid-operation, controllers stall.
+//! These tests drive the buffer architectures through such conditions
+//! and check that the *invariants* (energy conservation, voltage
+//! envelope, graceful degradation) survive even when performance does
+//! not.
+
+use react_buffers::{
+    BufferKind, EnergyBuffer, MorphyBuffer, ReactBuffer, ReactConfig, StaticBuffer,
+};
+use react_circuit::{BankSpec, CapacitorSpec, LeakageSpec};
+use react_units::{Amps, Farads, Seconds, Volts, Watts};
+
+/// A REACT build whose ceramic banks have aged to datasheet-max leakage
+/// (20× the shipped typical). It must still run, conserve energy, and
+/// simply deliver less to the load.
+#[test]
+fn aged_react_still_conserves_energy() {
+    let mut config = ReactConfig::paper_prototype();
+    for bank in &mut config.banks {
+        bank.unit.leakage = LeakageSpec {
+            current_at_rated: bank.unit.leakage.current_at_rated * 20.0,
+            rated_voltage: bank.unit.leakage.rated_voltage,
+        };
+    }
+    let mut aged = ReactBuffer::new(config);
+    let mut fresh = ReactBuffer::paper_prototype();
+    let e0 = aged.stored_energy();
+    for i in 0..60_000u32 {
+        let input = if i % 10 < 4 { Watts::from_milli(5.0) } else { Watts::ZERO };
+        let load = Amps::from_micro(500.0);
+        aged.step(input, load, Seconds::from_milli(1.0), true);
+        fresh.step(input, load, Seconds::from_milli(1.0), true);
+    }
+    // Conservation holds for the degraded build.
+    let resid = aged.ledger().conservation_residual(e0, aged.stored_energy());
+    assert!(resid.get().abs() < 1e-3 * aged.ledger().harvested.get().max(1e-9));
+    // Aging shows up as leakage, not as vanished energy.
+    assert!(aged.ledger().leaked > fresh.ledger().leaked);
+}
+
+/// Losing a bank entirely (open switch, cracked part) leaves a valid,
+/// smaller REACT; Eq. 2 validation still passes for the survivors.
+#[test]
+fn react_with_missing_bank_degrades_gracefully() {
+    let mut config = ReactConfig::paper_prototype();
+    config.banks.remove(4); // the 2×5 mF supercap bank dies
+    assert_eq!(config.validate(), Ok(()));
+    let mut r = ReactBuffer::new(config);
+    for _ in 0..30_000 {
+        r.step(Watts::from_milli(10.0), Amps::from_micro(100.0), Seconds::from_milli(1.0), true);
+    }
+    // It still expands past the LLB, just to a smaller ceiling.
+    assert!(r.equivalent_capacitance().to_milli() > 1.0);
+    assert!(r.equivalent_capacitance().to_milli() < 9.0);
+}
+
+/// An absurdly leaky static buffer must never report negative stored
+/// energy or a voltage above the clamp.
+#[test]
+fn extreme_leakage_respects_envelope() {
+    let spec = CapacitorSpec::new(Farads::from_milli(1.0)).with_leakage(LeakageSpec {
+        current_at_rated: Amps::from_milli(10.0),
+        rated_voltage: Volts::new(6.3),
+    });
+    let mut b = StaticBuffer::new("leaky", spec);
+    for i in 0..20_000u32 {
+        let input = if i % 2 == 0 { Watts::from_milli(20.0) } else { Watts::ZERO };
+        b.step(input, Amps::from_milli(1.0), Seconds::from_milli(1.0), true);
+        let v = b.rail_voltage().get();
+        assert!((0.0..=3.6 + 1e-9).contains(&v), "voltage {v} out of envelope");
+        assert!(b.stored_energy().get() >= 0.0);
+    }
+    assert!(b.ledger().leaked.get() > 0.0);
+}
+
+/// Morphy with a dead (stuck) controller behaves like a static buffer
+/// at its current level — no switching loss, no adaptation.
+#[test]
+fn morphy_without_controller_actions_is_static() {
+    let mut m = MorphyBuffer::paper_implementation();
+    // Keep the voltage inside the (v_low, v_high) band so the
+    // controller never fires; the network must act like a plain cap.
+    m.set_all_voltages(Volts::new(2.5 / 8.0)); // terminal 2.5 V at [8]
+    let c0 = m.equivalent_capacitance();
+    for _ in 0..5_000 {
+        m.step(Watts::from_micro(50.0), Amps::from_micro(60.0), Seconds::from_milli(1.0), false);
+    }
+    assert_eq!(m.equivalent_capacitance(), c0);
+    assert_eq!(m.reconfiguration_count(), 0);
+    assert!(m.ledger().switch_loss.get() < 1e-12);
+}
+
+/// Zero-duration power loss storms: the gate flapping every few
+/// milliseconds must not corrupt any buffer's accounting.
+#[test]
+fn power_flapping_keeps_ledgers_sane() {
+    for kind in [BufferKind::Static770uF, BufferKind::Morphy, BufferKind::React] {
+        let mut b = kind.build();
+        let e0 = b.stored_energy();
+        for i in 0..50_000u32 {
+            // Input flickers on/off every 3 ms; MCU flag flaps too.
+            let input = if i % 3 == 0 { Watts::from_milli(8.0) } else { Watts::ZERO };
+            b.step(input, Amps::from_milli(1.5), Seconds::from_milli(1.0), i % 7 < 3);
+        }
+        let resid = b.ledger().conservation_residual(e0, b.stored_energy());
+        assert!(
+            resid.get().abs() < 2e-3 * b.ledger().harvested.get().max(1e-9),
+            "{}: residual {}",
+            b.name(),
+            resid.get()
+        );
+    }
+}
+
+/// Eq. 2 rejects a physically dangerous retrofit: swapping bank 1's
+/// units for 2 mF parts would overshoot V_high on a boost.
+#[test]
+fn oversized_retrofit_is_rejected() {
+    let mut config = ReactConfig::paper_prototype();
+    config.banks[0] = BankSpec::new(
+        CapacitorSpec::ceramic_scaled(Farads::from_milli(2.0)),
+        3,
+    );
+    assert!(config.validate().is_err());
+}

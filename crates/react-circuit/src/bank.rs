@@ -1,0 +1,343 @@
+//! REACT's reconfigurable capacitor bank (Fig. 3, §3.3).
+//!
+//! A bank holds `N` identical capacitors that are only ever arranged in
+//! full-series or full-parallel (or disconnected entirely). Because the
+//! capacitors are identical and always share the same configuration, they
+//! charge and discharge symmetrically: every capacitor in the bank sits at
+//! the same *unit voltage* at all times, so **no current ever flows
+//! between capacitors within a bank** — reconfiguration conserves stored
+//! energy exactly (§3.3.3), unlike the fully-interconnected network of
+//! [`ChainNetwork`](crate::ChainNetwork).
+
+use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts};
+
+use crate::{Capacitor, CapacitorSpec};
+
+/// Electrical configuration of a bank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BankMode {
+    /// Normally-open switches: contributes no capacitance, retains charge.
+    #[default]
+    Disconnected,
+    /// All `N` capacitors in series: terminal capacitance `C/N`, terminal
+    /// voltage `N·V_unit`.
+    Series,
+    /// All `N` capacitors in parallel: terminal capacitance `N·C`,
+    /// terminal voltage `V_unit`.
+    Parallel,
+}
+
+/// Static description of a bank: `N` copies of a unit capacitor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BankSpec {
+    /// The unit capacitor all `N` copies share.
+    pub unit: CapacitorSpec,
+    /// Number of capacitors in the bank.
+    pub count: usize,
+}
+
+impl BankSpec {
+    /// Creates a bank spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(unit: CapacitorSpec, count: usize) -> Self {
+        assert!(count > 0, "bank must contain at least one capacitor");
+        Self { unit, count }
+    }
+
+    /// Terminal capacitance in parallel mode, `N·C`.
+    pub fn parallel_capacitance(&self) -> Farads {
+        self.unit.capacitance * self.count as f64
+    }
+
+    /// Terminal capacitance in series mode, `C/N`.
+    pub fn series_capacitance(&self) -> Farads {
+        self.unit.capacitance / self.count as f64
+    }
+}
+
+/// A live bank: `N` symmetric capacitors plus a mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesParallelBank {
+    spec: BankSpec,
+    /// One representative capacitor; all `N` are identical by symmetry.
+    unit: Capacitor,
+    mode: BankMode,
+}
+
+impl SeriesParallelBank {
+    /// Creates an empty, disconnected bank.
+    pub fn new(spec: BankSpec) -> Self {
+        Self {
+            spec,
+            unit: Capacitor::new(spec.unit),
+            mode: BankMode::Disconnected,
+        }
+    }
+
+    /// The static description.
+    pub fn spec(&self) -> &BankSpec {
+        &self.spec
+    }
+
+    /// Current configuration.
+    pub fn mode(&self) -> BankMode {
+        self.mode
+    }
+
+    /// Voltage across one unit capacitor.
+    pub fn unit_voltage(&self) -> Volts {
+        self.unit.voltage()
+    }
+
+    /// Voltage presented at the bank terminals (zero when disconnected).
+    pub fn terminal_voltage(&self) -> Volts {
+        match self.mode {
+            BankMode::Disconnected => Volts::ZERO,
+            BankMode::Series => self.unit.voltage() * self.spec.count as f64,
+            BankMode::Parallel => self.unit.voltage(),
+        }
+    }
+
+    /// Capacitance presented at the bank terminals (zero when
+    /// disconnected).
+    pub fn terminal_capacitance(&self) -> Farads {
+        match self.mode {
+            BankMode::Disconnected => Farads::ZERO,
+            BankMode::Series => self.spec.series_capacitance(),
+            BankMode::Parallel => self.spec.parallel_capacitance(),
+        }
+    }
+
+    /// Total energy stored across all `N` capacitors — invariant under
+    /// reconfiguration.
+    pub fn stored_energy(&self) -> Joules {
+        self.unit.energy() * self.spec.count as f64
+    }
+
+    /// Switches to `mode`. Charge on every capacitor is untouched, so
+    /// stored energy is conserved exactly; only the terminal view changes.
+    pub fn reconfigure(&mut self, mode: BankMode) {
+        self.mode = mode;
+    }
+
+    /// Deposits terminal charge `dq` (e.g. harvester current × dt).
+    ///
+    /// In series mode the same charge flows through every capacitor; in
+    /// parallel it divides `N` ways. Charge beyond the unit capacitor's
+    /// voltage ceiling is clipped; the clipped energy (at the terminal
+    /// clamp voltage) is returned.
+    ///
+    /// Depositing into a disconnected bank is a no-op returning the full
+    /// energy as clipped (callers normally never do this).
+    pub fn deposit_charge(&mut self, dq: Coulombs) -> Joules {
+        let per_unit = match self.mode {
+            BankMode::Disconnected => {
+                return dq * self.terminal_voltage();
+            }
+            BankMode::Series => dq,
+            BankMode::Parallel => dq / self.spec.count as f64,
+        };
+        let headroom = self.unit.charge_headroom();
+        let stored = per_unit.min(headroom);
+        self.unit.shift_charge(stored);
+        let excess_units = per_unit - stored;
+        // Express the excess back at the terminal and charge it at the
+        // clamp voltage.
+        let terminal_excess = match self.mode {
+            BankMode::Series => excess_units,
+            BankMode::Parallel => excess_units * self.spec.count as f64,
+            BankMode::Disconnected => unreachable!(),
+        };
+        terminal_excess * self.terminal_voltage()
+    }
+
+    /// Draws terminal charge; returns the charge actually delivered
+    /// (limited by the stored charge reaching zero).
+    pub fn draw_charge(&mut self, dq: Coulombs) -> Coulombs {
+        let per_unit_req = match self.mode {
+            BankMode::Disconnected => return Coulombs::ZERO,
+            BankMode::Series => dq,
+            BankMode::Parallel => dq / self.spec.count as f64,
+        };
+        let available = self.unit.charge();
+        let per_unit = per_unit_req.min(available).max(Coulombs::ZERO);
+        self.unit.shift_charge(-per_unit);
+        match self.mode {
+            BankMode::Series => per_unit,
+            BankMode::Parallel => per_unit * self.spec.count as f64,
+            BankMode::Disconnected => unreachable!(),
+        }
+    }
+
+    /// Draws terminal current for `dt`; returns charge delivered.
+    pub fn draw(&mut self, current: Amps, dt: Seconds) -> Coulombs {
+        self.draw_charge(current * dt)
+    }
+
+    /// One step of leakage across all capacitors (applies in every mode —
+    /// disconnected banks still leak). Returns energy lost.
+    pub fn leak(&mut self, dt: Seconds) -> Joules {
+        self.unit.leak(dt) * self.spec.count as f64
+    }
+
+    /// Force the unit voltage (test setup).
+    pub fn set_unit_voltage(&mut self, v: Volts) {
+        self.unit.set_voltage(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use react_units::Farads;
+
+    fn bank(n: usize) -> SeriesParallelBank {
+        let unit = CapacitorSpec::new(Farads::from_micro(220.0)).with_max_voltage(Volts::new(6.3));
+        SeriesParallelBank::new(BankSpec::new(unit, n))
+    }
+
+    #[test]
+    fn terminal_views_match_figure3() {
+        let mut b = bank(3);
+        b.set_unit_voltage(Volts::new(1.2));
+
+        b.reconfigure(BankMode::Parallel);
+        assert!((b.terminal_capacitance().to_micro() - 660.0).abs() < 1e-9);
+        assert!((b.terminal_voltage().get() - 1.2).abs() < 1e-12);
+
+        b.reconfigure(BankMode::Series);
+        assert!((b.terminal_capacitance().to_micro() - 220.0 / 3.0).abs() < 1e-9);
+        assert!((b.terminal_voltage().get() - 3.6).abs() < 1e-12);
+
+        b.reconfigure(BankMode::Disconnected);
+        assert_eq!(b.terminal_capacitance(), Farads::ZERO);
+        assert_eq!(b.terminal_voltage(), Volts::ZERO);
+    }
+
+    #[test]
+    fn reconfiguration_conserves_energy() {
+        // §3.3.4: E_par = ½·N·C·V² equals E_ser = ½·(C/N)·(N·V)².
+        let mut b = bank(3);
+        b.reconfigure(BankMode::Parallel);
+        b.set_unit_voltage(Volts::new(1.9));
+        let e_par = b.stored_energy();
+        b.reconfigure(BankMode::Series);
+        let e_ser = b.stored_energy();
+        assert!((e_par.get() - e_ser.get()).abs() < 1e-15);
+        // Terminal energy view agrees with ½·C_term·V_term².
+        let view = b.terminal_capacitance().energy_at(b.terminal_voltage());
+        assert!((view.get() - e_ser.get()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn series_to_parallel_boosts_voltage_n_times() {
+        let mut b = bank(4);
+        b.reconfigure(BankMode::Parallel);
+        b.set_unit_voltage(Volts::new(1.9));
+        b.reconfigure(BankMode::Series);
+        assert!((b.terminal_voltage().get() - 7.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_series_charges_all_units() {
+        let mut b = bank(3);
+        b.reconfigure(BankMode::Series);
+        let clipped = b.deposit_charge(Coulombs::from_micro(220.0));
+        assert_eq!(clipped, Joules::ZERO);
+        // Δq = 220 µC on a 220 µF unit → +1 V per unit → 3 V terminal.
+        assert!((b.terminal_voltage().get() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deposit_parallel_divides_charge() {
+        let mut b = bank(3);
+        b.reconfigure(BankMode::Parallel);
+        b.deposit_charge(Coulombs::from_micro(660.0));
+        // 660 µC over 660 µF → 1 V.
+        assert!((b.terminal_voltage().get() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deposit_clips_at_unit_ceiling() {
+        let mut b = bank(2);
+        b.reconfigure(BankMode::Parallel);
+        b.set_unit_voltage(Volts::new(6.3));
+        let clipped = b.deposit_charge(Coulombs::from_micro(10.0));
+        assert!(clipped.get() > 0.0);
+        assert!((b.unit_voltage().get() - 6.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_into_disconnected_is_fully_clipped_noop() {
+        let mut b = bank(2);
+        let before = b.stored_energy();
+        b.deposit_charge(Coulombs::from_micro(100.0));
+        assert_eq!(b.stored_energy(), before);
+    }
+
+    #[test]
+    fn draw_respects_stored_charge() {
+        let mut b = bank(3);
+        b.reconfigure(BankMode::Series);
+        b.set_unit_voltage(Volts::new(1.0));
+        // Unit holds 220 µC; series draw of 500 µC only yields 220 µC.
+        let got = b.draw_charge(Coulombs::from_micro(500.0));
+        assert!((got.to_micro() - 220.0).abs() < 1e-9);
+        assert!(b.unit_voltage().get().abs() < 1e-12);
+        assert_eq!(b.draw_charge(Coulombs::from_micro(1.0)), Coulombs::ZERO);
+    }
+
+    #[test]
+    fn draw_from_disconnected_yields_nothing() {
+        let mut b = bank(3);
+        b.set_unit_voltage(Volts::new(2.0));
+        assert_eq!(b.draw_charge(Coulombs::from_micro(10.0)), Coulombs::ZERO);
+        assert!((b.unit_voltage().get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_bank_still_leaks() {
+        let unit = CapacitorSpec::ceramic_220uf();
+        let mut b = SeriesParallelBank::new(BankSpec::new(unit, 3));
+        b.set_unit_voltage(Volts::new(3.0));
+        let lost = b.leak(Seconds::new(10.0));
+        assert!(lost.get() > 0.0);
+        assert!(b.unit_voltage().get() < 3.0);
+    }
+
+    #[test]
+    fn reclamation_reduces_unusable_energy_n_squared() {
+        // §3.3.4: draining a series-reconfigured bank to V_low leaves
+        // ½·C·V_low²/N unusable versus ½·N·C·V_low² if simply
+        // disconnected in parallel: an N² improvement.
+        let n = 3.0_f64;
+        let c = 220e-6_f64;
+        let v_low = 1.9_f64;
+        let parallel_left = 0.5 * n * c * v_low * v_low;
+        // Series drain to terminal V_low → unit voltage V_low/N.
+        let series_left = 0.5 * n * c * (v_low / n) * (v_low / n);
+        assert!((parallel_left / series_left - n * n).abs() < 1e-9);
+
+        // Exercise the same through the bank API.
+        let unit = CapacitorSpec::new(Farads::new(c)).with_max_voltage(Volts::new(6.3));
+        let mut b = SeriesParallelBank::new(BankSpec::new(unit, 3));
+        b.reconfigure(BankMode::Parallel);
+        b.set_unit_voltage(Volts::new(v_low));
+        b.reconfigure(BankMode::Series);
+        // Drain terminal down to v_low: terminal starts at N·v_low.
+        let c_term = b.terminal_capacitance();
+        let dq = c_term * (b.terminal_voltage() - Volts::new(v_low));
+        b.draw_charge(dq);
+        assert!((b.terminal_voltage().get() - v_low).abs() < 1e-9);
+        assert!((b.stored_energy().get() - series_left).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacitor")]
+    fn zero_count_panics() {
+        BankSpec::new(CapacitorSpec::ceramic_220uf(), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Single-capacitor model: charge storage, clamping, and leakage.
+
+use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts};
+
+/// Leakage behaviour of a capacitor, taken from its datasheet.
+///
+/// Datasheets quote a leakage current at the rated voltage; at lower
+/// voltages leakage falls roughly proportionally, so we model
+/// `I_leak(V) = I_rated · V / V_rated`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeakageSpec {
+    /// Leakage current at the rated voltage.
+    pub current_at_rated: Amps,
+    /// The rated voltage the leakage figure was quoted at.
+    pub rated_voltage: Volts,
+}
+
+impl LeakageSpec {
+    /// A perfectly lossless capacitor (useful in analytic tests).
+    pub const NONE: Self = Self {
+        current_at_rated: Amps::ZERO,
+        rated_voltage: Volts::new(1.0),
+    };
+
+    /// Leakage current at operating voltage `v`.
+    #[inline]
+    pub fn current_at(&self, v: Volts) -> Amps {
+        if self.rated_voltage.get() <= 0.0 {
+            return Amps::ZERO;
+        }
+        self.current_at_rated * (v.get().max(0.0) / self.rated_voltage.get())
+    }
+}
+
+/// Static parameters of a capacitor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CapacitorSpec {
+    /// Nominal capacitance.
+    pub capacitance: Farads,
+    /// Absolute maximum voltage; charge above this is clipped (burned as
+    /// heat by the overvoltage-protection circuit, §2.1.2).
+    pub max_voltage: Volts,
+    /// Leakage behaviour.
+    pub leakage: LeakageSpec,
+}
+
+impl CapacitorSpec {
+    /// Creates a spec with the given capacitance, a 6.3 V ceiling, and no
+    /// leakage. Builder-style methods refine it.
+    pub fn new(capacitance: Farads) -> Self {
+        Self {
+            capacitance,
+            max_voltage: Volts::new(6.3),
+            leakage: LeakageSpec::NONE,
+        }
+    }
+
+    /// Sets the absolute maximum voltage.
+    pub fn with_max_voltage(mut self, v: Volts) -> Self {
+        self.max_voltage = v;
+        self
+    }
+
+    /// Sets the leakage behaviour.
+    pub fn with_leakage(mut self, leakage: LeakageSpec) -> Self {
+        self.leakage = leakage;
+        self
+    }
+
+    /// Murata GRM31-class 220 µF ceramic (Table 1 banks 0–4 of the paper
+    /// are built from these). The datasheet *maximum* is 28 µA at 6.3 V;
+    /// typical parts leak far less, and the paper's observed hold times
+    /// require it, so we model 5 % of max (1.4 µA at 6.3 V).
+    pub fn ceramic_220uf() -> Self {
+        Self::new(Farads::from_micro(220.0)).with_leakage(LeakageSpec {
+            current_at_rated: Amps::from_micro(1.4),
+            rated_voltage: Volts::new(6.3),
+        })
+    }
+
+    /// Murata/Kemet FM-class 5 mF supercapacitor: ≈0.15 µA at 5.5 V
+    /// (Table 1 bank 5).
+    pub fn supercap_5mf() -> Self {
+        Self::new(Farads::from_milli(5.0))
+            .with_max_voltage(Volts::new(5.5))
+            .with_leakage(LeakageSpec {
+                current_at_rated: Amps::from_micro(0.15),
+                rated_voltage: Volts::new(5.5),
+            })
+    }
+
+    /// Nichicon KL-class 2 mF aluminium electrolytic (the Morphy
+    /// implementation in §4.1 uses eight of these). Datasheet max is
+    /// 25.2 µA at 6.3 V; we model 20 % of max — electrolytics leak more
+    /// than ceramics, preserving the paper's "slightly lower rating than
+    /// REACT's parts, higher typical leakage" relationship.
+    pub fn electrolytic_2mf() -> Self {
+        Self::new(Farads::from_milli(2.0)).with_leakage(LeakageSpec {
+            current_at_rated: Amps::from_micro(5.0),
+            rated_voltage: Volts::new(6.3),
+        })
+    }
+
+    /// A supercapacitor of arbitrary size with leakage scaled from the
+    /// 5 mF FM-series part (0.15 µA at 5.5 V per 5 mF) — bulk static
+    /// buffers (10 mF, 17 mF) are built from these.
+    pub fn supercap_scaled(capacitance: Farads) -> Self {
+        let scale = capacitance.get() / 5e-3;
+        Self::new(capacitance)
+            .with_max_voltage(Volts::new(5.5))
+            .with_leakage(LeakageSpec {
+                current_at_rated: Amps::from_micro(0.15 * scale),
+                rated_voltage: Volts::new(5.5),
+            })
+    }
+
+    /// A ceramic-family capacitor of arbitrary size with leakage scaled
+    /// proportionally to capacitance relative to the 220 µF part.
+    pub fn ceramic_scaled(capacitance: Farads) -> Self {
+        let base = Self::ceramic_220uf();
+        let scale = capacitance.get() / base.capacitance.get();
+        Self::new(capacitance).with_leakage(LeakageSpec {
+            current_at_rated: base.leakage.current_at_rated * scale,
+            rated_voltage: base.leakage.rated_voltage,
+        })
+    }
+}
+
+/// A capacitor holding charge.
+///
+/// All mutation is through charge-conserving operations that report any
+/// energy clipped or leaked, so callers can keep an [`EnergyLedger`]
+/// balanced.
+///
+/// [`EnergyLedger`]: crate::EnergyLedger
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Capacitor {
+    spec: CapacitorSpec,
+    charge: Coulombs,
+}
+
+impl Capacitor {
+    /// Creates an empty (0 V) capacitor.
+    pub fn new(spec: CapacitorSpec) -> Self {
+        Self {
+            spec,
+            charge: Coulombs::ZERO,
+        }
+    }
+
+    /// Creates a capacitor pre-charged to `v`.
+    pub fn with_voltage(spec: CapacitorSpec, v: Volts) -> Self {
+        let mut cap = Self::new(spec);
+        cap.set_voltage(v);
+        cap
+    }
+
+    /// The static parameters.
+    #[inline]
+    pub fn spec(&self) -> &CapacitorSpec {
+        &self.spec
+    }
+
+    /// Nominal capacitance.
+    #[inline]
+    pub fn capacitance(&self) -> Farads {
+        self.spec.capacitance
+    }
+
+    /// Present terminal voltage, `V = Q / C`.
+    #[inline]
+    pub fn voltage(&self) -> Volts {
+        self.charge / self.spec.capacitance
+    }
+
+    /// Present stored charge.
+    #[inline]
+    pub fn charge(&self) -> Coulombs {
+        self.charge
+    }
+
+    /// Present stored energy, `E = Q² / 2C`.
+    #[inline]
+    pub fn energy(&self) -> Joules {
+        let q = self.charge.get();
+        Joules::new(0.5 * q * q / self.spec.capacitance.get())
+    }
+
+    /// Forces the voltage (test setup / initial conditions).
+    pub fn set_voltage(&mut self, v: Volts) {
+        self.charge = self.spec.capacitance * v;
+    }
+
+    /// Adds `delta` charge without any limit checks. Used by network code
+    /// that has already accounted for limits; may drive the charge
+    /// negative (reverse-biased capacitor in an unbalanced chain).
+    #[inline]
+    pub fn shift_charge(&mut self, delta: Coulombs) {
+        self.charge += delta;
+    }
+
+    /// Deposits charge from a current source, clamping at the maximum
+    /// voltage. Returns the energy *clipped* — charge that arrived while
+    /// the capacitor was full is burned by the protection circuit at the
+    /// max voltage.
+    pub fn deposit(&mut self, current: Amps, dt: Seconds) -> Joules {
+        let incoming = current * dt;
+        let room = self.spec.capacitance * self.spec.max_voltage - self.charge;
+        if incoming <= room {
+            self.charge += incoming;
+            Joules::ZERO
+        } else {
+            let excess = incoming - room.max(Coulombs::ZERO);
+            self.charge = self.spec.capacitance * self.spec.max_voltage;
+            // Excess charge is dissipated at the clamp voltage.
+            excess * self.spec.max_voltage
+        }
+    }
+
+    /// Draws `current` for `dt`, but never below 0 V. Returns the charge
+    /// actually drawn (callers check it against the request to detect a
+    /// collapsed supply).
+    pub fn draw(&mut self, current: Amps, dt: Seconds) -> Coulombs {
+        let requested = current * dt;
+        let drawn = requested.min(self.charge).max(Coulombs::ZERO);
+        self.charge -= drawn;
+        drawn
+    }
+
+    /// Applies one timestep of leakage; returns the energy lost.
+    pub fn leak(&mut self, dt: Seconds) -> Joules {
+        let v = self.voltage();
+        if v.get() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let i = self.spec.leakage.current_at(v);
+        let before = self.energy();
+        let q = (i * dt).min(self.charge);
+        self.charge -= q;
+        before - self.energy()
+    }
+
+    /// Headroom to the max voltage expressed as charge.
+    #[inline]
+    pub fn charge_headroom(&self) -> Coulombs {
+        (self.spec.capacitance * self.spec.max_voltage - self.charge).max(Coulombs::ZERO)
+    }
+
+    /// `true` if at (or numerically above) the maximum voltage.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.charge_headroom().get() <= 1e-15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless(c_uf: f64) -> Capacitor {
+        Capacitor::new(CapacitorSpec::new(Farads::from_micro(c_uf)).with_max_voltage(Volts::new(3.6)))
+    }
+
+    #[test]
+    fn voltage_charge_energy_relations() {
+        let mut cap = lossless(1000.0);
+        cap.set_voltage(Volts::new(2.0));
+        assert!((cap.charge().get() - 2e-3).abs() < 1e-12);
+        assert!((cap.energy().get() - 0.5 * 1e-3 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_without_clipping() {
+        let mut cap = lossless(1000.0);
+        let clipped = cap.deposit(Amps::from_milli(1.0), Seconds::new(1.0));
+        assert_eq!(clipped, Joules::ZERO);
+        assert!((cap.voltage().get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_clips_at_max_voltage() {
+        let mut cap = lossless(1000.0);
+        cap.set_voltage(Volts::new(3.5));
+        // 1 mA for 1 s = 1 mC; room is 0.1 mC.
+        let clipped = cap.deposit(Amps::from_milli(1.0), Seconds::new(1.0));
+        assert!((cap.voltage().get() - 3.6).abs() < 1e-12);
+        let expected = Coulombs::new(0.9e-3) * Volts::new(3.6);
+        assert!((clipped.get() - expected.get()).abs() < 1e-9);
+        assert!(cap.is_full());
+    }
+
+    #[test]
+    fn draw_stops_at_zero() {
+        let mut cap = lossless(1000.0);
+        cap.set_voltage(Volts::new(1.0));
+        let drawn = cap.draw(Amps::new(1.0), Seconds::new(1.0));
+        assert!((drawn.get() - 1e-3).abs() < 1e-12);
+        assert_eq!(cap.voltage(), Volts::ZERO);
+        assert_eq!(cap.draw(Amps::new(1.0), Seconds::new(1.0)), Coulombs::ZERO);
+    }
+
+    #[test]
+    fn leak_scales_with_voltage() {
+        let spec = CapacitorSpec::new(Farads::from_milli(1.0)).with_leakage(LeakageSpec {
+            current_at_rated: Amps::from_micro(28.0),
+            rated_voltage: Volts::new(6.3),
+        });
+        let mut hi = Capacitor::with_voltage(spec, Volts::new(3.0));
+        let mut lo = Capacitor::with_voltage(spec, Volts::new(1.5));
+        let e_hi = hi.leak(Seconds::new(1.0));
+        let e_lo = lo.leak(Seconds::new(1.0));
+        assert!(e_hi > e_lo);
+        // Leakage power ≈ I(V)·V so quadrupling between half and full voltage.
+        assert!((e_hi.get() / e_lo.get() - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn leak_never_negative_charge() {
+        let spec = CapacitorSpec::new(Farads::from_micro(1.0)).with_leakage(LeakageSpec {
+            current_at_rated: Amps::new(1.0), // absurdly leaky
+            rated_voltage: Volts::new(1.0),
+        });
+        let mut cap = Capacitor::with_voltage(spec, Volts::new(1.0));
+        cap.leak(Seconds::new(100.0));
+        assert!(cap.charge().get() >= 0.0);
+    }
+
+    #[test]
+    fn datasheet_specs() {
+        let ceramic = CapacitorSpec::ceramic_220uf();
+        assert!((ceramic.capacitance.to_micro() - 220.0).abs() < 1e-9);
+        let at_half = ceramic.leakage.current_at(Volts::new(3.15));
+        assert!((at_half.to_micro() - 0.7).abs() < 1e-9);
+
+        let supercap = CapacitorSpec::supercap_5mf();
+        assert!((supercap.capacitance.to_milli() - 5.0).abs() < 1e-9);
+        assert!(supercap.leakage.current_at_rated < ceramic.leakage.current_at_rated);
+
+        let lytic = CapacitorSpec::electrolytic_2mf();
+        assert!((lytic.capacitance.to_milli() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceramic_scaled_leakage_proportional() {
+        let double = CapacitorSpec::ceramic_scaled(Farads::from_micro(440.0));
+        assert!((double.leakage.current_at_rated.to_micro() - 2.8).abs() < 1e-9);
+        // Supercap scaling: 10 mF = 2× the 5 mF part's leakage.
+        let sc = CapacitorSpec::supercap_scaled(Farads::from_milli(10.0));
+        assert!((sc.leakage.current_at_rated.to_micro() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_none_is_lossless() {
+        assert_eq!(LeakageSpec::NONE.current_at(Volts::new(5.0)), Amps::ZERO);
+    }
+
+    #[test]
+    fn leakage_zero_rated_voltage_is_safe() {
+        let spec = LeakageSpec {
+            current_at_rated: Amps::new(1.0),
+            rated_voltage: Volts::ZERO,
+        };
+        assert_eq!(spec.current_at(Volts::new(3.0)), Amps::ZERO);
+    }
+}

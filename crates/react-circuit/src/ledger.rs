@@ -1,0 +1,167 @@
+//! End-to-end energy accounting.
+//!
+//! Every joule that enters or leaves a buffer during a simulation is
+//! recorded here, so experiments can report *where the energy went* —
+//! the paper's efficiency arguments (§2.1.2, §5.5) are claims about this
+//! breakdown — and so property tests can assert conservation.
+
+use react_units::Joules;
+
+/// Per-run energy accounting. All fields are cumulative joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyLedger {
+    /// Energy made available by the harvester frontend (converter output).
+    pub harvested: Joules,
+    /// Energy accepted into the buffer capacitors.
+    pub delivered: Joules,
+    /// Energy burned by overvoltage protection when the buffer was full.
+    pub clipped: Joules,
+    /// Energy lost to capacitor leakage.
+    pub leaked: Joules,
+    /// Energy dissipated in isolation/ideal diodes.
+    pub diode_loss: Joules,
+    /// Energy dissipated by switching (equalization current surges).
+    pub switch_loss: Joules,
+    /// Energy delivered to the computational load.
+    pub load_consumed: Joules,
+    /// Energy consumed by the buffer's own management hardware/software.
+    pub overhead_consumed: Joules,
+}
+
+impl EnergyLedger {
+    /// A fresh, all-zero ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all recorded outflows and losses (everything except
+    /// `harvested`/`delivered`, which are inflows).
+    pub fn total_outflow(&self) -> Joules {
+        self.clipped
+            + self.leaked
+            + self.diode_loss
+            + self.switch_loss
+            + self.load_consumed
+            + self.overhead_consumed
+    }
+
+    /// Conservation residual: `delivered + initial_stored − outflows −
+    /// final_stored`, where outflows are everything drawn *from the
+    /// stored pool* (leakage, switch and diode dissipation, load,
+    /// overhead). Clipped energy never enters the pool (`harvested =
+    /// delivered + clipped`), so it is excluded. Should be ~0 for a
+    /// correct simulation.
+    pub fn conservation_residual(&self, initial_stored: Joules, final_stored: Joules) -> Joules {
+        self.delivered + initial_stored
+            - (self.leaked
+                + self.switch_loss
+                + self.diode_loss
+                + self.load_consumed
+                + self.overhead_consumed
+                + final_stored)
+    }
+
+    /// Fraction of harvested energy that reached the load; the paper's
+    /// end-to-end efficiency notion (§5.5). Zero if nothing harvested.
+    pub fn end_to_end_efficiency(&self) -> f64 {
+        if self.harvested.get() <= 0.0 {
+            0.0
+        } else {
+            self.load_consumed.get() / self.harvested.get()
+        }
+    }
+
+    /// Merges another ledger into this one (for aggregating runs).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.harvested += other.harvested;
+        self.delivered += other.delivered;
+        self.clipped += other.clipped;
+        self.leaked += other.leaked;
+        self.diode_loss += other.diode_loss;
+        self.switch_loss += other.switch_loss;
+        self.load_consumed += other.load_consumed;
+        self.overhead_consumed += other.overhead_consumed;
+    }
+}
+
+impl std::fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "harvested:  {:>10.3} mJ", self.harvested.to_milli())?;
+        writeln!(f, "delivered:  {:>10.3} mJ", self.delivered.to_milli())?;
+        writeln!(f, "clipped:    {:>10.3} mJ", self.clipped.to_milli())?;
+        writeln!(f, "leaked:     {:>10.3} mJ", self.leaked.to_milli())?;
+        writeln!(f, "diode loss: {:>10.3} mJ", self.diode_loss.to_milli())?;
+        writeln!(f, "switch loss:{:>10.3} mJ", self.switch_loss.to_milli())?;
+        writeln!(f, "load:       {:>10.3} mJ", self.load_consumed.to_milli())?;
+        write!(f, "overhead:   {:>10.3} mJ", self.overhead_consumed.to_milli())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outflow_sums_everything_but_inflows() {
+        let ledger = EnergyLedger {
+            harvested: Joules::new(10.0),
+            delivered: Joules::new(9.0),
+            clipped: Joules::new(1.0),
+            leaked: Joules::new(0.5),
+            diode_loss: Joules::new(0.1),
+            switch_loss: Joules::new(0.2),
+            load_consumed: Joules::new(6.0),
+            overhead_consumed: Joules::new(0.3),
+        };
+        assert!((ledger.total_outflow().get() - 8.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_residual_zero_when_balanced() {
+        let ledger = EnergyLedger {
+            delivered: Joules::new(5.0),
+            leaked: Joules::new(1.0),
+            load_consumed: Joules::new(3.0),
+            ..Default::default()
+        };
+        let r = ledger.conservation_residual(Joules::new(0.5), Joules::new(1.5));
+        assert!(r.get().abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_is_load_over_harvested() {
+        let ledger = EnergyLedger {
+            harvested: Joules::new(8.0),
+            load_consumed: Joules::new(2.0),
+            ..Default::default()
+        };
+        assert!((ledger.end_to_end_efficiency() - 0.25).abs() < 1e-12);
+        assert_eq!(EnergyLedger::new().end_to_end_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyLedger {
+            harvested: Joules::new(1.0),
+            load_consumed: Joules::new(0.5),
+            ..Default::default()
+        };
+        let b = EnergyLedger {
+            harvested: Joules::new(2.0),
+            switch_loss: Joules::new(0.25),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!((a.harvested.get() - 3.0).abs() < 1e-12);
+        assert!((a.switch_loss.get() - 0.25).abs() < 1e-12);
+        assert!((a.load_consumed.get() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_every_field() {
+        let s = format!("{}", EnergyLedger::new());
+        for key in ["harvested", "delivered", "clipped", "leaked", "diode", "switch", "load", "overhead"] {
+            assert!(s.contains(key), "display missing {key}");
+        }
+    }
+}

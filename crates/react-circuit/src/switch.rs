@@ -1,0 +1,109 @@
+//! Break-before-make switch timing.
+//!
+//! REACT reconfigures banks with double-pole-double-throw switches driven
+//! break-before-make (§3.3.3): the bank is momentarily open-circuit during
+//! a transition, so no short-circuit current flows; incoming harvester
+//! current goes straight to the last-level buffer during the gap.
+
+use react_units::Seconds;
+
+/// Phase of a break-before-make transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SwitchPhase {
+    /// Contacts settled; the element is connected in its configuration.
+    Closed,
+    /// Mid-transition: the element is open-circuit.
+    Open,
+}
+
+/// A break-before-make switch with a fixed transition (open) interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakBeforeMake {
+    transition_time: Seconds,
+    remaining: Seconds,
+}
+
+impl BreakBeforeMake {
+    /// Creates a settled switch with the given open-interval duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition_time` is negative.
+    pub fn new(transition_time: Seconds) -> Self {
+        assert!(transition_time.get() >= 0.0, "negative transition time");
+        Self {
+            transition_time,
+            remaining: Seconds::ZERO,
+        }
+    }
+
+    /// Typical analogue-switch transition: 100 µs.
+    pub fn typical() -> Self {
+        Self::new(Seconds::from_micro(100.0))
+    }
+
+    /// Begins a transition; the switch is open until the transition time
+    /// elapses.
+    pub fn begin_transition(&mut self) {
+        self.remaining = self.transition_time;
+    }
+
+    /// Advances time; returns the phase for the step that just elapsed.
+    pub fn advance(&mut self, dt: Seconds) -> SwitchPhase {
+        if self.remaining.get() > 0.0 {
+            self.remaining = (self.remaining - dt).max(Seconds::ZERO);
+            SwitchPhase::Open
+        } else {
+            SwitchPhase::Closed
+        }
+    }
+
+    /// Current phase without advancing time.
+    pub fn phase(&self) -> SwitchPhase {
+        if self.remaining.get() > 0.0 {
+            SwitchPhase::Open
+        } else {
+            SwitchPhase::Closed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_after_transition_time() {
+        let mut sw = BreakBeforeMake::new(Seconds::from_milli(1.0));
+        assert_eq!(sw.phase(), SwitchPhase::Closed);
+        sw.begin_transition();
+        assert_eq!(sw.phase(), SwitchPhase::Open);
+        assert_eq!(sw.advance(Seconds::from_micro(500.0)), SwitchPhase::Open);
+        assert_eq!(sw.advance(Seconds::from_micro(500.0)), SwitchPhase::Open);
+        assert_eq!(sw.advance(Seconds::from_micro(1.0)), SwitchPhase::Closed);
+        assert_eq!(sw.phase(), SwitchPhase::Closed);
+    }
+
+    #[test]
+    fn zero_transition_is_instant() {
+        let mut sw = BreakBeforeMake::new(Seconds::ZERO);
+        sw.begin_transition();
+        assert_eq!(sw.phase(), SwitchPhase::Closed);
+        assert_eq!(sw.advance(Seconds::from_milli(1.0)), SwitchPhase::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative transition time")]
+    fn negative_transition_panics() {
+        BreakBeforeMake::new(Seconds::new(-1.0));
+    }
+
+    #[test]
+    fn retrigger_restarts_interval() {
+        let mut sw = BreakBeforeMake::new(Seconds::from_milli(1.0));
+        sw.begin_transition();
+        sw.advance(Seconds::from_micro(900.0));
+        sw.begin_transition();
+        assert_eq!(sw.advance(Seconds::from_micro(900.0)), SwitchPhase::Open);
+    }
+}

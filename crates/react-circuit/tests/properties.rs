@@ -1,0 +1,212 @@
+//! Property-based tests for the circuit primitives.
+
+use proptest::prelude::*;
+use react_circuit::{
+    pair_equalize, pool_equalize, BankMode, BankSpec, Capacitor, CapacitorSpec, ChainNetwork,
+    Partition, SeriesParallelBank,
+};
+use react_units::{Coulombs, Farads, Seconds, Volts};
+
+fn cap(c: f64, v: f64) -> Capacitor {
+    Capacitor::with_voltage(
+        CapacitorSpec::new(Farads::new(c)).with_max_voltage(Volts::new(1e6)),
+        Volts::new(v),
+    )
+}
+
+proptest! {
+    /// Pair equalization conserves charge, never creates energy, and
+    /// lands between the two starting voltages.
+    #[test]
+    fn pair_equalize_invariants(
+        c1 in 1e-6..1e-2f64,
+        c2 in 1e-6..1e-2f64,
+        v1 in 0.0..10.0f64,
+        v2 in 0.0..10.0f64,
+    ) {
+        let mut a = cap(c1, v1);
+        let mut b = cap(c2, v2);
+        let q_before = a.charge() + b.charge();
+        let e_before = a.energy() + b.energy();
+        let out = pair_equalize(&mut a, &mut b);
+        let q_after = a.charge() + b.charge();
+        let e_after = a.energy() + b.energy();
+        prop_assert!((q_before.get() - q_after.get()).abs() < 1e-12 * q_before.get().max(1.0));
+        prop_assert!(out.dissipated.get() >= -1e-15);
+        prop_assert!((e_before.get() - e_after.get() - out.dissipated.get()).abs() < 1e-12);
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        prop_assert!(out.final_voltage.get() >= lo - 1e-9);
+        prop_assert!(out.final_voltage.get() <= hi + 1e-9);
+    }
+
+    /// Pool equalization: all voltages equal afterwards, loss matches the
+    /// energy drop, zero loss iff all inputs already equal.
+    #[test]
+    fn pool_equalize_invariants(
+        caps in prop::collection::vec((1e-6..1e-2f64, 0.0..5.0f64), 2..8),
+    ) {
+        let mut owned: Vec<Capacitor> = caps.iter().map(|&(c, v)| cap(c, v)).collect();
+        let e_before: f64 = owned.iter().map(|c| c.energy().get()).sum();
+        let mut refs: Vec<&mut Capacitor> = owned.iter_mut().collect();
+        let out = pool_equalize(&mut refs);
+        let e_after: f64 = owned.iter().map(|c| c.energy().get()).sum();
+        prop_assert!((e_before - e_after - out.dissipated.get()).abs() < 1e-12);
+        let v0 = owned[0].voltage().get();
+        for c in &owned {
+            prop_assert!((c.voltage().get() - v0).abs() < 1e-9);
+        }
+    }
+
+    /// REACT bank reconfiguration conserves stored energy exactly for any
+    /// bank size, unit capacitance, and charge level (§3.3.3).
+    #[test]
+    fn bank_reconfigure_conserves_energy(
+        n in 1usize..8,
+        c_uf in 10.0..5000.0f64,
+        v in 0.0..6.0f64,
+    ) {
+        let unit = CapacitorSpec::new(Farads::from_micro(c_uf)).with_max_voltage(Volts::new(6.3));
+        let mut b = SeriesParallelBank::new(BankSpec::new(unit, n));
+        b.set_unit_voltage(Volts::new(v));
+        let e0 = b.stored_energy();
+        for mode in [BankMode::Series, BankMode::Parallel, BankMode::Disconnected, BankMode::Series] {
+            b.reconfigure(mode);
+            prop_assert!((b.stored_energy().get() - e0.get()).abs() < 1e-15);
+        }
+    }
+
+    /// Bank terminal energy view (½·C_term·V_term²) equals true stored
+    /// energy in both connected modes.
+    #[test]
+    fn bank_terminal_view_consistent(
+        n in 1usize..8,
+        v in 0.0..6.0f64,
+    ) {
+        let unit = CapacitorSpec::new(Farads::from_micro(220.0)).with_max_voltage(Volts::new(6.3));
+        let mut b = SeriesParallelBank::new(BankSpec::new(unit, n));
+        b.set_unit_voltage(Volts::new(v));
+        for mode in [BankMode::Series, BankMode::Parallel] {
+            b.reconfigure(mode);
+            let view = b.terminal_capacitance().energy_at(b.terminal_voltage());
+            prop_assert!((view.get() - b.stored_energy().get()).abs() < 1e-12);
+        }
+    }
+
+    /// Bank deposit-then-draw roundtrips charge when below the ceiling.
+    #[test]
+    fn bank_deposit_draw_roundtrip(
+        n in 1usize..6,
+        dq_uc in 1.0..100.0f64,
+        series in any::<bool>(),
+    ) {
+        let unit = CapacitorSpec::new(Farads::from_micro(220.0)).with_max_voltage(Volts::new(6.3));
+        let mut b = SeriesParallelBank::new(BankSpec::new(unit, n));
+        b.reconfigure(if series { BankMode::Series } else { BankMode::Parallel });
+        let dq = Coulombs::from_micro(dq_uc);
+        let clipped = b.deposit_charge(dq);
+        prop_assert!(clipped.get() == 0.0);
+        let got = b.draw_charge(dq);
+        prop_assert!((got.get() - dq.get()).abs() < 1e-15);
+        prop_assert!(b.stored_energy().get().abs() < 1e-12);
+    }
+
+    /// Network reconfiguration never creates energy and always leaves all
+    /// chains at a common terminal voltage.
+    #[test]
+    fn network_reconfigure_invariants(
+        v in 0.1..4.0f64,
+        idx_a in 0usize..5,
+        idx_b in 0usize..5,
+    ) {
+        let ladder: [&[usize]; 5] = [&[8], &[4, 4], &[2, 2, 2, 2], &[4, 2, 1, 1], &[1; 8]];
+        let unit = CapacitorSpec::new(Farads::from_milli(2.0)).with_max_voltage(Volts::new(1e6));
+        let mut n = ChainNetwork::new(unit, 8, Partition::new(ladder[idx_a].to_vec()).unwrap());
+        n.set_all_voltages(Volts::new(v));
+        let e0 = n.stored_energy();
+        let out = n.reconfigure(Partition::new(ladder[idx_b].to_vec()).unwrap());
+        prop_assert!(out.dissipated.get() >= -1e-15);
+        prop_assert!((n.stored_energy().get() + out.dissipated.get() - e0.get()).abs() < 1e-12);
+    }
+
+    /// Network draw never over-delivers and never drives the terminal
+    /// voltage negative.
+    #[test]
+    fn network_draw_bounded(
+        v in 0.0..3.0f64,
+        dq_mc in 0.0..50.0f64,
+    ) {
+        let unit = CapacitorSpec::new(Farads::from_milli(2.0)).with_max_voltage(Volts::new(6.3));
+        let mut n = ChainNetwork::new(unit, 8, Partition::new(vec![4, 4]).unwrap());
+        n.set_all_voltages(Volts::new(v));
+        let req = Coulombs::from_milli(dq_mc);
+        let got = n.draw_charge(req);
+        prop_assert!(got.get() <= req.get() + 1e-15);
+        prop_assert!(n.terminal_voltage().get() >= -1e-9);
+    }
+
+    /// Leakage monotonically reduces stored energy and never goes
+    /// negative.
+    #[test]
+    fn leakage_monotone(
+        v in 0.0..6.0f64,
+        dt in 0.001..100.0f64,
+    ) {
+        let mut c = Capacitor::with_voltage(CapacitorSpec::ceramic_220uf(), Volts::new(v));
+        let e0 = c.energy();
+        let lost = c.leak(Seconds::new(dt));
+        prop_assert!(lost.get() >= 0.0);
+        prop_assert!((e0.get() - c.energy().get() - lost.get()).abs() < 1e-15);
+        prop_assert!(c.charge().get() >= 0.0);
+    }
+}
+
+/// REACT Eq. 1: the LLB voltage after a parallel→series boost equals the
+/// charge-conserving equalization of the series bank into the LLB.
+#[test]
+fn equation_1_matches_equalization() {
+    for n in 2usize..=5 {
+        for c_unit_uf in [220.0, 440.0, 880.0] {
+            let v_low = 1.9_f64;
+            let c_last = 770e-6_f64;
+            let c_unit = c_unit_uf * 1e-6;
+
+            // Paper Eq. 1.
+            let nf = n as f64;
+            let v_new = (nf * v_low) * (c_unit / nf) / (c_last + c_unit / nf)
+                + v_low * c_last / (c_last + c_unit / nf);
+
+            // Circuit model: series bank at N·V_low equalizes with LLB at
+            // V_low.
+            let mut llb = cap(c_last, v_low);
+            let mut bank_term = cap(c_unit / nf, nf * v_low);
+            let out = pair_equalize(&mut llb, &mut bank_term);
+            assert!(
+                (out.final_voltage.get() - v_new).abs() < 1e-12,
+                "Eq.1 mismatch for N={n}, C_unit={c_unit_uf}µF"
+            );
+        }
+    }
+}
+
+/// REACT Eq. 2: the C_unit bound keeps the post-boost voltage below
+/// V_high exactly at the boundary.
+#[test]
+fn equation_2_is_the_boundary_of_eq_1() {
+    let (v_low, v_high, c_last) = (1.9_f64, 3.5_f64, 770e-6_f64);
+    for n in 2usize..=5 {
+        let nf = n as f64;
+        if nf * v_low <= v_high {
+            continue; // Eq. 2 only binds when the boost can exceed V_high.
+        }
+        let c_limit = nf * c_last * (v_high - v_low) / (nf * v_low - v_high);
+        // At exactly the limit, Eq. 1 gives V_new = V_high.
+        let v_new = (nf * v_low) * (c_limit / nf) / (c_last + c_limit / nf)
+            + v_low * c_last / (c_last + c_limit / nf);
+        assert!((v_new - v_high).abs() < 1e-9, "Eq.2 boundary broken for N={n}");
+        // Slightly below the limit keeps V_new below V_high.
+        let c_ok = c_limit * 0.99;
+        let v_ok = (nf * v_low) * (c_ok / nf) / (c_last + c_ok / nf)
+            + v_low * c_last / (c_last + c_ok / nf);
+        assert!(v_ok < v_high);
+    }
+}

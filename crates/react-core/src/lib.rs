@@ -1,0 +1,41 @@
+//! Simulation engine and experiment harness for the REACT reproduction.
+//!
+//! This crate assembles the substrates — traces, harvester, buffers,
+//! MCU, workloads — into the paper's testbed (§4) and drives the
+//! evaluation (§5):
+//!
+//! * [`Simulator`] — the 1 ms-step loop: harvester replay → buffer
+//!   physics → power gate → MCU → workload.
+//! * [`Experiment`] / [`ExperimentMatrix`] — one (buffer, workload) pair
+//!   against a trace, or the full trace × buffer matrix behind
+//!   Tables 2, 4, and 5 (parallelized across traces).
+//! * [`RunMetrics`] / [`RunOutcome`] — what each run measures.
+//! * [`fom`] — figures of merit and REACT-normalized scores (Fig. 7).
+//! * [`report`] — text/CSV table rendering for the bench harnesses.
+//! * [`calib`] — every calibration constant, with provenance.
+//!
+//! # Examples
+//!
+//! ```
+//! use react_core::{Experiment, WorkloadKind};
+//! use react_buffers::BufferKind;
+//! use react_traces::{paper_trace, PaperTrace};
+//!
+//! // One cell of Table 2: DE on RF Cart with the 770 µF buffer.
+//! let trace = paper_trace(PaperTrace::RfCart).truncated(react_units::Seconds::new(30.0));
+//! let out = Experiment::new(BufferKind::Static770uF, WorkloadKind::DataEncryption)
+//!     .run(&trace);
+//! assert!(out.metrics.relative_conservation_error() < 1e-2);
+//! ```
+
+pub mod calib;
+mod experiment;
+pub mod fom;
+mod metrics;
+pub mod report;
+mod sim;
+pub mod sweep;
+
+pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
+pub use metrics::{RunMetrics, RunOutcome, VoltageSample};
+pub use sim::{ConstantLoad, Simulator};

@@ -1,0 +1,124 @@
+//! Per-run metrics: what the paper's tables are made of.
+
+use react_circuit::EnergyLedger;
+use react_units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured over one simulated deployment.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Completed benchmark operations (Table 2 / Table 5 "Tx").
+    pub ops_completed: u64,
+    /// Operations lost to power failure.
+    pub ops_failed: u64,
+    /// Secondary count (Table 5 "Rx" for PF).
+    pub aux_completed: u64,
+    /// External events the system could not serve.
+    pub events_missed: u64,
+    /// Time from cold start to the first gate-enable (Table 4). `None`
+    /// if the system never started.
+    pub first_on_latency: Option<Seconds>,
+    /// Total time the power gate was closed.
+    pub on_time: Seconds,
+    /// Total simulated time (trace + drain).
+    pub total_time: Seconds,
+    /// Completed power cycles (gate close → open).
+    pub boots: u64,
+    /// Mean uninterrupted on-period (the §2.1.1 longevity measure).
+    pub mean_on_period: Seconds,
+    /// Longest uninterrupted on-period.
+    pub max_on_period: Seconds,
+    /// Energy accounting.
+    pub ledger: EnergyLedger,
+    /// Stored energy at the start of the run.
+    pub initial_stored: Joules,
+    /// Stored energy left at the end of the run.
+    pub final_stored: Joules,
+}
+
+impl RunMetrics {
+    /// Fraction of the run the system was on (§2.1.2 operational duty).
+    pub fn duty_cycle(&self) -> f64 {
+        if self.total_time.get() <= 0.0 {
+            0.0
+        } else {
+            self.on_time.get() / self.total_time.get()
+        }
+    }
+
+    /// Conservation residual relative to harvested energy; ≈0 for a
+    /// sound simulation.
+    pub fn relative_conservation_error(&self) -> f64 {
+        let scale = self
+            .ledger
+            .harvested
+            .get()
+            .max(self.initial_stored.get())
+            .max(1e-12);
+        self.ledger
+            .conservation_residual(self.initial_stored, self.final_stored)
+            .get()
+            .abs()
+            / scale
+    }
+}
+
+/// One probed sample of the run (Fig. 1 / Fig. 6 series).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VoltageSample {
+    /// Wall-clock time in seconds.
+    pub time_s: f64,
+    /// Buffer rail voltage in volts.
+    pub voltage_v: f64,
+    /// Whether the system was on.
+    pub on: bool,
+    /// Equivalent buffer capacitance in farads (REACT/Morphy vary it).
+    pub capacitance_f: f64,
+}
+
+/// A finished run: metrics plus the optional probe series.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Scalar results.
+    pub metrics: RunMetrics,
+    /// Voltage series (present when probing was enabled).
+    pub voltage_series: Vec<VoltageSample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle() {
+        let m = RunMetrics {
+            on_time: Seconds::new(25.0),
+            total_time: Seconds::new(100.0),
+            ..Default::default()
+        };
+        assert!((m.duty_cycle() - 0.25).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn conservation_error_zero_for_balanced() {
+        let mut m = RunMetrics::default();
+        m.ledger.delivered = Joules::new(2.0);
+        m.ledger.load_consumed = Joules::new(1.5);
+        m.final_stored = Joules::new(0.5);
+        m.ledger.harvested = Joules::new(2.0);
+        assert!(m.relative_conservation_error() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = RunMetrics {
+            ops_completed: 42,
+            first_on_latency: Some(Seconds::new(6.65)),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,36 @@
+//! Harvester frontend models for the REACT reproduction.
+//!
+//! The paper's testbed replays recorded power traces through a
+//! programmable supply (inspired by Ekho \[14\]) and emulates the
+//! load-dependent behaviour of a commercial RF-to-DC converter
+//! (Powercast P2110B \[37\]) and a solar boost charger (TI bq25570 \[20\])
+//! — §4.3. This crate provides those models:
+//!
+//! * [`EfficiencyCurve`] — piecewise-linear efficiency vs. input power.
+//! * [`Converter`] — RF rectifier, solar boost charger, or ideal
+//!   pass-through, each mapping *available* harvested power to power
+//!   actually delivered at the buffer rail.
+//! * [`PowerReplay`] — the record-and-replay frontend: trace in, buffer
+//!   input current out, with a charge-current limit like a real IC.
+//! * [`SolarPanel`] / [`MpptTracker`] — irradiance-to-power conversion
+//!   and bq25570-style fractional-V_oc maximum-power-point tracking.
+//!
+//! # Examples
+//!
+//! ```
+//! use react_harvest::{Converter, PowerReplay};
+//! use react_traces::{paper_trace, PaperTrace};
+//! use react_units::{Seconds, Volts};
+//!
+//! let replay = PowerReplay::new(paper_trace(PaperTrace::RfCart), Converter::rf_rectifier());
+//! let i = replay.input_current(Seconds::new(10.0), Volts::new(2.5));
+//! assert!(i.get() >= 0.0);
+//! ```
+
+mod converter;
+mod panel;
+mod replay;
+
+pub use converter::{Converter, ConverterKind, EfficiencyCurve};
+pub use panel::{MpptTracker, SolarPanel};
+pub use replay::PowerReplay;

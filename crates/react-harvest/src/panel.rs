@@ -1,0 +1,157 @@
+//! Photovoltaic panel and maximum-power-point tracking models.
+//!
+//! The paper's solar experiments emulate a 5 cm², 22 %-efficient panel
+//! (Voltaic P121-class \[43\]) behind a bq25570 management chip whose MPPT
+//! periodically samples the open-circuit voltage and regulates the input
+//! to a fixed fraction of it (§4.3). These models convert *irradiance*
+//! traces into the harvested-power traces the rest of the stack
+//! consumes — and quantify the energy the tracker itself gives up.
+
+use react_units::{Seconds, Watts};
+
+/// A photovoltaic panel: area and conversion efficiency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolarPanel {
+    /// Active area in cm².
+    pub area_cm2: f64,
+    /// Cell conversion efficiency (0..=1).
+    pub efficiency: f64,
+}
+
+impl SolarPanel {
+    /// Creates a panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is not positive or the efficiency is outside
+    /// `(0, 1]`.
+    pub fn new(area_cm2: f64, efficiency: f64) -> Self {
+        assert!(area_cm2 > 0.0, "panel area must be positive");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        Self { area_cm2, efficiency }
+    }
+
+    /// The paper's panel: 5 cm², 22 % efficient (§2.1.1, §4.3).
+    pub fn paper_panel() -> Self {
+        Self::new(5.0, 0.22)
+    }
+
+    /// Electrical power at the maximum power point for `irradiance` in
+    /// W/m². Full sun (1000 W/m²) on the paper's panel yields 110 mW.
+    pub fn power_at(&self, irradiance_w_m2: f64) -> Watts {
+        let area_m2 = self.area_cm2 * 1e-4;
+        Watts::new(irradiance_w_m2.max(0.0) * area_m2 * self.efficiency)
+    }
+}
+
+/// Fractional-open-circuit-voltage MPPT, bq25570-style: every
+/// `sample_interval` the converter pauses for `sample_time` to measure
+/// V_oc, then regulates to `voc_fraction` of it. Tracking is imperfect:
+/// between samples the operating point is stale, captured here as a
+/// fixed tracking efficiency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MpptTracker {
+    /// Fraction of V_oc the input is regulated to (bq25570: 80 %).
+    pub voc_fraction: f64,
+    /// How often V_oc is sampled (bq25570: every 16 s).
+    pub sample_interval: Seconds,
+    /// Harvest pause while sampling (bq25570: 256 ms).
+    pub sample_time: Seconds,
+    /// Power captured relative to the true maximum power point.
+    pub tracking_efficiency: f64,
+}
+
+impl MpptTracker {
+    /// bq25570 datasheet behaviour.
+    pub fn bq25570() -> Self {
+        Self {
+            voc_fraction: 0.80,
+            sample_interval: Seconds::new(16.0),
+            sample_time: Seconds::new(0.256),
+            tracking_efficiency: 0.95,
+        }
+    }
+
+    /// Fraction of each sampling period spent harvesting (the duty lost
+    /// to V_oc sampling).
+    pub fn harvest_duty(&self) -> f64 {
+        let period = self.sample_interval.get() + self.sample_time.get();
+        self.sample_interval.get() / period
+    }
+
+    /// Power extracted when the panel's true MPP power is `mpp`, at time
+    /// `t` (zero during the periodic V_oc sampling window).
+    pub fn extracted_power(&self, mpp: Watts, t: Seconds) -> Watts {
+        let period = self.sample_interval.get() + self.sample_time.get();
+        let phase = t.get() % period;
+        if phase >= self.sample_interval.get() {
+            // Harvest pauses while V_oc is measured.
+            return Watts::ZERO;
+        }
+        mpp * self.tracking_efficiency
+    }
+
+    /// Long-run average extraction efficiency (tracking × duty).
+    pub fn average_efficiency(&self) -> f64 {
+        self.tracking_efficiency * self.harvest_duty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_panel_full_sun() {
+        let p = SolarPanel::paper_panel();
+        // 1000 W/m² × 5 cm² × 22 % = 110 mW.
+        assert!((p.power_at(1000.0).to_milli() - 110.0).abs() < 1e-9);
+        assert_eq!(p.power_at(-5.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_irradiance() {
+        let p = SolarPanel::paper_panel();
+        let half = p.power_at(500.0);
+        let full = p.power_at(1000.0);
+        assert!((full.get() / half.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_panics() {
+        SolarPanel::new(5.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "area")]
+    fn bad_area_panics() {
+        SolarPanel::new(0.0, 0.2);
+    }
+
+    #[test]
+    fn mppt_pauses_during_voc_sampling() {
+        let m = MpptTracker::bq25570();
+        let mpp = Watts::from_milli(100.0);
+        // Mid-harvest window: tracking efficiency applies.
+        let p = m.extracted_power(mpp, Seconds::new(1.0));
+        assert!((p.to_milli() - 95.0).abs() < 1e-9);
+        // Inside the sampling window (16.0..16.256 s): zero.
+        assert_eq!(m.extracted_power(mpp, Seconds::new(16.1)), Watts::ZERO);
+        // Next period harvests again.
+        assert!(m.extracted_power(mpp, Seconds::new(17.0)).get() > 0.0);
+    }
+
+    #[test]
+    fn average_efficiency_combines_duty_and_tracking() {
+        let m = MpptTracker::bq25570();
+        let duty = 16.0 / 16.256;
+        assert!((m.harvest_duty() - duty).abs() < 1e-12);
+        assert!((m.average_efficiency() - 0.95 * duty).abs() < 1e-12);
+        // bq25570-class trackers capture ≳90 % of available energy.
+        assert!(m.average_efficiency() > 0.90);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ekho-style record-and-replay power frontend (§4.3).
+
+use react_traces::PowerTrace;
+use react_units::{Amps, Seconds, Volts, Watts};
+
+use crate::Converter;
+
+/// Replays a power trace into a buffer through a converter model.
+///
+/// The paper's frontend drives the energy buffer from a high-drive DAC,
+/// measuring load voltage and current and servoing the DAC to the
+/// programmed power level; we model the steady-state result: at time `t`
+/// the rail receives `η(P_avail(t)) · P_avail(t)` watts, delivered as a
+/// current at the present buffer voltage, limited to a realistic
+/// charge-current ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerReplay {
+    trace: PowerTrace,
+    converter: Converter,
+    current_limit: Amps,
+    /// Voltage floor used when converting power to current so a fully
+    /// discharged buffer sees the current limit rather than infinity.
+    min_conversion_voltage: Volts,
+}
+
+impl PowerReplay {
+    /// Creates a replay frontend with a 50 mA charge-current limit.
+    pub fn new(trace: PowerTrace, converter: Converter) -> Self {
+        Self {
+            trace,
+            converter,
+            current_limit: Amps::from_milli(50.0),
+            min_conversion_voltage: Volts::new(0.3),
+        }
+    }
+
+    /// Sets the charge-current ceiling.
+    pub fn with_current_limit(mut self, limit: Amps) -> Self {
+        self.current_limit = limit;
+        self
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// The converter model in use.
+    pub fn converter(&self) -> &Converter {
+        &self.converter
+    }
+
+    /// Ambient power available at time `t` (before conversion).
+    pub fn available_power(&self, t: Seconds) -> Watts {
+        self.trace.power_at(t)
+    }
+
+    /// Rail power delivered at time `t` with the buffer at `v_buffer`.
+    pub fn rail_power(&self, t: Seconds, v_buffer: Volts) -> Watts {
+        self.converter
+            .output_power(self.trace.power_at(t), v_buffer)
+    }
+
+    /// Charging current into the buffer at time `t`, `I = P_rail / V`,
+    /// clamped to the charge-current limit. A deeply discharged buffer is
+    /// charged at the current limit (constant-current region), as real
+    /// boost chargers do.
+    pub fn input_current(&self, t: Seconds, v_buffer: Volts) -> Amps {
+        let p = self.rail_power(t, v_buffer);
+        if p.get() <= 0.0 {
+            return Amps::ZERO;
+        }
+        let v = v_buffer.max(self.min_conversion_voltage);
+        (p / v).min(self.current_limit)
+    }
+
+    /// Duration of the underlying trace.
+    pub fn duration(&self) -> Seconds {
+        self.trace.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use react_traces::PowerTrace;
+
+    fn replay(power_mw: f64) -> PowerReplay {
+        let trace = PowerTrace::constant(
+            "const",
+            Watts::from_milli(power_mw),
+            Seconds::new(100.0),
+            Seconds::new(0.1),
+        );
+        PowerReplay::new(trace, Converter::ideal())
+    }
+
+    #[test]
+    fn current_is_power_over_voltage() {
+        let r = replay(3.3);
+        let i = r.input_current(Seconds::new(1.0), Volts::new(3.3));
+        assert!((i.to_milli() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_discharge_hits_current_limit() {
+        let r = replay(1000.0).with_current_limit(Amps::from_milli(50.0));
+        let i = r.input_current(Seconds::new(1.0), Volts::new(0.01));
+        assert!((i.to_milli() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_power_after_trace_ends() {
+        let r = replay(3.3);
+        assert_eq!(r.input_current(Seconds::new(200.0), Volts::new(2.0)), Amps::ZERO);
+        assert_eq!(r.rail_power(Seconds::new(200.0), Volts::new(2.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn converter_losses_reduce_current() {
+        let trace = PowerTrace::constant(
+            "c",
+            Watts::from_milli(10.0),
+            Seconds::new(10.0),
+            Seconds::new(0.1),
+        );
+        let ideal = PowerReplay::new(trace.clone(), Converter::ideal());
+        let rf = PowerReplay::new(trace, Converter::rf_rectifier());
+        let v = Volts::new(2.0);
+        let t = Seconds::new(1.0);
+        assert!(rf.input_current(t, v) < ideal.input_current(t, v));
+        // 55 % at 10 mW.
+        assert!((rf.rail_power(t, v).to_milli() - 5.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = replay(1.0);
+        assert!((r.duration().get() - 100.0).abs() < 1e-9);
+        assert_eq!(r.trace().name(), "const");
+        assert_eq!(r.converter().kind(), crate::ConverterKind::Ideal);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the harvester frontend.
+
+use proptest::prelude::*;
+use react_harvest::{Converter, MpptTracker, PowerReplay, SolarPanel};
+use react_traces::PowerTrace;
+use react_units::{Seconds, Volts, Watts};
+
+proptest! {
+    /// Converters never output more power than is available (first law
+    /// at the frontend boundary).
+    #[test]
+    fn converters_never_amplify(
+        available_mw in 0.0..200.0f64,
+        v_out in 0.0..4.0f64,
+    ) {
+        let available = Watts::from_milli(available_mw);
+        for converter in [Converter::ideal(), Converter::rf_rectifier(), Converter::boost_charger()] {
+            let out = converter.output_power(available, Volts::new(v_out));
+            prop_assert!(out <= available + Watts::new(1e-15));
+            prop_assert!(out.get() >= 0.0);
+        }
+    }
+
+    /// Converter efficiency is monotone-ish in the useful band: more
+    /// available power never yields *less* output for the RF rectifier.
+    #[test]
+    fn rf_rectifier_monotone(
+        lo_mw in 0.01..50.0f64,
+        factor in 1.0..4.0f64,
+    ) {
+        let c = Converter::rf_rectifier();
+        let v = Volts::new(2.0);
+        let lo = c.output_power(Watts::from_milli(lo_mw), v);
+        let hi = c.output_power(Watts::from_milli(lo_mw * factor), v);
+        prop_assert!(hi >= lo);
+    }
+
+    /// The replay frontend respects its charge-current ceiling at every
+    /// voltage, including a dead-short buffer.
+    #[test]
+    fn replay_respects_current_limit(
+        power_mw in 0.0..1000.0f64,
+        v in 0.0..3.6f64,
+    ) {
+        let trace = PowerTrace::constant(
+            "p",
+            Watts::from_milli(power_mw),
+            Seconds::new(10.0),
+            Seconds::new(0.1),
+        );
+        let replay = PowerReplay::new(trace, Converter::ideal());
+        let i = replay.input_current(Seconds::new(1.0), Volts::new(v));
+        prop_assert!(i.to_milli() <= 50.0 + 1e-9);
+        prop_assert!(i.get() >= 0.0);
+    }
+
+    /// Panel output scales linearly with irradiance and never goes
+    /// negative.
+    #[test]
+    fn panel_linear_and_nonnegative(
+        irradiance in -100.0..1500.0f64,
+        area in 0.5..100.0f64,
+        eff in 0.05..0.35f64,
+    ) {
+        let p = SolarPanel::new(area, eff);
+        let out = p.power_at(irradiance);
+        prop_assert!(out.get() >= 0.0);
+        if irradiance > 0.0 {
+            let double = p.power_at(irradiance * 2.0);
+            prop_assert!((double.get() / out.get().max(1e-30) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    /// MPPT extraction never exceeds the true maximum power point and
+    /// averages to its advertised efficiency.
+    #[test]
+    fn mppt_bounded_by_mpp(t in 0.0..100.0f64, mpp_mw in 0.0..200.0f64) {
+        let m = MpptTracker::bq25570();
+        let mpp = Watts::from_milli(mpp_mw);
+        let out = m.extracted_power(mpp, Seconds::new(t));
+        prop_assert!(out <= mpp + Watts::new(1e-15));
+        prop_assert!(m.average_efficiency() <= 1.0);
+    }
+}

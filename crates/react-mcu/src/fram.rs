@@ -1,0 +1,91 @@
+//! Nonvolatile (FRAM) state cells.
+//!
+//! The MSP430FR5994's FRAM lets intermittent systems keep state across
+//! power failures without the energy cost of flash. REACT's bank state
+//! machines and the workloads' progress counters live in [`Fram`] cells:
+//! values survive [`Mcu::power_off`](crate::Mcu::power_off), and every
+//! write is counted so experiments can report wear and write overhead.
+
+/// A nonvolatile cell holding a value of type `T`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fram<T> {
+    value: T,
+    writes: u64,
+}
+
+impl<T> Fram<T> {
+    /// Creates a cell with an initial (factory-programmed) value.
+    pub fn new(value: T) -> Self {
+        Self { value, writes: 0 }
+    }
+
+    /// Reads the stored value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Writes a new value; counts the write.
+    pub fn set(&mut self, value: T) {
+        self.value = value;
+        self.writes += 1;
+    }
+
+    /// Mutates the value in place through a closure; counts one write.
+    pub fn update(&mut self, f: impl FnOnce(&mut T)) {
+        f(&mut self.value);
+        self.writes += 1;
+    }
+
+    /// Number of writes so far (wear/overhead accounting).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Consumes the cell, returning the stored value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T: Copy> Fram<T> {
+    /// Copies the stored value out.
+    pub fn load(&self) -> T {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_write_count() {
+        let mut cell = Fram::new(0u32);
+        assert_eq!(*cell.get(), 0);
+        cell.set(7);
+        cell.set(9);
+        assert_eq!(cell.load(), 9);
+        assert_eq!(cell.write_count(), 2);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut cell = Fram::new(vec![1, 2]);
+        cell.update(|v| v.push(3));
+        assert_eq!(cell.get().as_slice(), &[1, 2, 3]);
+        assert_eq!(cell.write_count(), 1);
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let cell = Fram::new("persisted".to_owned());
+        assert_eq!(cell.into_inner(), "persisted");
+    }
+
+    #[test]
+    fn default_works_for_default_types() {
+        let cell: Fram<u64> = Fram::default();
+        assert_eq!(cell.load(), 0);
+        assert_eq!(cell.write_count(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Comparator circuits: the power gate and REACT's voltage
+//! instrumentation.
+
+use react_units::Volts;
+
+/// The enable/brown-out power gate (§4): connects the MCU once the
+/// buffer reaches the enable voltage and disconnects it at the brown-out
+//  voltage, with hysteresis in between.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerGate {
+    enable_at: Volts,
+    brownout_at: Volts,
+    closed: bool,
+}
+
+impl PowerGate {
+    /// Creates an open gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enable_at <= brownout_at` (no hysteresis band).
+    pub fn new(enable_at: Volts, brownout_at: Volts) -> Self {
+        assert!(
+            enable_at > brownout_at,
+            "enable voltage must exceed brown-out voltage"
+        );
+        Self {
+            enable_at,
+            brownout_at,
+            closed: false,
+        }
+    }
+
+    /// The paper's testbed gate: enable at 3.3 V, disconnect at 1.8 V.
+    pub fn paper_testbed() -> Self {
+        Self::new(Volts::new(3.3), Volts::new(1.8))
+    }
+
+    /// Enable threshold.
+    pub fn enable_voltage(&self) -> Volts {
+        self.enable_at
+    }
+
+    /// Brown-out threshold.
+    pub fn brownout_voltage(&self) -> Volts {
+        self.brownout_at
+    }
+
+    /// `true` while the load is connected.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Updates the gate with the present buffer voltage; returns `true`
+    /// if the gate state changed.
+    pub fn update(&mut self, v: Volts) -> bool {
+        let next = if self.closed {
+            v > self.brownout_at
+        } else {
+            v >= self.enable_at
+        };
+        let changed = next != self.closed;
+        self.closed = next;
+        changed
+    }
+}
+
+/// What REACT's two-comparator instrumentation reports (§3.2.1): the
+/// buffer is near capacity, near empty, or in the healthy band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BufferSignal {
+    /// Voltage at or above the upper threshold — add capacitance.
+    NearCapacity,
+    /// Between the thresholds.
+    Ok,
+    /// Voltage at or below the lower threshold — reclaim charge.
+    NearEmpty,
+}
+
+/// Two low-power comparators watching the last-level buffer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThresholdComparator {
+    v_high: Volts,
+    v_low: Volts,
+}
+
+impl ThresholdComparator {
+    /// Creates the comparator pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_high <= v_low`.
+    pub fn new(v_high: Volts, v_low: Volts) -> Self {
+        assert!(v_high > v_low, "upper threshold must exceed lower");
+        Self { v_high, v_low }
+    }
+
+    /// Upper (near-capacity) threshold.
+    pub fn v_high(&self) -> Volts {
+        self.v_high
+    }
+
+    /// Lower (near-empty) threshold.
+    pub fn v_low(&self) -> Volts {
+        self.v_low
+    }
+
+    /// Classifies a buffer voltage.
+    pub fn classify(&self, v: Volts) -> BufferSignal {
+        if v >= self.v_high {
+            BufferSignal::NearCapacity
+        } else if v <= self.v_low {
+            BufferSignal::NearEmpty
+        } else {
+            BufferSignal::Ok
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_hysteresis() {
+        let mut g = PowerGate::paper_testbed();
+        assert!(!g.is_closed());
+        assert!(!g.update(Volts::new(3.0))); // below enable: stays open
+        assert!(g.update(Volts::new(3.3))); // enables
+        assert!(g.is_closed());
+        assert!(!g.update(Volts::new(2.0))); // above brown-out: stays closed
+        assert!(g.update(Volts::new(1.8))); // browns out (v must exceed 1.8)
+        assert!(!g.is_closed());
+        assert!(!g.update(Volts::new(2.5))); // needs full 3.3 V again
+    }
+
+    #[test]
+    fn gate_reports_thresholds() {
+        let g = PowerGate::paper_testbed();
+        assert_eq!(g.enable_voltage(), Volts::new(3.3));
+        assert_eq!(g.brownout_voltage(), Volts::new(1.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn inverted_gate_panics() {
+        PowerGate::new(Volts::new(1.8), Volts::new(3.3));
+    }
+
+    #[test]
+    fn comparator_classifies_three_bands() {
+        let c = ThresholdComparator::new(Volts::new(3.5), Volts::new(1.9));
+        assert_eq!(c.classify(Volts::new(3.6)), BufferSignal::NearCapacity);
+        assert_eq!(c.classify(Volts::new(3.5)), BufferSignal::NearCapacity);
+        assert_eq!(c.classify(Volts::new(2.5)), BufferSignal::Ok);
+        assert_eq!(c.classify(Volts::new(1.9)), BufferSignal::NearEmpty);
+        assert_eq!(c.classify(Volts::new(0.0)), BufferSignal::NearEmpty);
+        assert_eq!(c.v_high(), Volts::new(3.5));
+        assert_eq!(c.v_low(), Volts::new(1.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn inverted_comparator_panics() {
+        ThresholdComparator::new(Volts::new(1.0), Volts::new(2.0));
+    }
+}

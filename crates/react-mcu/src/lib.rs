@@ -1,0 +1,31 @@
+//! MSP430-class microcontroller and peripheral models.
+//!
+//! The paper's testbed is an MSP430FR5994 \[22\] behind a comparator power
+//! gate (enable at 3.3 V, disconnect at 1.8 V, §4), with benchmark
+//! peripherals emulated by toggling a resistor sized to the relevant
+//! datasheet (§4.2). This crate models exactly that:
+//!
+//! * [`Mcu`] / [`McuSpec`] / [`PowerMode`] — active/LPM3/deep-sleep
+//!   current draws and boot cost.
+//! * [`PowerGate`] — the enable/brown-out comparator circuit.
+//! * [`ThresholdComparator`] / [`BufferSignal`] — REACT's two-comparator
+//!   voltage instrumentation (§3.2.1).
+//! * [`Peripheral`] — microphone \[11\], sub-GHz radio \[31\], wake-up
+//!   receiver \[18\], and the paper's emulation resistor.
+//! * [`PeriodicTimer`] and [`RemanenceTimekeeper`] — deadline scheduling,
+//!   including across power failures (cited work \[8\]).
+//! * [`Fram`] — nonvolatile state that survives power cycles.
+
+pub mod checkpoint;
+mod fram;
+mod gate;
+mod mcu;
+mod peripherals;
+mod timer;
+
+pub use checkpoint::{CheckpointCosts, Checkpointer};
+pub use fram::Fram;
+pub use gate::{BufferSignal, PowerGate, ThresholdComparator};
+pub use mcu::{Mcu, McuSpec, PowerMode};
+pub use peripherals::Peripheral;
+pub use timer::{PeriodicTimer, RemanenceTimekeeper};

@@ -1,0 +1,119 @@
+//! Peripheral power models.
+//!
+//! The paper emulates each benchmark's peripherals by toggling a resistor
+//! sized to the relevant datasheet (§4.2). We keep the same abstraction:
+//! a peripheral is a named current draw that the workload switches on and
+//! off.
+
+use react_units::{Amps, Ohms, Volts};
+
+/// A peripheral as a switchable current draw at the system rail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Peripheral {
+    name: String,
+    current: Amps,
+    enabled: bool,
+}
+
+impl Peripheral {
+    /// Creates a disabled peripheral drawing `current` when enabled.
+    pub fn new(name: impl Into<String>, current: Amps) -> Self {
+        Self {
+            name: name.into(),
+            current,
+            enabled: false,
+        }
+    }
+
+    /// Knowles SPU0414HR5H analogue microphone \[11\]: ≈155 µA.
+    pub fn microphone() -> Self {
+        Self::new("microphone", Amps::from_micro(155.0))
+    }
+
+    /// Microsemi ZL70251-class ultra-low-power sub-GHz radio in
+    /// transmit \[31\]: ≈5 mA.
+    pub fn radio_tx() -> Self {
+        Self::new("radio-tx", Amps::from_milli(5.0))
+    }
+
+    /// The same radio in receive: ≈4 mA.
+    pub fn radio_rx() -> Self {
+        Self::new("radio-rx", Amps::from_milli(4.0))
+    }
+
+    /// Fraunhofer RFicient-class always-on wake-up receiver \[18\]: ≈3 µA.
+    pub fn wakeup_receiver() -> Self {
+        Self::new("wakeup-rx", Amps::from_micro(3.0))
+    }
+
+    /// The paper's emulation approach: a resistor toggled by a GPIO,
+    /// sized to draw the peripheral's current at the nominal rail.
+    pub fn emulation_resistor(name: impl Into<String>, r: Ohms, rail: Volts) -> Self {
+        Self::new(name, rail / r)
+    }
+
+    /// Peripheral name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` if currently switched on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Switches the peripheral on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Current drawn right now (zero when disabled).
+    pub fn current(&self) -> Amps {
+        if self.enabled {
+            self.current
+        } else {
+            Amps::ZERO
+        }
+    }
+
+    /// Current drawn when enabled, regardless of present state.
+    pub fn rated_current(&self) -> Amps {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_draws_nothing() {
+        let p = Peripheral::microphone();
+        assert!(!p.is_enabled());
+        assert_eq!(p.current(), Amps::ZERO);
+        assert!((p.rated_current().to_micro() - 155.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toggling() {
+        let mut p = Peripheral::radio_tx();
+        p.set_enabled(true);
+        assert!((p.current().to_milli() - 5.0).abs() < 1e-9);
+        p.set_enabled(false);
+        assert_eq!(p.current(), Amps::ZERO);
+    }
+
+    #[test]
+    fn datasheet_values() {
+        assert!((Peripheral::radio_rx().rated_current().to_milli() - 4.0).abs() < 1e-9);
+        assert!((Peripheral::wakeup_receiver().rated_current().to_micro() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emulation_resistor_matches_ohms_law() {
+        // 2.2 kΩ at 3.3 V = 1.5 mA, the paper's §2.1 active draw.
+        let p = Peripheral::emulation_resistor("fake-radio", Ohms::new(2200.0), Volts::new(3.3));
+        assert!((p.rated_current().to_milli() - 1.5).abs() < 1e-9);
+        assert_eq!(p.name(), "fake-radio");
+    }
+}

@@ -1,0 +1,171 @@
+//! Timers: periodic deadlines and remanence-based timekeeping.
+
+use react_units::Seconds;
+
+/// A free-running periodic timer that generates deadlines (the SC
+/// benchmark's five-second sensing schedule, §4.2). Deadlines are
+/// anchored to wall-clock time — they keep arriving even while the system
+/// is powered off, which is exactly what makes reactivity matter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodicTimer {
+    period: Seconds,
+    next_deadline: Seconds,
+    fired: u64,
+}
+
+impl PeriodicTimer {
+    /// Creates a timer whose first deadline is one period from t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn new(period: Seconds) -> Self {
+        assert!(period.get() > 0.0, "timer period must be positive");
+        Self {
+            period,
+            next_deadline: period,
+            fired: 0,
+        }
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Number of deadlines that have fired.
+    pub fn fired_count(&self) -> u64 {
+        self.fired
+    }
+
+    /// The next pending deadline.
+    pub fn next_deadline(&self) -> Seconds {
+        self.next_deadline
+    }
+
+    /// Advances to wall-clock time `now`; returns how many deadlines
+    /// fired during the step (0 or more — a long off period can skip
+    /// several).
+    pub fn poll(&mut self, now: Seconds) -> u64 {
+        let mut count = 0;
+        while now >= self.next_deadline {
+            self.next_deadline += self.period;
+            self.fired += 1;
+            count += 1;
+        }
+        count
+    }
+}
+
+/// A remanence-based timekeeper (cited work \[8\]): estimates elapsed
+/// off-time after a power failure from the decay of a known capacitor,
+/// with a bounded measurement error. Workloads use it to decide whether a
+/// deadline passed while the system was dark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RemanenceTimekeeper {
+    /// Maximum off-interval the decay curve can resolve.
+    range: Seconds,
+    /// Relative measurement error (e.g. 0.05 = ±5 %).
+    relative_error: f64,
+    /// Wall-clock time when power was lost, if currently dark.
+    powered_down_at: Option<Seconds>,
+}
+
+impl RemanenceTimekeeper {
+    /// Creates a timekeeper with the given resolvable range and error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_error` is negative.
+    pub fn new(range: Seconds, relative_error: f64) -> Self {
+        assert!(relative_error >= 0.0, "negative error");
+        Self {
+            range,
+            relative_error,
+            powered_down_at: None,
+        }
+    }
+
+    /// The cited design resolves ~minutes with a few percent error.
+    pub fn typical() -> Self {
+        Self::new(Seconds::from_minutes(10.0), 0.03)
+    }
+
+    /// Records a power-down at wall-clock `now`.
+    pub fn power_down(&mut self, now: Seconds) {
+        self.powered_down_at = Some(now);
+    }
+
+    /// On power-up at wall-clock `now`, estimates the off interval.
+    /// Returns `None` if no power-down was recorded or the interval
+    /// exceeded the resolvable range (the capacitor fully decayed).
+    pub fn power_up(&mut self, now: Seconds) -> Option<Seconds> {
+        let down_at = self.powered_down_at.take()?;
+        let actual = now - down_at;
+        if actual > self.range {
+            return None;
+        }
+        // Deterministic worst-case bias keeps the simulation repeatable:
+        // the estimate reads slightly long.
+        Some(actual * (1.0 + self.relative_error))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_fires_on_schedule() {
+        let mut t = PeriodicTimer::new(Seconds::new(5.0));
+        assert_eq!(t.poll(Seconds::new(4.9)), 0);
+        assert_eq!(t.poll(Seconds::new(5.0)), 1);
+        assert_eq!(t.poll(Seconds::new(9.0)), 0);
+        assert_eq!(t.poll(Seconds::new(10.0)), 1);
+        assert_eq!(t.fired_count(), 2);
+        assert!((t.next_deadline().get() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_catches_up_after_gap() {
+        let mut t = PeriodicTimer::new(Seconds::new(5.0));
+        // System dark from 0 to 23 s: deadlines at 5, 10, 15, 20 fired.
+        assert_eq!(t.poll(Seconds::new(23.0)), 4);
+        assert_eq!(t.fired_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        PeriodicTimer::new(Seconds::ZERO);
+    }
+
+    #[test]
+    fn remanence_estimates_off_time() {
+        let mut k = RemanenceTimekeeper::new(Seconds::new(600.0), 0.03);
+        k.power_down(Seconds::new(100.0));
+        let est = k.power_up(Seconds::new(150.0)).unwrap();
+        assert!((est.get() - 50.0 * 1.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remanence_saturates_beyond_range() {
+        let mut k = RemanenceTimekeeper::new(Seconds::new(60.0), 0.0);
+        k.power_down(Seconds::new(0.0));
+        assert_eq!(k.power_up(Seconds::new(120.0)), None);
+    }
+
+    #[test]
+    fn remanence_without_power_down_is_none() {
+        let mut k = RemanenceTimekeeper::typical();
+        assert_eq!(k.power_up(Seconds::new(10.0)), None);
+    }
+
+    #[test]
+    fn remanence_is_single_shot() {
+        let mut k = RemanenceTimekeeper::typical();
+        k.power_down(Seconds::new(0.0));
+        assert!(k.power_up(Seconds::new(1.0)).is_some());
+        assert_eq!(k.power_up(Seconds::new(2.0)), None);
+    }
+}

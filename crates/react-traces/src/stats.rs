@@ -1,0 +1,106 @@
+//! Trace summary statistics (the paper's Table 3 columns).
+
+use react_units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for a power trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total trace duration.
+    pub duration: Seconds,
+    /// Mean harvested power.
+    pub mean_power: Watts,
+    /// Coefficient of variation (σ/µ) — the paper's volatility metric.
+    pub cv: f64,
+    /// Peak sample.
+    pub peak_power: Watts,
+    /// Minimum sample.
+    pub min_power: Watts,
+    /// Total harvestable energy.
+    pub total_energy: Joules,
+}
+
+impl TraceStats {
+    /// Computes statistics over raw watt samples spanning `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(duration: Seconds, samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len() as f64;
+        let mean: f64 = samples.iter().sum::<f64>() / n;
+        let var: f64 = samples.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        let peak = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        Self {
+            duration,
+            mean_power: Watts::new(mean),
+            cv,
+            peak_power: Watts::new(peak),
+            min_power: Watts::new(min),
+            total_energy: Joules::new(mean * duration.get()),
+        }
+    }
+
+    /// CV expressed as a percentage, as Table 3 prints it.
+    pub fn cv_percent(&self) -> f64 {
+        self.cv * 100.0
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} s, {:.3} mW avg, CV {:.0}%",
+            self.duration.get(),
+            self.mean_power.to_milli(),
+            self.cv_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_cv() {
+        let s = TraceStats::from_samples(Seconds::new(4.0), &[2e-3; 8]);
+        assert!((s.mean_power.to_milli() - 2.0).abs() < 1e-12);
+        assert_eq!(s.cv, 0.0);
+        assert!((s.total_energy.to_milli() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_cv() {
+        // Samples {1, 3}: mean 2, σ = 1 → CV = 0.5.
+        let s = TraceStats::from_samples(Seconds::new(2.0), &[1.0, 3.0]);
+        assert!((s.cv - 0.5).abs() < 1e-12);
+        assert!((s.cv_percent() - 50.0).abs() < 1e-9);
+        assert_eq!(s.peak_power, Watts::new(3.0));
+        assert_eq!(s.min_power, Watts::new(1.0));
+    }
+
+    #[test]
+    fn zero_mean_has_zero_cv() {
+        let s = TraceStats::from_samples(Seconds::new(1.0), &[0.0, 0.0]);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_samples_panic() {
+        TraceStats::from_samples(Seconds::new(1.0), &[]);
+    }
+
+    #[test]
+    fn display_formats_table3_style() {
+        let s = TraceStats::from_samples(Seconds::new(313.0), &[2.12e-3; 10]);
+        let text = format!("{s}");
+        assert!(text.contains("313 s"));
+        assert!(text.contains("2.120 mW"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Trace algebra: composing and reshaping power traces.
+//!
+//! Deployment studies splice recorded segments, repeat days, overlay
+//! sources (solar + RF on one harvester), and mask traces with
+//! occlusion envelopes. These transforms keep the library's traces
+//! composable without touching the generator code.
+
+use react_units::{Seconds, Watts};
+
+use crate::PowerTrace;
+
+/// Concatenates traces end to end (all resampled to the first trace's
+/// interval via zero-order hold).
+///
+/// # Panics
+///
+/// Panics if `traces` is empty.
+pub fn concat(traces: &[&PowerTrace]) -> PowerTrace {
+    assert!(!traces.is_empty(), "nothing to concatenate");
+    let dt = traces[0].sample_interval();
+    let mut samples: Vec<Watts> = Vec::new();
+    for trace in traces {
+        let n = (trace.duration().get() / dt.get()).round() as usize;
+        for i in 0..n {
+            samples.push(trace.power_at(Seconds::new(i as f64 * dt.get())));
+        }
+    }
+    PowerTrace::new("concat", dt, samples)
+}
+
+/// Repeats a trace `times` times (a day-long recording into a week).
+///
+/// # Panics
+///
+/// Panics if `times` is zero.
+pub fn repeat(trace: &PowerTrace, times: usize) -> PowerTrace {
+    assert!(times > 0, "cannot repeat zero times");
+    let copies: Vec<&PowerTrace> = std::iter::repeat_n(trace, times).collect();
+    concat(&copies)
+}
+
+/// Adds two traces sample-by-sample (two co-located harvesters feeding
+/// one buffer). The result spans the longer trace; the shorter
+/// contributes zero beyond its end.
+pub fn overlay(a: &PowerTrace, b: &PowerTrace) -> PowerTrace {
+    let dt = a.sample_interval().min(b.sample_interval());
+    let duration = a.duration().max(b.duration());
+    let n = (duration.get() / dt.get()).round() as usize;
+    let samples = (0..n)
+        .map(|i| {
+            let t = Seconds::new(i as f64 * dt.get());
+            a.power_at(t) + b.power_at(t)
+        })
+        .collect();
+    PowerTrace::new("overlay", dt, samples)
+}
+
+/// Multiplies a trace by a time-varying envelope in `[0, 1]`
+/// (shadowing, antenna occlusion). The envelope is sampled at the
+/// trace's own interval.
+pub fn mask(trace: &PowerTrace, envelope: impl Fn(Seconds) -> f64) -> PowerTrace {
+    let dt = trace.sample_interval();
+    let samples = trace
+        .iter()
+        .map(|(t, p)| {
+            let e = envelope(t).clamp(0.0, 1.0);
+            p * e
+        })
+        .collect();
+    PowerTrace::new(trace.name(), dt, samples)
+}
+
+/// Stretches or compresses time by `factor` (> 1 slows the trace down),
+/// preserving instantaneous power levels.
+///
+/// # Panics
+///
+/// Panics if `factor` is not positive.
+pub fn time_scale(trace: &PowerTrace, factor: f64) -> PowerTrace {
+    assert!(factor > 0.0, "time factor must be positive");
+    let dt = trace.sample_interval();
+    let n = ((trace.duration().get() * factor) / dt.get()).round().max(1.0) as usize;
+    let samples = (0..n)
+        .map(|i| trace.power_at(Seconds::new(i as f64 * dt.get() / factor)))
+        .collect();
+    PowerTrace::new(trace.name(), dt, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(mw: f64, secs: f64) -> PowerTrace {
+        PowerTrace::constant("flat", Watts::from_milli(mw), Seconds::new(secs), Seconds::new(0.1))
+    }
+
+    #[test]
+    fn concat_appends_durations_and_energy() {
+        let a = flat(1.0, 10.0);
+        let b = flat(2.0, 5.0);
+        let c = concat(&[&a, &b]);
+        assert!((c.duration().get() - 15.0).abs() < 1e-9);
+        assert!((c.total_energy().to_milli() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeat_multiplies_energy() {
+        let day = flat(1.0, 8.0);
+        let week = repeat(&day, 7);
+        assert!((week.duration().get() - 56.0).abs() < 1e-9);
+        assert!((week.total_energy().get() - 7.0 * day.total_energy().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlay_sums_sources() {
+        let solar = flat(2.0, 10.0);
+        let rf = flat(0.5, 20.0);
+        let both = overlay(&solar, &rf);
+        assert!((both.power_at(Seconds::new(5.0)).to_milli() - 2.5).abs() < 1e-9);
+        // Beyond the solar trace only RF remains.
+        assert!((both.power_at(Seconds::new(15.0)).to_milli() - 0.5).abs() < 1e-9);
+        assert!((both.duration().get() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mask_applies_envelope() {
+        let t = flat(4.0, 10.0);
+        let shadowed = mask(&t, |time| if time.get() < 5.0 { 1.0 } else { 0.25 });
+        assert!((shadowed.power_at(Seconds::new(2.0)).to_milli() - 4.0).abs() < 1e-9);
+        assert!((shadowed.power_at(Seconds::new(7.0)).to_milli() - 1.0).abs() < 1e-9);
+        // Envelope values are clamped into [0, 1].
+        let wild = mask(&t, |_| 7.0);
+        assert!((wild.total_energy().get() - t.total_energy().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_scale_preserves_power_changes_duration() {
+        let t = flat(1.0, 10.0);
+        let slow = time_scale(&t, 2.0);
+        assert!((slow.duration().get() - 20.0).abs() < 0.2);
+        assert!((slow.stats().mean_power.to_milli() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to concatenate")]
+    fn concat_empty_panics() {
+        concat(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_time_factor_panics() {
+        time_scale(&flat(1.0, 1.0), 0.0);
+    }
+}

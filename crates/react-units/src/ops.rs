@@ -1,0 +1,178 @@
+//! Cross-unit arithmetic: the physically meaningful products and quotients.
+
+use std::ops::{Div, Mul};
+
+use crate::{Amps, Coulombs, Farads, Joules, Ohms, Seconds, Volts, Watts};
+
+macro_rules! cross {
+    // $a * $b = $out (and commuted)
+    (mul $a:ty, $b:ty => $out:ty) => {
+        impl Mul<$b> for $a {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $b) -> $out {
+                <$out>::new(self.get() * rhs.get())
+            }
+        }
+        impl Mul<$a> for $b {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $a) -> $out {
+                <$out>::new(self.get() * rhs.get())
+            }
+        }
+    };
+    // $num / $den = $out
+    (div $num:ty, $den:ty => $out:ty) => {
+        impl Div<$den> for $num {
+            type Output = $out;
+            #[inline]
+            fn div(self, rhs: $den) -> $out {
+                <$out>::new(self.get() / rhs.get())
+            }
+        }
+    };
+}
+
+// Power and energy.
+cross!(mul Volts, Amps => Watts); // P = V·I
+cross!(mul Watts, Seconds => Joules); // E = P·t
+cross!(div Joules, Seconds => Watts); // P = E/t
+cross!(div Joules, Watts => Seconds); // t = E/P
+cross!(div Watts, Volts => Amps); // I = P/V
+cross!(div Watts, Amps => Volts); // V = P/I
+
+// Charge.
+cross!(mul Amps, Seconds => Coulombs); // Q = I·t
+cross!(div Coulombs, Seconds => Amps); // I = Q/t
+cross!(div Coulombs, Amps => Seconds); // t = Q/I
+cross!(mul Farads, Volts => Coulombs); // Q = C·V
+cross!(div Coulombs, Volts => Farads); // C = Q/V
+cross!(div Coulombs, Farads => Volts); // V = Q/C
+
+// Ohm's law.
+cross!(div Volts, Ohms => Amps); // I = V/R
+cross!(div Volts, Amps => Ohms); // R = V/I
+cross!(mul Amps, Ohms => Volts); // V = I·R
+
+// Energy from charge at a potential.
+cross!(mul Coulombs, Volts => Joules); // E = Q·V (for constant-potential transfer)
+
+impl Farads {
+    /// Energy stored on this capacitance at voltage `v`: `E = ½·C·V²`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use react_units::{Farads, Volts};
+    /// let e = Farads::from_milli(1.0).energy_at(Volts::new(2.0));
+    /// assert!((e.get() - 2e-3).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn energy_at(self, v: Volts) -> Joules {
+        Joules::new(0.5 * self.get() * v.get() * v.get())
+    }
+
+    /// The voltage this capacitance reaches when holding energy `e`:
+    /// `V = sqrt(2·E/C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is not positive.
+    #[inline]
+    pub fn voltage_for_energy(self, e: Joules) -> Volts {
+        assert!(self.get() > 0.0, "capacitance must be positive");
+        Volts::new((2.0 * e.get().max(0.0) / self.get()).sqrt())
+    }
+
+    /// Series combination of two capacitances: `C1·C2 / (C1 + C2)`.
+    #[inline]
+    pub fn series_with(self, other: Farads) -> Farads {
+        let (a, b) = (self.get(), other.get());
+        if a + b == 0.0 {
+            Farads::ZERO
+        } else {
+            Farads::new(a * b / (a + b))
+        }
+    }
+}
+
+impl Joules {
+    /// Average power over a window, `P = E / t`; zero for a zero window.
+    #[inline]
+    pub fn average_power_over(self, window: Seconds) -> Watts {
+        if window.get() <= 0.0 {
+            Watts::ZERO
+        } else {
+            self / window
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn power_identities() {
+        let p = Volts::new(3.3) * Amps::from_milli(1.5);
+        assert!((p.to_milli() - 4.95).abs() < 1e-9);
+        let e = p * Seconds::new(2.0);
+        assert!((e.get() - 9.9e-3).abs() < EPS);
+        assert!((e / Seconds::new(2.0) - p).get().abs() < EPS);
+        assert!(((e / p).get() - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn charge_identities() {
+        let q = Amps::from_micro(28.0) * Seconds::new(10.0);
+        assert!((q.to_micro() - 280.0).abs() < 1e-9);
+        let c = Farads::from_micro(770.0);
+        let q2 = c * Volts::new(3.3);
+        assert!((q2.get() - 770e-6 * 3.3).abs() < EPS);
+        assert!(((q2 / c).get() - 3.3).abs() < EPS);
+        assert!(((q2 / Volts::new(3.3)).get() - c.get()).abs() < EPS);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let i = Volts::new(3.3) / Ohms::new(2200.0);
+        assert!((i.to_milli() - 1.5).abs() < 1e-9);
+        assert!(((Volts::new(3.3) / i).get() - 2200.0).abs() < 1e-6);
+        assert!(((i * Ohms::new(2200.0)).get() - 3.3).abs() < EPS);
+    }
+
+    #[test]
+    fn cap_energy_roundtrip() {
+        let c = Farads::from_milli(10.0);
+        let v = Volts::new(3.6);
+        let e = c.energy_at(v);
+        assert!((e.get() - 0.5 * 10e-3 * 3.6 * 3.6).abs() < EPS);
+        let v2 = c.voltage_for_energy(e);
+        assert!((v2.get() - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_for_negative_energy_is_zero() {
+        let c = Farads::from_milli(1.0);
+        assert_eq!(c.voltage_for_energy(Joules::new(-1.0)).get(), 0.0);
+    }
+
+    #[test]
+    fn series_combination() {
+        let c = Farads::from_micro(220.0);
+        // Three equal caps in series, pairwise: C/2 then (C/2 · C)/(3C/2) = C/3.
+        let s = c.series_with(c).series_with(c);
+        assert!((s.get() - 220e-6 / 3.0).abs() < 1e-12);
+        assert_eq!(Farads::ZERO.series_with(Farads::ZERO), Farads::ZERO);
+    }
+
+    #[test]
+    fn average_power() {
+        let e = Joules::new(10.0);
+        assert!((e.average_power_over(Seconds::new(5.0)).get() - 2.0).abs() < EPS);
+        assert_eq!(e.average_power_over(Seconds::ZERO), Watts::ZERO);
+    }
+}

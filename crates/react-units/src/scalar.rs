@@ -1,0 +1,383 @@
+//! Newtype definitions for the scalar physical quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Defines an `f64`-backed quantity newtype with standard arithmetic.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Clone,
+            Copy,
+            Debug,
+            Default,
+            PartialEq,
+            PartialOrd,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in base units.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("let q = react_units::", stringify!($name), "::new(1.5);")]
+            /// assert_eq!(q.get(), 1.5);
+            /// ```
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in base units.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Creates a quantity from a value in milli-units (×10⁻³).
+            #[inline]
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Creates a quantity from a value in micro-units (×10⁻⁶).
+            #[inline]
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Returns the value expressed in milli-units.
+            #[inline]
+            pub fn to_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in micro-units.
+            #[inline]
+            pub fn to_micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity to `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds out of order");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the value is finite (neither NaN nor infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` if the value is `NaN`.
+            #[inline]
+            pub fn is_nan(self) -> bool {
+                self.0.is_nan()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Pick an SI prefix so 770e-6 F prints as "770 µF".
+                let v = self.0;
+                let (scaled, prefix) = if v == 0.0 {
+                    (0.0, "")
+                } else {
+                    let a = v.abs();
+                    if a >= 1.0 {
+                        (v, "")
+                    } else if a >= 1e-3 {
+                        (v * 1e3, "m")
+                    } else if a >= 1e-6 {
+                        (v * 1e6, "µ")
+                    } else {
+                        (v * 1e9, "n")
+                    }
+                };
+                if let Some(p) = f.precision() {
+                    write!(f, "{scaled:.p$} {prefix}{}", $unit)
+                } else {
+                    write!(f, "{scaled} {prefix}{}", $unit)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+impl Seconds {
+    /// Creates a duration from minutes.
+    #[inline]
+    pub fn from_minutes(min: f64) -> Self {
+        Self::new(min * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Self::new(h * 3600.0)
+    }
+}
+
+impl Hertz {
+    /// The period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        assert!(self.get() != 0.0, "zero frequency has no period");
+        Seconds::new(1.0 / self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Volts::new(3.3).get(), 3.3);
+        assert_eq!(Farads::from_micro(770.0).get(), 770e-6);
+        assert!((Watts::from_milli(2.12).get() - 2.12e-3).abs() < 1e-15);
+        assert_eq!(Amps::from_micro(28.0).to_micro(), 28.0);
+        assert_eq!(Joules::ZERO.get(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_on_like_quantities() {
+        let a = Joules::new(2.0);
+        let b = Joules::new(0.5);
+        assert_eq!((a + b).get(), 2.5);
+        assert_eq!((a - b).get(), 1.5);
+        assert_eq!((-b).get(), -0.5);
+        assert_eq!((a * 2.0).get(), 4.0);
+        assert_eq!((2.0 * a).get(), 4.0);
+        assert_eq!((a / 2.0).get(), 1.0);
+        assert_eq!(a / b, 4.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut e = Joules::new(1.0);
+        e += Joules::new(0.25);
+        e -= Joules::new(0.5);
+        assert!((e.get() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ordering_and_clamp() {
+        let lo = Volts::new(1.8);
+        let hi = Volts::new(3.6);
+        assert!(lo < hi);
+        assert_eq!(Volts::new(4.0).clamp(lo, hi), hi);
+        assert_eq!(Volts::new(1.0).clamp(lo, hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds out of order")]
+    fn clamp_panics_on_bad_bounds() {
+        let _ = Volts::new(2.0).clamp(Volts::new(3.0), Volts::new(1.0));
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = (1..=4).map(|i| Joules::new(i as f64)).sum();
+        assert_eq!(total.get(), 10.0);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(format!("{:.0}", Farads::from_micro(770.0)), "770 µF");
+        assert_eq!(format!("{:.0}", Watts::from_milli(5.0)), "5 mW");
+        assert_eq!(format!("{:.1}", Volts::new(3.3)), "3.3 V");
+        assert_eq!(format!("{:.0}", Joules::ZERO), "0 J");
+        assert_eq!(format!("{:.0}", Amps::new(2e-9)), "2 nA");
+    }
+
+    #[test]
+    fn time_helpers() {
+        assert_eq!(Seconds::from_minutes(2.0).get(), 120.0);
+        assert_eq!(Seconds::from_hours(1.0).get(), 3600.0);
+        assert_eq!(Hertz::new(10.0).period().get(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz::new(0.0).period();
+    }
+
+    #[test]
+    fn nan_and_finite_checks() {
+        assert!(Volts::new(1.0).is_finite());
+        assert!(!Volts::new(f64::NAN).is_finite());
+        assert!(Volts::new(f64::NAN).is_nan());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the quantity algebra.
+
+use proptest::prelude::*;
+use react_units::{Amps, Farads, Joules, Ohms, Seconds, Volts, Watts};
+
+proptest! {
+    /// P = V·I and its quotients are mutually consistent.
+    #[test]
+    fn power_algebra_consistent(v in 0.1..10.0f64, i in 1e-6..1.0f64) {
+        let volts = Volts::new(v);
+        let amps = Amps::new(i);
+        let p: Watts = volts * amps;
+        prop_assert!(((p / volts).get() - i).abs() < 1e-12 * i.max(1.0));
+        prop_assert!(((p / amps).get() - v).abs() < 1e-9);
+    }
+
+    /// E = P·t and t = E/P round-trip.
+    #[test]
+    fn energy_time_roundtrip(p in 1e-6..10.0f64, t in 1e-3..1e4f64) {
+        let e: Joules = Watts::new(p) * Seconds::new(t);
+        prop_assert!(((e / Watts::new(p)).get() - t).abs() < 1e-9 * t);
+        prop_assert!(((e / Seconds::new(t)).get() - p).abs() < 1e-12 * p.max(1.0));
+    }
+
+    /// Capacitor energy/voltage conversions invert each other.
+    #[test]
+    fn cap_energy_voltage_roundtrip(c in 1e-6..1.0f64, v in 0.0..10.0f64) {
+        let cap = Farads::new(c);
+        let e = cap.energy_at(Volts::new(v));
+        prop_assert!((cap.voltage_for_energy(e).get() - v).abs() < 1e-9);
+    }
+
+    /// Series capacitance is symmetric, commutative, and never exceeds
+    /// the smaller operand.
+    #[test]
+    fn series_capacitance_properties(a in 1e-9..1.0f64, b in 1e-9..1.0f64) {
+        let (ca, cb) = (Farads::new(a), Farads::new(b));
+        let s1 = ca.series_with(cb);
+        let s2 = cb.series_with(ca);
+        prop_assert!((s1.get() - s2.get()).abs() < 1e-15 * s1.get().max(1e-12));
+        prop_assert!(s1.get() <= a.min(b) + 1e-18);
+    }
+
+    /// Ohm's law triangle holds.
+    #[test]
+    fn ohms_law_triangle(v in 0.1..10.0f64, r in 1.0..1e6f64) {
+        let i: Amps = Volts::new(v) / Ohms::new(r);
+        prop_assert!(((i * Ohms::new(r)).get() - v).abs() < 1e-9);
+        prop_assert!(((Volts::new(v) / i).get() - r).abs() < 1e-6 * r);
+    }
+
+    /// Clamp always lands inside the bounds and is idempotent.
+    #[test]
+    fn clamp_contract(x in -10.0..10.0f64, lo in -5.0..0.0f64, hi in 0.0..5.0f64) {
+        let clamped = Volts::new(x).clamp(Volts::new(lo), Volts::new(hi));
+        prop_assert!(clamped.get() >= lo && clamped.get() <= hi);
+        prop_assert_eq!(clamped.clamp(Volts::new(lo), Volts::new(hi)), clamped);
+    }
+}

@@ -1,0 +1,156 @@
+//! External event schedules (packet arrivals, delivered deadlines).
+//!
+//! The paper uses a secondary, wall-powered MSP430 to deliver events to
+//! the system under test (§4.2) so reactivity-bound benchmarks face
+//! deadlines that do not care whether the system is charged. An
+//! [`EventSchedule`] is the same thing in simulation: a fixed, seeded
+//! list of arrival times generated before the run starts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use react_units::Seconds;
+
+/// A precomputed, sorted schedule of event times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventSchedule {
+    times: Vec<f64>,
+    cursor: usize,
+}
+
+impl EventSchedule {
+    /// Builds a schedule from explicit times (sorted internally).
+    pub fn from_times(mut times: Vec<Seconds>) -> Self {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
+        Self {
+            times: times.into_iter().map(Seconds::get).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Poisson arrivals at `rate` events/second over `duration`,
+    /// deterministic for a given `seed`.
+    pub fn poisson(rate: f64, duration: Seconds, seed: u64) -> Self {
+        assert!(rate >= 0.0, "negative rate");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut times = Vec::new();
+        let mut t = 0.0;
+        if rate > 0.0 {
+            loop {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -u.ln() / rate;
+                if t >= duration.get() {
+                    break;
+                }
+                times.push(t);
+            }
+        }
+        Self { times, cursor: 0 }
+    }
+
+    /// Strictly periodic events at `period`, starting one period in.
+    pub fn periodic(period: Seconds, duration: Seconds) -> Self {
+        assert!(period.get() > 0.0, "period must be positive");
+        let n = (duration.get() / period.get()).floor() as usize;
+        Self {
+            times: (1..=n).map(|i| i as f64 * period.get()).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Total number of events in the schedule.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.times.len() - self.cursor
+    }
+
+    /// The next pending event time, if any.
+    pub fn peek(&self) -> Option<Seconds> {
+        self.times.get(self.cursor).map(|&t| Seconds::new(t))
+    }
+
+    /// Consumes and returns every event with time ≤ `now`.
+    pub fn take_due(&mut self, now: Seconds) -> usize {
+        let start = self.cursor;
+        while self
+            .times
+            .get(self.cursor)
+            .is_some_and(|&t| t <= now.get())
+        {
+            self.cursor += 1;
+        }
+        self.cursor - start
+    }
+
+    /// All event times (for inspection/tests).
+    pub fn iter(&self) -> impl Iterator<Item = Seconds> + '_ {
+        self.times.iter().map(|&t| Seconds::new(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_rate_accurate() {
+        let a = EventSchedule::poisson(0.5, Seconds::new(2000.0), 9);
+        let b = EventSchedule::poisson(0.5, Seconds::new(2000.0), 9);
+        assert_eq!(a, b);
+        // ≈1000 events expected; Poisson σ ≈ 32.
+        assert!((a.len() as f64 - 1000.0).abs() < 150.0, "got {}", a.len());
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_empty() {
+        let s = EventSchedule::poisson(0.0, Seconds::new(100.0), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn periodic_schedule() {
+        let s = EventSchedule::periodic(Seconds::new(5.0), Seconds::new(21.0));
+        let times: Vec<f64> = s.iter().map(|t| t.get()).collect();
+        assert_eq!(times, vec![5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn take_due_consumes_in_order() {
+        let mut s = EventSchedule::periodic(Seconds::new(1.0), Seconds::new(5.5));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.take_due(Seconds::new(2.5)), 2);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.peek(), Some(Seconds::new(3.0)));
+        assert_eq!(s.take_due(Seconds::new(2.9)), 0);
+        assert_eq!(s.take_due(Seconds::new(100.0)), 3);
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn from_times_sorts() {
+        let s = EventSchedule::from_times(vec![
+            Seconds::new(3.0),
+            Seconds::new(1.0),
+            Seconds::new(2.0),
+        ]);
+        let v: Vec<f64> = s.iter().map(|t| t.get()).collect();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn events_fall_inside_duration() {
+        let s = EventSchedule::poisson(0.2, Seconds::new(300.0), 7);
+        for t in s.iter() {
+            assert!(t.get() >= 0.0 && t.get() < 300.0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The workload abstraction the simulator drives.
+
+use react_mcu::PowerMode;
+use react_units::{Amps, Joules, Seconds, Volts};
+
+/// What the running software sees each step: time, the rail, and the
+/// buffer's energy book-keeping (REACT's capacitance-level surrogate is
+/// exposed as usable energy, §3.4.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadEnv {
+    /// Wall-clock time.
+    pub now: Seconds,
+    /// Step length.
+    pub dt: Seconds,
+    /// Voltage at the load rail.
+    pub rail_voltage: Volts,
+    /// Energy the buffer can still deliver above the brown-out voltage.
+    pub usable_energy: Joules,
+    /// `true` if the buffer exposes the software longevity API
+    /// (REACT and Morphy do; static buffers cannot, §3.4.1).
+    pub supports_longevity: bool,
+}
+
+/// The workload's demand for the step: an MCU mode plus switched
+/// peripheral current.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadDemand {
+    /// Requested MCU power mode.
+    pub mode: PowerMode,
+    /// Total peripheral current switched on (radio, microphone, …).
+    pub peripheral_current: Amps,
+}
+
+impl LoadDemand {
+    /// CPU-only active execution.
+    pub fn active() -> Self {
+        Self {
+            mode: PowerMode::Active,
+            peripheral_current: Amps::ZERO,
+        }
+    }
+
+    /// Responsive sleep (LPM3), optionally with a peripheral held on.
+    pub fn sleep_with(peripheral_current: Amps) -> Self {
+        Self {
+            mode: PowerMode::Sleep,
+            peripheral_current,
+        }
+    }
+
+    /// Active with a peripheral on.
+    pub fn active_with(peripheral_current: Amps) -> Self {
+        Self {
+            mode: PowerMode::Active,
+            peripheral_current,
+        }
+    }
+}
+
+/// A benchmark application driven by the simulator.
+///
+/// The simulator calls [`step`](Workload::step) only while the MCU is
+/// powered and past boot; power transitions arrive through
+/// [`on_power_up`](Workload::on_power_up) /
+/// [`on_power_down`](Workload::on_power_down). Progress counters must be
+/// kept in nonvolatile state (conceptually FRAM): they survive power
+/// failure, but any in-flight operation is lost.
+pub trait Workload {
+    /// Display name (`DE`, `SC`, `RT`, `PF`).
+    fn name(&self) -> &'static str;
+
+    /// Called when the MCU finishes booting after the gate enables.
+    fn on_power_up(&mut self, now: Seconds);
+
+    /// Called when the gate disconnects the MCU (brown-out). In-flight
+    /// operations fail here.
+    fn on_power_down(&mut self, now: Seconds);
+
+    /// One simulation step while running; returns the load demand.
+    fn step(&mut self, env: &WorkloadEnv) -> LoadDemand;
+
+    /// Called once when the simulation ends, with the final time, so
+    /// workloads can account for deadlines that passed while dark.
+    fn finalize(&mut self, now: Seconds);
+
+    /// Primary figure of merit (encryptions, samples, transmissions,
+    /// packets forwarded).
+    fn ops_completed(&self) -> u64;
+
+    /// Operations started but lost to power failure.
+    fn ops_failed(&self) -> u64 {
+        0
+    }
+
+    /// Secondary count (PF reports packets received here).
+    fn aux_completed(&self) -> u64 {
+        0
+    }
+
+    /// External events (deadlines, packet arrivals) that could not be
+    /// served.
+    fn events_missed(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_constructors() {
+        let a = LoadDemand::active();
+        assert_eq!(a.mode, PowerMode::Active);
+        assert_eq!(a.peripheral_current, Amps::ZERO);
+
+        let s = LoadDemand::sleep_with(Amps::from_micro(1.0));
+        assert_eq!(s.mode, PowerMode::Sleep);
+        assert!((s.peripheral_current.to_micro() - 1.0).abs() < 1e-12);
+
+        let w = LoadDemand::active_with(Amps::from_milli(18.0));
+        assert_eq!(w.mode, PowerMode::Active);
+        assert!((w.peripheral_current.to_milli() - 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Packet forwarding on RF power: the §5.4.1 energy-fungibility story.
+//!
+//! A batteryless relay listens for unpredictable packets (reactivity-
+//! bound) and forwards them (energy-bound). The example contrasts the
+//! paper's buffer designs on the RF Cart trace and shows REACT's
+//! longevity API splitting energy between the two tasks.
+//!
+//! ```text
+//! cargo run --release --example rf_packet_forwarding
+//! ```
+
+use react_repro::core::report::TextTable;
+use react_repro::prelude::*;
+
+fn main() {
+    let trace = paper_trace(PaperTrace::RfCart);
+    println!("trace: {} — {}", trace.name(), trace.stats());
+    println!();
+
+    let mut table = TextTable::new(
+        "Packet forwarding on the office-cart trace",
+        &["Buffer", "Rx", "Tx", "Missed", "Failed ops", "On-time (s)"],
+    );
+    for kind in BufferKind::PAPER_COLUMNS {
+        let out = Experiment::new(kind, WorkloadKind::PacketForward)
+            .run_paper_trace(PaperTrace::RfCart);
+        let m = &out.metrics;
+        table.push_row(&[
+            kind.label().to_string(),
+            m.aux_completed.to_string(),
+            m.ops_completed.to_string(),
+            m.events_missed.to_string(),
+            m.ops_failed.to_string(),
+            format!("{:.0}", m.on_time.get()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Static buffers either miss packets while dark (770 µF) or waste\n\
+         energy on receptions they cannot finish forwarding. REACT receives\n\
+         whenever ~2 mJ is on hand, charges toward the ~4 mJ forwarding cost\n\
+         in between, and abandons that reservation the moment a new packet\n\
+         arrives — energy stays fungible (§5.4.1)."
+    );
+}

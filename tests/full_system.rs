@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: full simulated deployments.
+
+use react_repro::prelude::*;
+
+/// Every (buffer, workload) pair runs end to end on a trace slice,
+/// conserves energy, and reports sane metrics.
+#[test]
+fn every_pair_runs_and_conserves_energy() {
+    let trace = paper_trace(PaperTrace::RfCart).truncated(Seconds::new(60.0));
+    for buffer in [
+        BufferKind::Static770uF,
+        BufferKind::Static10mF,
+        BufferKind::Static17mF,
+        BufferKind::Morphy,
+        BufferKind::React,
+        BufferKind::Dewdrop,
+        BufferKind::Capybara,
+    ] {
+        for workload in WorkloadKind::ALL {
+            let out = Experiment::new(buffer, workload).run(&trace);
+            let m = &out.metrics;
+            assert!(
+                m.relative_conservation_error() < 5e-3,
+                "{} × {} conservation error {}",
+                buffer.label(),
+                workload.label(),
+                m.relative_conservation_error()
+            );
+            assert!(m.total_time >= Seconds::new(60.0));
+            assert!(m.on_time <= m.total_time);
+        }
+    }
+}
+
+/// Same seed, same everything: runs are bit-for-bit deterministic.
+#[test]
+fn runs_are_deterministic() {
+    let trace = paper_trace(PaperTrace::RfMobile).truncated(Seconds::new(45.0));
+    let run = || {
+        Experiment::new(BufferKind::React, WorkloadKind::PacketForward)
+            .run_configured(
+                &trace,
+                Some(PaperTrace::RfMobile),
+                Seconds::new(0.001),
+                Some(Seconds::new(1.0)),
+            )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.voltage_series, b.voltage_series);
+}
+
+/// The DE benchmark does real cryptographic work: its op count times the
+/// op duration cannot exceed the measured on-time.
+#[test]
+fn de_ops_bounded_by_on_time() {
+    let trace = paper_trace(PaperTrace::RfCart).truncated(Seconds::new(90.0));
+    let out = Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption).run(&trace);
+    let m = &out.metrics;
+    let op_s = react_repro::workloads::costs::DE_OP.get();
+    assert!(m.ops_completed > 0);
+    assert!(
+        (m.ops_completed as f64) * op_s <= m.on_time.get() + 1.0,
+        "{} ops × {op_s} s exceeds on-time {}",
+        m.ops_completed,
+        m.on_time.get()
+    );
+}
+
+/// Voltage probes stay inside the physical envelope: never negative,
+/// never above the 3.6 V rail clamp (plus numerical slack).
+#[test]
+fn probed_voltages_stay_in_envelope() {
+    let trace = paper_trace(PaperTrace::RfCart).truncated(Seconds::new(60.0));
+    for buffer in BufferKind::PAPER_COLUMNS {
+        let out = Experiment::new(buffer, WorkloadKind::DataEncryption).run_configured(
+            &trace,
+            Some(PaperTrace::RfCart),
+            Seconds::new(0.001),
+            Some(Seconds::new(0.5)),
+        );
+        for s in &out.voltage_series {
+            assert!(
+                s.voltage_v >= -1e-9 && s.voltage_v <= 3.6 + 1e-6,
+                "{}: v = {} at t = {}",
+                buffer.label(),
+                s.voltage_v,
+                s.time_s
+            );
+        }
+    }
+}
+
+/// A system that never reaches the enable voltage does no work but also
+/// wastes no load energy.
+#[test]
+fn starved_system_does_nothing() {
+    let trace = PowerTrace::constant(
+        "starved",
+        Watts::from_micro(1.0),
+        Seconds::new(30.0),
+        Seconds::new(0.1),
+    );
+    let out = Experiment::new(BufferKind::Static17mF, WorkloadKind::SenseCompute).run(&trace);
+    let m = &out.metrics;
+    assert_eq!(m.first_on_latency, None);
+    assert_eq!(m.ops_completed, 0);
+    assert_eq!(m.boots, 0);
+    assert_eq!(m.ledger.load_consumed.get(), 0.0);
+}
+
+/// Metrics serialize for downstream analysis.
+#[test]
+fn outcomes_serialize() {
+    let trace = paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(30.0));
+    let out = Experiment::new(BufferKind::React, WorkloadKind::DataEncryption).run(&trace);
+    let json = serde_json::to_string(&out.metrics).expect("serialize");
+    assert!(json.contains("ops_completed"));
+}
