@@ -1,0 +1,172 @@
+//! Engine bench: adaptive kernel + parallel runners vs the fixed-`dt`
+//! serial baseline.
+//!
+//! Prints (and saves under `target/paper-artifacts/engine.txt`) three
+//! comparisons:
+//!
+//! 1. single-run kernel throughput (wall-clock and engine steps) for a
+//!    charge-dominated scenario,
+//! 2. a buffer-size sweep: serial fixed-`dt` vs parallel adaptive
+//!    wall-clock, and
+//! 3. a small trace × buffer experiment matrix, same comparison.
+//!
+//! Run with `cargo bench --bench engine`; `-- --test` is the CI smoke
+//! mode (each measurement body runs once, no timing claims).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use react_bench::save_artifact;
+use react_buffers::BufferKind;
+use react_core::sweep::{log_spaced_sizes, static_size_sweep_with, SweepOptions};
+use react_core::{calib, Experiment, ExperimentMatrix, KernelMode, WorkloadKind};
+use react_traces::{paper_trace, PaperTrace, PowerTrace};
+use react_units::Seconds;
+
+fn single_run(trace: &Arc<PowerTrace>, kernel: KernelMode) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let out = Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption)
+        .run_shared(trace, None, calib::DEFAULT_DT, None, kernel);
+    (
+        start.elapsed().as_secs_f64(),
+        out.metrics.engine_steps,
+        out.metrics.ops_completed,
+    )
+}
+
+fn compare_then_bench(c: &mut Criterion) {
+    let mut report = String::new();
+
+    // 1. Kernel throughput on one charge-dominated run.
+    let trace = Arc::new(paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(120.0)));
+    let (t_fixed, steps_fixed, ops_fixed) = single_run(&trace, KernelMode::FixedDt);
+    let (t_adaptive, steps_adaptive, ops_adaptive) = single_run(&trace, KernelMode::Adaptive);
+    report.push_str(&format!(
+        "single run (DE × 10 mF × RF Obs. 120 s)\n\
+         \x20 fixed-dt : {:>8.1} ms, {:>8} engine steps, {} ops\n\
+         \x20 adaptive : {:>8.1} ms, {:>8} engine steps, {} ops\n\
+         \x20 kernel speedup: {:.1}× wall-clock, {:.0}× fewer steps\n\n",
+        t_fixed * 1e3,
+        steps_fixed,
+        ops_fixed,
+        t_adaptive * 1e3,
+        steps_adaptive,
+        ops_adaptive,
+        t_fixed / t_adaptive.max(1e-9),
+        steps_fixed as f64 / steps_adaptive.max(1) as f64,
+    ));
+
+    // 2. Buffer-size sweep: the §2.1 design-space exploration.
+    let sweep_trace = paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(120.0));
+    let sizes = log_spaced_sizes(
+        react_units::Farads::from_micro(200.0),
+        react_units::Farads::from_milli(50.0),
+        8,
+    );
+    let start = Instant::now();
+    let reference = static_size_sweep_with(
+        &sweep_trace,
+        WorkloadKind::DataEncryption,
+        &sizes,
+        SweepOptions::serial_reference(),
+    );
+    let t_serial = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let fast = static_size_sweep_with(
+        &sweep_trace,
+        WorkloadKind::DataEncryption,
+        &sizes,
+        SweepOptions::default(),
+    );
+    let t_parallel = start.elapsed().as_secs_f64();
+    let sweep_speedup = t_serial / t_parallel.max(1e-9);
+    let agree = reference
+        .iter()
+        .zip(&fast)
+        .all(|(r, f)| (r.metrics.ops_completed as i64 - f.metrics.ops_completed as i64).abs() <= 2);
+    report.push_str(&format!(
+        "static-size sweep (8 sizes × DE × RF Obs. 120 s)\n\
+         \x20 serial fixed-dt  : {:>8.1} ms\n\
+         \x20 parallel adaptive: {:>8.1} ms\n\
+         \x20 sweep speedup: {sweep_speedup:.1}×  (results agree: {agree})\n\n",
+        t_serial * 1e3,
+        t_parallel * 1e3,
+    ));
+
+    // 3. Trace × buffer matrix corner. SolarCommute is the paper's
+    // long mostly-dark trace (6030 s, 0.148 mW) — the case whose
+    // hour-scale charge phases motivated the adaptive kernel.
+    let traces = [
+        PaperTrace::RfCart,
+        PaperTrace::RfObstructed,
+        PaperTrace::SolarCommute,
+    ];
+    let buffers = [
+        BufferKind::Static770uF,
+        BufferKind::Static10mF,
+        BufferKind::Static17mF,
+    ];
+    let start = Instant::now();
+    let m_ref = ExperimentMatrix::run_serial_reference(
+        WorkloadKind::DataEncryption,
+        &traces,
+        &buffers,
+        calib::DEFAULT_DT,
+    );
+    let t_serial = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let m_fast = ExperimentMatrix::run_with(
+        WorkloadKind::DataEncryption,
+        &traces,
+        &buffers,
+        calib::DEFAULT_DT,
+    );
+    let t_parallel = start.elapsed().as_secs_f64();
+    let matrix_speedup = t_serial / t_parallel.max(1e-9);
+    let cells_agree = m_ref.rows.iter().zip(&m_fast.rows).all(|(rr, fr)| {
+        rr.cells.iter().zip(&fr.cells).all(|(rc, fc)| {
+            let (a, b) = (
+                rc.outcome.metrics.ops_completed as f64,
+                fc.outcome.metrics.ops_completed as f64,
+            );
+            (a - b).abs() <= 0.02 * a.max(b) + 2.0
+        })
+    });
+    report.push_str(&format!(
+        "experiment matrix (3 traces × 3 buffers × DE, full traces)\n\
+         \x20 serial fixed-dt  : {:>8.1} ms\n\
+         \x20 parallel adaptive: {:>8.1} ms\n\
+         \x20 matrix speedup: {matrix_speedup:.1}×  (results agree: {cells_agree})\n",
+        t_serial * 1e3,
+        t_parallel * 1e3,
+    ));
+
+    println!("{report}");
+    save_artifact("engine", &report, None);
+
+    // Criterion-style timed kernels for regression tracking.
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    let short = Arc::new(paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(60.0)));
+    group.bench_function("de_10mf_rfobs_60s_adaptive", |b| {
+        b.iter(|| {
+            Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption)
+                .run_shared(&short, None, calib::DEFAULT_DT, None, KernelMode::Adaptive)
+                .metrics
+                .ops_completed
+        })
+    });
+    group.bench_function("de_10mf_rfobs_60s_fixed", |b| {
+        b.iter(|| {
+            Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption)
+                .run_shared(&short, None, calib::DEFAULT_DT, None, KernelMode::FixedDt)
+                .metrics
+                .ops_completed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compare_then_bench);
+criterion_main!(benches);

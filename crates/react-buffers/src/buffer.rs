@@ -73,8 +73,89 @@ pub trait EnergyBuffer {
     /// powered controllers (Morphy) ignore it.
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool);
 
+    /// Advances the buffer through an MCU-off stretch: constant rail
+    /// `input` power, zero load, for up to `duration`, stopping early
+    /// once the rail reaches `v_stop` (the power gate's enable voltage).
+    /// Returns the simulated time actually advanced, always a whole
+    /// number of `fine_dt` steps except possibly a short final partial
+    /// step at the end of `duration`.
+    ///
+    /// The default implementation replays the fixed-timestep reference
+    /// loop exactly, so buffers with internal controllers (REACT's diode
+    /// steering, Morphy's externally powered switch network) keep
+    /// step-identical semantics. Buffers whose idle physics have a
+    /// closed form — [`StaticBuffer`](crate::StaticBuffer) — override
+    /// this to integrate whole charge phases analytically, which is what
+    /// makes the adaptive simulation kernel fast.
+    fn idle_advance(&mut self, input: Watts, duration: Seconds, v_stop: Volts, fine_dt: Seconds) -> Seconds {
+        let total = duration.get();
+        let dt = fine_dt.get();
+        assert!(dt > 0.0, "fine timestep must be positive");
+        let mut elapsed = 0.0_f64;
+        while elapsed < total {
+            if self.rail_voltage() >= v_stop {
+                break;
+            }
+            let h = dt.min(total - elapsed);
+            self.step(input, Amps::ZERO, Seconds::new(h), false);
+            elapsed += h;
+        }
+        Seconds::new(elapsed)
+    }
+
     /// Energy accounting so far.
     fn ledger(&self) -> &EnergyLedger;
+}
+
+/// Forwarding impl so the simulation engine can be generic over
+/// `B: EnergyBuffer` while `BufferKind::build`'s `Box<dyn EnergyBuffer>`
+/// constructors keep working as thin wrappers. Every method forwards
+/// through the box so concrete overrides (notably `idle_advance`) are
+/// preserved under dynamic dispatch.
+impl<T: EnergyBuffer + ?Sized> EnergyBuffer for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn rail_voltage(&self) -> Volts {
+        (**self).rail_voltage()
+    }
+
+    fn input_voltage(&self) -> Volts {
+        (**self).input_voltage()
+    }
+
+    fn equivalent_capacitance(&self) -> Farads {
+        (**self).equivalent_capacitance()
+    }
+
+    fn stored_energy(&self) -> Joules {
+        (**self).stored_energy()
+    }
+
+    fn usable_energy_above(&self, v_floor: Volts) -> Joules {
+        (**self).usable_energy_above(v_floor)
+    }
+
+    fn supports_longevity(&self) -> bool {
+        (**self).supports_longevity()
+    }
+
+    fn capacitance_level(&self) -> u32 {
+        (**self).capacitance_level()
+    }
+
+    fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool) {
+        (**self).step(input, load, dt, mcu_running)
+    }
+
+    fn idle_advance(&mut self, input: Watts, duration: Seconds, v_stop: Volts, fine_dt: Seconds) -> Seconds {
+        (**self).idle_advance(input, duration, v_stop, fine_dt)
+    }
+
+    fn ledger(&self) -> &EnergyLedger {
+        (**self).ledger()
+    }
 }
 
 /// Catalog of buffer designs evaluated in the paper (§4.1) plus the

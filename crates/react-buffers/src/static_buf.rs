@@ -3,7 +3,7 @@
 use react_circuit::{Capacitor, CapacitorSpec, EnergyLedger};
 use react_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
 
-use crate::{power_intake, EnergyBuffer};
+use crate::{power_intake, EnergyBuffer, CHARGE_CURRENT_LIMIT, CONVERSION_FLOOR};
 
 /// A single static buffer capacitor with an overvoltage clamp.
 #[derive(Clone, Debug)]
@@ -49,6 +49,242 @@ impl StaticBuffer {
     }
 }
 
+/// Result of one closed-form idle integration.
+#[derive(Clone, Copy, Debug)]
+struct IdleSolution {
+    /// Time integrated (≤ the requested horizon; shorter only when the
+    /// stop voltage was reached first).
+    elapsed: f64,
+    /// Terminal voltage.
+    v_final: f64,
+    /// Energy lost to leakage over `elapsed`, `∫ G·v² dt`.
+    leaked: f64,
+    /// Energy burned by the overvoltage clamp over `elapsed`.
+    clipped: f64,
+}
+
+/// Integrates the MCU-off charge/decay dynamics of a single capacitor in
+/// closed form.
+///
+/// The per-step reference physics (leak, then `power_intake` deposit)
+/// discretize the ODE `C·dv/dt = i_in(v) − G·v` with
+/// `i_in(v) = min(p / max(v, V_floor), I_limit)` for `p > 0`, which is
+/// piecewise linear either in `v` (constant-current regions) or in
+/// `u = v²` (the power-limited region, where `du/dt = 2(p − G·u)/C` —
+/// the "RC charge curve" with leakage as the R). Each regime therefore
+/// has an exact exponential solution and an invertible crossing time;
+/// the integrator walks the regimes in sequence, accumulating the exact
+/// leakage integral, and holds with clipping at the overvoltage clamp.
+fn integrate_idle(
+    c: f64,
+    g: f64,
+    v_max: f64,
+    p: f64,
+    v_start: f64,
+    horizon: f64,
+    v_stop: Option<f64>,
+) -> IdleSolution {
+    const V_FLOOR: f64 = CONVERSION_FLOOR.get();
+    const I_LIMIT: f64 = CHARGE_CURRENT_LIMIT.get();
+
+    let mut v = v_start.max(0.0);
+    let mut remaining = horizon;
+    let mut leaked = 0.0;
+    let mut clipped = 0.0;
+
+    // Exact ∫(a + b·e^{−k t})² dt over [0, T], scaled by `g`: the
+    // leakage integral for the linear-in-v regimes.
+    let leak_integral_v = |a: f64, b: f64, k: f64, t: f64| -> f64 {
+        if g == 0.0 {
+            return 0.0;
+        }
+        if k <= 0.0 {
+            // b is constant (no decay term): v = a + b.
+            let vv = a + b;
+            return g * vv * vv * t;
+        }
+        let e1 = -(-k * t).exp_m1(); // 1 − e^{−kT}
+        let e2 = -(-2.0 * k * t).exp_m1(); // 1 − e^{−2kT}
+        g * (a * a * t + 2.0 * a * b * e1 / k + b * b * e2 / (2.0 * k))
+    };
+
+    for _ in 0..64 {
+        if remaining <= 0.0 {
+            break;
+        }
+        if let Some(vs) = v_stop {
+            if v >= vs {
+                break;
+            }
+        }
+        let target = v_stop.unwrap_or(f64::INFINITY).min(v_max);
+
+        // Overvoltage clamp hold: input refills leakage, the rest burns.
+        if v >= v_max - 1e-12 {
+            let i_in = if p > 0.0 {
+                (p / v_max.max(V_FLOOR)).min(I_LIMIT)
+            } else {
+                0.0
+            };
+            let i_leak = g * v_max;
+            if i_in >= i_leak {
+                leaked += i_leak * v_max * remaining;
+                clipped += (i_in - i_leak) * v_max * remaining;
+                // Replacement charge arrives continuously; v stays put.
+                return IdleSolution {
+                    elapsed: horizon,
+                    v_final: v_max,
+                    leaked,
+                    clipped,
+                };
+            }
+            // Leak outruns the input: fall through and decay below the
+            // clamp via the ordinary regimes.
+        }
+
+        // Constant-current regimes: linear ODE C·dv/dt = i − G·v.
+        let const_current = if p <= 0.0 {
+            Some((0.0, f64::INFINITY)) // pure decay everywhere
+        } else if v < V_FLOOR {
+            Some(((p / V_FLOOR).min(I_LIMIT), V_FLOOR))
+        } else if p / v >= I_LIMIT {
+            Some((I_LIMIT, p / I_LIMIT))
+        } else {
+            None
+        };
+
+        if let Some((i, regime_top)) = const_current {
+            let k = g / c;
+            let slope0 = (i - g * v) / c;
+            let upper = target.min(regime_top);
+            if slope0 <= 0.0 {
+                // Decaying (or flat): stays in regime; integrate out.
+                let (a, b) = if g > 0.0 { (i / g, v - i / g) } else { (0.0, v) };
+                let v_end = if g > 0.0 {
+                    a + b * (-k * remaining).exp()
+                } else {
+                    v // i == 0 && g == 0: nothing moves
+                };
+                leaked += leak_integral_v(a, b, k, remaining);
+                v = v_end;
+                remaining = 0.0;
+                break;
+            }
+            // Rising: time to the regime/target boundary.
+            let (a, b) = if g > 0.0 { (i / g, v - i / g) } else { (v, 0.0) };
+            let t_hit = if g > 0.0 {
+                let ratio = (upper - a) / (v - a);
+                if ratio <= 0.0 || ratio >= 1.0 {
+                    f64::INFINITY // boundary at/behind the asymptote
+                } else {
+                    -ratio.ln() / k
+                }
+            } else {
+                (upper - v) * c / i
+            };
+            if t_hit >= remaining {
+                let v_end = if g > 0.0 {
+                    a + b * (-k * remaining).exp()
+                } else {
+                    v + i * remaining / c
+                };
+                leaked += if g > 0.0 {
+                    leak_integral_v(a, b, k, remaining)
+                } else {
+                    0.0
+                };
+                v = v_end.min(upper);
+                remaining = 0.0;
+                break;
+            }
+            leaked += if g > 0.0 {
+                leak_integral_v(a, b, k, t_hit)
+            } else {
+                0.0
+            };
+            remaining -= t_hit;
+            // Land an ulp past the boundary so the next iteration
+            // classifies into the adjacent regime.
+            v = f64::from_bits(upper.to_bits() + 1);
+            continue;
+        }
+
+        // Power-limited regime: linear ODE in u = v²,
+        // du/dt = (2/C)(p − G·u).
+        let u = v * v;
+        let target_u = target * target;
+        let k2 = 2.0 * g / c;
+        let du0 = 2.0 * (p - g * u) / c;
+        if du0 <= 0.0 {
+            // Decaying toward √(p/G) (which sits above the lower regime
+            // boundaries whenever decay happens — leakage currents are
+            // orders of magnitude below the charge-current limit): the
+            // trajectory never exits the regime; integrate out.
+            let ueq = p / g; // g > 0 here, else du0 > 0
+            let u_end = ueq + (u - ueq) * (-k2 * remaining).exp();
+            // ∫u dt for u = ueq + (u0−ueq)e^{−k2 t}.
+            let e1 = -(-k2 * remaining).exp_m1();
+            leaked += g * (ueq * remaining + (u - ueq) * e1 / k2);
+            v = u_end.max(0.0).sqrt();
+            remaining = 0.0;
+            break;
+        }
+        // u(t) = ueq + (u0 − ueq)·e^{−k2 t} for G > 0, else a linear
+        // ramp u0 + 2pt/C.
+        let u_after = |tt: f64| -> f64 {
+            if g > 0.0 {
+                let ueq = p / g;
+                ueq + (u - ueq) * (-k2 * tt).exp()
+            } else {
+                u + 2.0 * p * tt / c
+            }
+        };
+        let leak_over = |tt: f64| -> f64 {
+            if g > 0.0 {
+                let ueq = p / g;
+                let e1 = -(-k2 * tt).exp_m1();
+                g * (ueq * tt + (u - ueq) * e1 / k2)
+            } else {
+                0.0
+            }
+        };
+        let t_hit = if g > 0.0 {
+            let ueq = p / g;
+            let ratio = (target_u - ueq) / (u - ueq);
+            if ratio <= 0.0 || ratio >= 1.0 {
+                f64::INFINITY // boundary at/behind the asymptote
+            } else {
+                -ratio.ln() / k2
+            }
+        } else {
+            (target_u - u) * c / (2.0 * p)
+        };
+        if t_hit >= remaining {
+            let u_end = u_after(remaining).min(target_u);
+            leaked += leak_over(remaining);
+            v = u_end.max(0.0).sqrt();
+            remaining = 0.0;
+            break;
+        }
+        leaked += leak_over(t_hit);
+        remaining -= t_hit;
+        v = f64::from_bits(target.to_bits() + 1).min(v_max);
+        if let Some(vs) = v_stop {
+            if target >= vs {
+                v = vs;
+                break;
+            }
+        }
+    }
+
+    IdleSolution {
+        elapsed: horizon - remaining,
+        v_final: v,
+        leaked,
+        clipped,
+    }
+}
+
 impl EnergyBuffer for StaticBuffer {
     fn name(&self) -> &str {
         &self.name
@@ -72,6 +308,59 @@ impl EnergyBuffer for StaticBuffer {
             return Joules::ZERO;
         }
         self.cap.capacitance().energy_at(v) - self.cap.capacitance().energy_at(v_floor)
+    }
+
+    /// Closed-form idle integration: whole charge phases (the dominant
+    /// cost of low-power traces at a fixed 1 ms step) collapse into a
+    /// handful of per-regime exponential evaluations. The crossing time
+    /// to `v_stop` is solved exactly, then rounded *up* to the fine-step
+    /// grid so the power gate observes the enable crossing at the same
+    /// timestep quantization as the fixed-dt reference kernel.
+    fn idle_advance(&mut self, input: Watts, duration: Seconds, v_stop: Volts, fine_dt: Seconds) -> Seconds {
+        let v0 = self.cap.voltage().get();
+        let vs = v_stop.get();
+        if v0 >= vs || duration.get() <= 0.0 {
+            return Seconds::ZERO;
+        }
+        let dt = fine_dt.get();
+        assert!(dt > 0.0, "fine timestep must be positive");
+        let spec = *self.cap.spec();
+        let c = spec.capacitance.get();
+        let g = if spec.leakage.rated_voltage.get() > 0.0 {
+            spec.leakage.current_at_rated.get() / spec.leakage.rated_voltage.get()
+        } else {
+            0.0
+        };
+        let p = input.get().max(0.0);
+
+        // Pass 1: where (if at all) does the trajectory cross `v_stop`?
+        let probe = integrate_idle(c, g, spec.max_voltage.get(), p, v0, duration.get(), Some(vs));
+        let t_adv = if probe.elapsed < duration.get() {
+            // Crossed early: quantize the crossing up to the step grid.
+            ((probe.elapsed / dt).ceil() * dt).max(dt).min(duration.get())
+        } else {
+            duration.get()
+        };
+
+        // Pass 2: integrate exactly `t_adv` and book the energy flows.
+        // When pass 1 ran the full horizon without stopping (the common
+        // long-charge-phase case), its solution already is the answer.
+        let fin = if probe.elapsed >= duration.get() {
+            probe
+        } else {
+            integrate_idle(c, g, spec.max_voltage.get(), p, v0, t_adv, None)
+        };
+        let e0 = self.cap.energy();
+        self.cap.set_voltage(Volts::new(fin.v_final));
+        let delta_e = self.cap.energy() - e0;
+        // delivered := ΔE + leaked keeps the ledger residual exactly
+        // zero; clamp the p = 0 case's rounding dust at zero.
+        let delivered = Joules::new((delta_e.get() + fin.leaked).max(0.0));
+        self.ledger.leaked += Joules::new(fin.leaked);
+        self.ledger.delivered += delivered;
+        self.ledger.clipped += Joules::new(fin.clipped);
+        self.ledger.harvested += delivered + Joules::new(fin.clipped);
+        Seconds::new(t_adv)
     }
 
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, _mcu_running: bool) {
@@ -165,6 +454,115 @@ mod tests {
         let b = StaticBuffer::static_770uf();
         assert!(!b.supports_longevity());
         assert_eq!(b.capacitance_level(), 0);
+    }
+
+    /// Runs the default (reference) fine-step idle loop on a clone.
+    fn reference_idle(
+        b: &StaticBuffer,
+        input_mw: f64,
+        duration_s: f64,
+        v_stop: f64,
+    ) -> (StaticBuffer, f64) {
+        let mut r = b.clone();
+        let total = duration_s;
+        let dt = 1e-3_f64;
+        let mut elapsed = 0.0;
+        while elapsed < total {
+            if r.rail_voltage().get() >= v_stop {
+                break;
+            }
+            let h = dt.min(total - elapsed);
+            r.step(
+                Watts::from_milli(input_mw),
+                Amps::ZERO,
+                Seconds::new(h),
+                false,
+            );
+            elapsed += h;
+        }
+        (r, elapsed)
+    }
+
+    fn assert_analytic_matches(start_v: f64, input_mw: f64, duration_s: f64, v_stop: f64) {
+        let mut b = StaticBuffer::static_10mf();
+        b.set_voltage(Volts::new(start_v));
+        let (reference, ref_elapsed) = reference_idle(&b, input_mw, duration_s, v_stop);
+        let advanced = b.idle_advance(
+            Watts::from_milli(input_mw),
+            Seconds::new(duration_s),
+            Volts::new(v_stop),
+            Seconds::from_milli(1.0),
+        );
+        let scenario = format!("v0={start_v} p={input_mw}mW T={duration_s}s stop={v_stop}");
+        assert!(
+            (advanced.get() - ref_elapsed).abs() <= 0.01 * ref_elapsed.max(0.1),
+            "{scenario}: advanced {advanced:?} vs reference {ref_elapsed}"
+        );
+        let (va, vr) = (b.rail_voltage().get(), reference.rail_voltage().get());
+        assert!(
+            (va - vr).abs() < 0.01 * vr.max(0.1),
+            "{scenario}: v {va} vs {vr}"
+        );
+        let (la, lr) = (b.ledger().leaked.get(), reference.ledger().leaked.get());
+        assert!(
+            (la - lr).abs() <= 0.02 * lr.max(1e-9),
+            "{scenario}: leaked {la} vs {lr}"
+        );
+        let (da, dr) = (b.ledger().delivered.get(), reference.ledger().delivered.get());
+        assert!(
+            (da - dr).abs() <= 0.01 * dr.max(1e-9),
+            "{scenario}: delivered {da} vs {dr}"
+        );
+    }
+
+    #[test]
+    fn analytic_idle_matches_fine_steps_while_charging() {
+        // Cold start through floor + constant-current + power-limited.
+        assert_analytic_matches(0.0, 5.0, 120.0, 3.3);
+        // Mid-band power-limited charge.
+        assert_analytic_matches(2.0, 2.0, 120.0, 3.3);
+        // Tiny power: equilibrium below the enable voltage (never starts).
+        assert_analytic_matches(1.0, 0.001, 200.0, 3.3);
+        // No power at all: pure leak decay.
+        assert_analytic_matches(3.0, 0.0, 500.0, 3.3);
+    }
+
+    #[test]
+    fn analytic_idle_clips_at_rail_clamp() {
+        let mut b = StaticBuffer::static_770uf();
+        b.set_voltage(Volts::new(3.55));
+        // Stop voltage above the clamp: the buffer pins at 3.6 V and the
+        // surplus burns in the protection circuit.
+        let advanced = b.idle_advance(
+            Watts::from_milli(10.0),
+            Seconds::new(5.0),
+            Volts::new(4.0),
+            Seconds::from_milli(1.0),
+        );
+        assert!((advanced.get() - 5.0).abs() < 1e-9);
+        assert!((b.rail_voltage().get() - 3.6).abs() < 1e-9);
+        assert!(b.ledger().clipped.get() > 0.0);
+        // Ledger still balances exactly.
+        let resid = b
+            .ledger()
+            .conservation_residual(Joules::new(0.5 * 770e-6 * 3.55 * 3.55), b.stored_energy());
+        assert!(resid.get().abs() < 1e-9, "residual {resid:?}");
+    }
+
+    #[test]
+    fn analytic_idle_crossing_lands_on_step_grid() {
+        let mut b = StaticBuffer::static_770uf();
+        let advanced = b.idle_advance(
+            Watts::from_milli(10.0),
+            Seconds::new(30.0),
+            Volts::new(3.3),
+            Seconds::from_milli(1.0),
+        );
+        // Crossed well before the horizon, on a whole millisecond.
+        assert!(advanced.get() < 30.0);
+        let steps = advanced.get() / 1e-3;
+        assert!((steps - steps.round()).abs() < 1e-6, "steps {steps}");
+        assert!(b.rail_voltage().get() >= 3.3 - 1e-9);
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub const REACT_SOFTWARE_OVERHEAD: f64 = 0.018;
 /// drains the buffer capacitor").
 pub const MAX_DRAIN_TIME: Seconds = Seconds::new(7200.0);
 
+/// Shortest MCU-off stretch the adaptive kernel hands to the analytic
+/// idle integrator; anything shorter runs through the fine-step path,
+/// where per-stride bookkeeping would cost more than it saves. Four
+/// default timesteps is well under every trace's 100 ms sample window.
+pub const MIN_COARSE_STRIDE: Seconds = Seconds::new(0.004);
+
 /// Packet-arrival rate (packets/second) for the PF benchmark on each
 /// evaluation trace. Derived from the packet counts in the paper's
 /// Table 5 so the offered load matches the original experiment's scale.

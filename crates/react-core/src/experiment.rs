@@ -1,5 +1,8 @@
 //! Experiment definitions and the trace × buffer matrix runner.
 
+use std::sync::Arc;
+
+use rayon::prelude::*;
 use react_buffers::BufferKind;
 use react_harvest::{Converter, PowerReplay};
 use react_traces::{paper_trace, PaperTrace, PowerTrace};
@@ -10,7 +13,7 @@ use react_workloads::{
 
 use crate::calib;
 use crate::metrics::RunOutcome;
-use crate::sim::Simulator;
+use crate::sim::{KernelMode, Simulator};
 
 /// The four benchmarks of §4.2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -83,8 +86,9 @@ impl Experiment {
         Self { buffer, workload }
     }
 
-    /// Runs against a trace with default settings (1 ms steps, ideal
-    /// converter — Table 3 powers are already at the buffer rail).
+    /// Runs against a trace with default settings (1 ms fine steps,
+    /// adaptive kernel, ideal converter — Table 3 powers are already at
+    /// the buffer rail).
     pub fn run(&self, trace: &PowerTrace) -> RunOutcome {
         self.run_configured(trace, None, calib::DEFAULT_DT, None)
     }
@@ -96,7 +100,7 @@ impl Experiment {
         self.run_configured(&trace, Some(which), calib::DEFAULT_DT, None)
     }
 
-    /// Fully configured run.
+    /// Fully configured run with the default (adaptive) kernel.
     pub fn run_configured(
         &self,
         trace: &PowerTrace,
@@ -104,9 +108,31 @@ impl Experiment {
         dt: Seconds,
         probe: Option<Seconds>,
     ) -> RunOutcome {
-        let replay = PowerReplay::new(trace.clone(), Converter::ideal());
+        self.run_shared(
+            &Arc::new(trace.clone()),
+            identity,
+            dt,
+            probe,
+            KernelMode::Adaptive,
+        )
+    }
+
+    /// Fully configured run on a shared trace — no per-run trace clone,
+    /// explicit kernel. The parallel matrix and sweep runners go through
+    /// here.
+    pub fn run_shared(
+        &self,
+        trace: &Arc<PowerTrace>,
+        identity: Option<PaperTrace>,
+        dt: Seconds,
+        probe: Option<Seconds>,
+        kernel: KernelMode,
+    ) -> RunOutcome {
+        let replay = PowerReplay::new(Arc::clone(trace), Converter::ideal());
         let workload = self.workload.build(trace, identity);
-        let mut sim = Simulator::new(replay, self.buffer.build(), workload).with_timestep(dt);
+        let mut sim = Simulator::new(replay, self.buffer.build(), workload)
+            .with_timestep(dt)
+            .with_kernel(kernel);
         if let Some(interval) = probe {
             sim = sim.with_probe(interval);
         }
@@ -145,7 +171,7 @@ pub struct ExperimentMatrix {
 
 impl ExperimentMatrix {
     /// Runs the workload across all five evaluation traces and the five
-    /// paper buffer columns, in parallel (one thread per trace).
+    /// paper buffer columns, every (trace, buffer) cell in parallel.
     pub fn run(workload: WorkloadKind) -> Self {
         Self::run_with(
             workload,
@@ -155,40 +181,72 @@ impl ExperimentMatrix {
         )
     }
 
-    /// Runs a custom trace/buffer selection.
+    /// Runs a custom trace/buffer selection with the default parallel
+    /// adaptive engine.
     pub fn run_with(
         workload: WorkloadKind,
         traces: &[PaperTrace],
         buffers: &[BufferKind],
         dt: Seconds,
     ) -> Self {
-        let mut rows: Vec<Option<MatrixRow>> = vec![None; traces.len()];
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, &which) in traces.iter().enumerate() {
-                let buffers = buffers.to_vec();
-                handles.push((i, scope.spawn(move |_| {
-                    let trace = paper_trace(which);
-                    let cells = buffers
-                        .iter()
-                        .map(|&buffer| MatrixCell {
-                            buffer,
-                            outcome: Experiment::new(buffer, workload)
-                                .run_configured(&trace, Some(which), dt, None),
-                        })
-                        .collect();
-                    MatrixRow { trace: which, cells }
-                })));
+        Self::run_configured(workload, traces, buffers, dt, KernelMode::Adaptive, true)
+    }
+
+    /// The serial fixed-`dt` baseline: every cell runs the reference
+    /// kernel on one thread. Kept runnable so the `engine` bench (and
+    /// anyone suspicious of the fast path) can compare wall-clock and
+    /// results directly.
+    pub fn run_serial_reference(
+        workload: WorkloadKind,
+        traces: &[PaperTrace],
+        buffers: &[BufferKind],
+        dt: Seconds,
+    ) -> Self {
+        Self::run_configured(workload, traces, buffers, dt, KernelMode::FixedDt, false)
+    }
+
+    /// Fully configured matrix run. Each trace is synthesized once and
+    /// shared through an [`Arc`] by every cell that replays it; the
+    /// trace × buffer product fans out as one flat parallel work list so
+    /// slow cells (long solar traces, REACT's fine-step controller)
+    /// don't serialize behind per-trace barriers.
+    pub fn run_configured(
+        workload: WorkloadKind,
+        traces: &[PaperTrace],
+        buffers: &[BufferKind],
+        dt: Seconds,
+        kernel: KernelMode,
+        parallel: bool,
+    ) -> Self {
+        let shared: Vec<(PaperTrace, Arc<PowerTrace>)> = traces
+            .iter()
+            .map(|&which| (which, Arc::new(paper_trace(which))))
+            .collect();
+        let jobs: Vec<(usize, BufferKind)> = (0..shared.len())
+            .flat_map(|i| buffers.iter().map(move |&b| (i, b)))
+            .collect();
+        let run_cell = |&(i, buffer): &(usize, BufferKind)| {
+            let (which, ref trace) = shared[i];
+            MatrixCell {
+                buffer,
+                outcome: Experiment::new(buffer, workload)
+                    .run_shared(trace, Some(which), dt, None, kernel),
             }
-            for (i, handle) in handles {
-                rows[i] = Some(handle.join().expect("experiment thread panicked"));
-            }
-        })
-        .expect("experiment scope");
-        Self {
-            workload,
-            rows: rows.into_iter().map(|r| r.expect("row filled")).collect(),
-        }
+        };
+        let cells: Vec<MatrixCell> = if parallel {
+            jobs.par_iter().map(run_cell).collect()
+        } else {
+            jobs.iter().map(run_cell).collect()
+        };
+        let mut cells = cells.into_iter();
+        let rows = shared
+            .iter()
+            .map(|&(which, _)| MatrixRow {
+                trace: which,
+                cells: cells.by_ref().take(buffers.len()).collect(),
+            })
+            .collect();
+        Self { workload, rows }
     }
 
     /// Looks up a cell.

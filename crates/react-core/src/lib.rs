@@ -4,11 +4,15 @@
 //! MCU, workloads — into the paper's testbed (§4) and drives the
 //! evaluation (§5):
 //!
-//! * [`Simulator`] — the 1 ms-step loop: harvester replay → buffer
-//!   physics → power gate → MCU → workload.
+//! * [`Simulator`] — the simulation loop (harvester replay → buffer
+//!   physics → power gate → MCU → workload), generic over buffer and
+//!   workload, with two kernels: the fixed-`dt` reference and the
+//!   default adaptive kernel that integrates MCU-off charge phases
+//!   analytically ([`KernelMode`]).
 //! * [`Experiment`] / [`ExperimentMatrix`] — one (buffer, workload) pair
 //!   against a trace, or the full trace × buffer matrix behind
-//!   Tables 2, 4, and 5 (parallelized across traces).
+//!   Tables 2, 4, and 5 (every cell in parallel, traces shared via
+//!   `Arc`).
 //! * [`RunMetrics`] / [`RunOutcome`] — what each run measures.
 //! * [`fom`] — figures of merit and REACT-normalized scores (Fig. 7).
 //! * [`report`] — text/CSV table rendering for the bench harnesses.
@@ -38,4 +42,5 @@ pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
 pub use metrics::{RunMetrics, RunOutcome, VoltageSample};
-pub use sim::{ConstantLoad, Simulator};
+pub use sim::{ConstantLoad, KernelMode, Simulator};
+pub use sweep::SweepOptions;

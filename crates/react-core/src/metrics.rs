@@ -28,6 +28,10 @@ pub struct RunMetrics {
     pub mean_on_period: Seconds,
     /// Longest uninterrupted on-period.
     pub max_on_period: Seconds,
+    /// Kernel iterations the engine executed: fine steps plus coarse
+    /// idle strides. The adaptive/fixed ratio of this count is the
+    /// structural speedup of a run (see the `engine` bench).
+    pub engine_steps: u64,
     /// Energy accounting.
     pub ledger: EnergyLedger,
     /// Stored energy at the start of the run.

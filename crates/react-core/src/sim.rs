@@ -1,4 +1,26 @@
 //! The simulation engine: harvester → buffer → gate → MCU → workload.
+//!
+//! Two kernels share one accounting path:
+//!
+//! * [`KernelMode::FixedDt`] — the reference loop: every run advances in
+//!   uniform `dt` steps (1 ms by default). Simple, slow, and the ground
+//!   truth the adaptive kernel is validated against.
+//! * [`KernelMode::Adaptive`] (default) — while the power gate is open
+//!   and the MCU is off, nothing in the system needs millisecond
+//!   resolution: the buffer just integrates harvested charge. The kernel
+//!   hands whole zero-order-hold trace windows to
+//!   [`EnergyBuffer::idle_advance`], which static buffers solve in
+//!   closed form (stepping directly to the predicted enable-voltage
+//!   crossing, quantized back onto the `dt` grid), collapsing ~10⁵-step
+//!   charge phases into a handful of strides. The moment the MCU runs —
+//!   or a buffer has no closed form — the kernel drops back to fine
+//!   `dt` steps, so workload semantics are bit-identical.
+//!
+//! The engine is generic over the buffer and workload
+//! (`Simulator<B, W>`), monomorphizing the hot loop for concrete types;
+//! the `Box<dyn …>` constructors used by `BufferKind::build` and
+//! `WorkloadKind::build` still work through forwarding impls and default
+//! type parameters.
 
 use react_buffers::EnergyBuffer;
 use react_harvest::PowerReplay;
@@ -9,15 +31,27 @@ use react_workloads::{LoadDemand, Workload, WorkloadEnv};
 use crate::calib;
 use crate::metrics::{RunMetrics, RunOutcome, VoltageSample};
 
+/// Which stepping strategy [`Simulator::run`] uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// Uniform fixed-`dt` stepping (the validation reference).
+    FixedDt,
+    /// Analytic coarse strides while the system is off, fine `dt` steps
+    /// while the MCU runs or near gate transitions.
+    #[default]
+    Adaptive,
+}
+
 /// A configured simulation: every testbed component from §4 of the
 /// paper, assembled.
-pub struct Simulator {
+pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>> {
     replay: PowerReplay,
-    buffer: Box<dyn EnergyBuffer>,
+    buffer: B,
     mcu: Mcu,
     gate: PowerGate,
-    workload: Box<dyn Workload>,
+    workload: W,
     dt: Seconds,
+    kernel: KernelMode,
     probe_interval: Option<Seconds>,
     max_drain: Seconds,
     /// Fraction of CPU time the buffer's on-MCU software component
@@ -26,14 +60,10 @@ pub struct Simulator {
     software_overhead: f64,
 }
 
-impl Simulator {
+impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
     /// Builds a simulator with paper-default gate thresholds, MCU spec,
     /// timestep, and drain allowance.
-    pub fn new(
-        replay: PowerReplay,
-        buffer: Box<dyn EnergyBuffer>,
-        workload: Box<dyn Workload>,
-    ) -> Self {
+    pub fn new(replay: PowerReplay, buffer: B, workload: W) -> Self {
         let software_overhead = if buffer.name() == "REACT" {
             calib::REACT_SOFTWARE_OVERHEAD
         } else {
@@ -46,6 +76,7 @@ impl Simulator {
             gate: PowerGate::new(calib::ENABLE_VOLTAGE, calib::BROWNOUT_VOLTAGE),
             workload,
             dt: calib::DEFAULT_DT,
+            kernel: KernelMode::default(),
             probe_interval: None,
             max_drain: calib::MAX_DRAIN_TIME,
             software_overhead,
@@ -56,6 +87,12 @@ impl Simulator {
     pub fn with_timestep(mut self, dt: Seconds) -> Self {
         assert!(dt.get() > 0.0, "timestep must be positive");
         self.dt = dt;
+        self
+    }
+
+    /// Selects the stepping kernel (adaptive by default).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -85,16 +122,40 @@ impl Simulator {
     }
 
     /// Runs the simulation to completion and returns the outcome.
-    pub fn run(mut self) -> RunOutcome {
-        let dt = self.dt;
-        let trace_end = self.replay.duration();
-        let hard_end = trace_end + self.max_drain;
+    pub fn run(self) -> RunOutcome {
+        let Self {
+            replay,
+            mut buffer,
+            mut mcu,
+            mut gate,
+            mut workload,
+            dt,
+            kernel,
+            probe_interval,
+            max_drain,
+            software_overhead,
+        } = self;
+
+        let trace_end = replay.duration();
+        let hard_end = trace_end + max_drain;
+        let mut cursor = replay.cursor();
 
         let mut metrics = RunMetrics {
-            initial_stored: self.buffer.stored_energy(),
+            initial_stored: buffer.stored_energy(),
             ..Default::default()
         };
-        let mut series = Vec::new();
+        // Preallocate the probe series for the worst-case sample count —
+        // trace plus the full drain tail over the probe interval — so
+        // probed runs never pay Vec regrowth (capped at 64 Ki samples to
+        // bound the reserve; pathological millisecond-probe runs fall
+        // back to amortized growth past the cap).
+        let mut series = match probe_interval {
+            Some(interval) => {
+                let expected = (hard_end.get() / interval.get().max(1e-9)) as usize + 16;
+                Vec::with_capacity(expected.min(1 << 16))
+            }
+            None => Vec::new(),
+        };
         let mut t = Seconds::ZERO;
         let mut probe_acc = Seconds::ZERO;
         let mut on_since: Option<Seconds> = None;
@@ -102,21 +163,71 @@ impl Simulator {
         let mut cycle_max = 0.0_f64;
         let mut cycles = 0u64;
         let mut poll_debt = 0.0_f64;
+        let mut engine_steps = 0u64;
 
         loop {
-            let v = self.buffer.rail_voltage();
+            let v = buffer.rail_voltage();
+
+            // Adaptive idle fast path: gate open, MCU dark — the only
+            // dynamics are buffer physics under a piecewise-constant
+            // input, which `idle_advance` integrates in one stride.
+            if kernel == KernelMode::Adaptive
+                && !gate.is_closed()
+                && !mcu.is_powered()
+                && v < gate.enable_voltage()
+            {
+                let (p_avail, window_end) = cursor.sample_window(t);
+                let mut stride_end = window_end.min(hard_end);
+                if let Some(interval) = probe_interval {
+                    // Never integrate across a probe boundary.
+                    stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
+                }
+                let stride = stride_end - t;
+                if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
+                    let p_rail = replay.rail_power_from(p_avail, buffer.input_voltage());
+                    let advanced =
+                        buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
+                    if advanced.get() > 0.0 {
+                        engine_steps += 1;
+                        t += advanced;
+                        if let Some(interval) = probe_interval {
+                            probe_acc += advanced;
+                            if probe_acc >= interval {
+                                probe_acc = Seconds::ZERO;
+                                series.push(VoltageSample {
+                                    // Stamped one step back, where the
+                                    // reference kernel records it.
+                                    time_s: (t - dt).max(Seconds::ZERO).get(),
+                                    voltage_v: buffer.rail_voltage().get(),
+                                    on: false,
+                                    capacitance_f: buffer.equivalent_capacitance().get(),
+                                });
+                            }
+                        }
+                        if t >= trace_end && !gate.is_closed() {
+                            break;
+                        }
+                        if t >= hard_end {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            engine_steps += 1;
 
             // Power gate.
-            if self.gate.update(v) {
-                if self.gate.is_closed() {
-                    self.mcu.power_on();
+            if gate.update(v) {
+                if gate.is_closed() {
+                    mcu.power_on();
                     if metrics.first_on_latency.is_none() {
                         metrics.first_on_latency = Some(t);
                     }
                     on_since = Some(t);
                 } else {
-                    self.mcu.power_off();
-                    self.workload.on_power_down(t);
+                    mcu.power_off();
+                    workload.on_power_down(t);
                     if let Some(start) = on_since.take() {
                         let len = (t - start).get();
                         cycle_sum += len;
@@ -128,8 +239,8 @@ impl Simulator {
 
             // Workload software (only past boot).
             let mut peripheral = Amps::ZERO;
-            if self.gate.is_closed() {
-                let was_running = self.mcu.is_running();
+            if gate.is_closed() {
+                let was_running = mcu.is_running();
                 if was_running {
                     if poll_debt >= dt.get() {
                         // The buffer's software component (REACT's 10 Hz
@@ -137,28 +248,27 @@ impl Simulator {
                         // workload progress this step. §5.1 measures this
                         // as a 1.8 % penalty on *active* execution.
                         poll_debt -= dt.get();
-                        self.mcu.set_mode(react_mcu::PowerMode::Active);
+                        mcu.set_mode(react_mcu::PowerMode::Active);
                     } else {
                         let env = WorkloadEnv {
                             now: t,
                             dt,
                             rail_voltage: v,
-                            usable_energy: self
-                                .buffer
-                                .usable_energy_above(self.gate.brownout_voltage()),
-                            supports_longevity: self.buffer.supports_longevity(),
+                            usable_energy: buffer
+                                .usable_energy_above(gate.brownout_voltage()),
+                            supports_longevity: buffer.supports_longevity(),
                         };
                         let LoadDemand {
                             mode,
                             peripheral_current,
-                        } = self.workload.step(&env);
-                        self.mcu.set_mode(mode);
+                        } = workload.step(&env);
+                        mcu.set_mode(mode);
                         peripheral = peripheral_current;
                         // Poll overhead accrues against active cycles
                         // only; a sleeping CPU wakes for ~100 µs per
                         // poll, which is already inside the LPM3 budget.
                         if mode == react_mcu::PowerMode::Active {
-                            poll_debt += self.software_overhead * dt.get();
+                            poll_debt += software_overhead * dt.get();
                         }
                     }
                 }
@@ -166,32 +276,31 @@ impl Simulator {
 
             // MCU current for this step (handles boot sequencing; the
             // workload's first step lands after boot).
-            let was_running = self.mcu.is_running();
-            let mcu_current = self.mcu.step(dt);
-            if !was_running && self.mcu.is_running() {
-                self.workload.on_power_up(t);
+            let was_running = mcu.is_running();
+            let mcu_current = mcu.step(dt);
+            if !was_running && mcu.is_running() {
+                workload.on_power_up(t);
             }
 
             // Harvest + buffer physics. The converter delivers *power*;
             // the buffer converts it to charge at its input node's
             // voltage (for REACT the lowest connected element, §3.2.1).
-            let input = self.replay.rail_power(t, self.buffer.input_voltage());
-            self.buffer
-                .step(input, mcu_current + peripheral, dt, self.mcu.is_running());
+            let input = cursor.rail_power(t, buffer.input_voltage());
+            buffer.step(input, mcu_current + peripheral, dt, mcu.is_running());
 
             // Accounting.
-            if self.gate.is_closed() {
+            if gate.is_closed() {
                 metrics.on_time += dt;
             }
-            if let Some(interval) = self.probe_interval {
+            if let Some(interval) = probe_interval {
                 probe_acc += dt;
                 if probe_acc >= interval {
                     probe_acc = Seconds::ZERO;
                     series.push(VoltageSample {
                         time_s: t.get(),
-                        voltage_v: self.buffer.rail_voltage().get(),
-                        on: self.gate.is_closed(),
-                        capacitance_f: self.buffer.equivalent_capacitance().get(),
+                        voltage_v: buffer.rail_voltage().get(),
+                        on: gate.is_closed(),
+                        capacitance_f: buffer.equivalent_capacitance().get(),
                     });
                 }
             }
@@ -200,7 +309,7 @@ impl Simulator {
 
             // Termination: past the trace, once the system browns out it
             // can never restart (no input power) — or at the hard cap.
-            if t >= trace_end && !self.gate.is_closed() {
+            if t >= trace_end && !gate.is_closed() {
                 break;
             }
             if t >= hard_end {
@@ -215,22 +324,23 @@ impl Simulator {
             cycle_max = cycle_max.max(len);
             cycles += 1;
         }
-        self.workload.finalize(t);
+        workload.finalize(t);
 
-        metrics.ops_completed = self.workload.ops_completed();
-        metrics.ops_failed = self.workload.ops_failed();
-        metrics.aux_completed = self.workload.aux_completed();
-        metrics.events_missed = self.workload.events_missed();
+        metrics.ops_completed = workload.ops_completed();
+        metrics.ops_failed = workload.ops_failed();
+        metrics.aux_completed = workload.aux_completed();
+        metrics.events_missed = workload.events_missed();
         metrics.total_time = t;
-        metrics.boots = self.mcu.boot_count();
+        metrics.boots = mcu.boot_count();
+        metrics.engine_steps = engine_steps;
         metrics.mean_on_period = if cycles > 0 {
             Seconds::new(cycle_sum / cycles as f64)
         } else {
             Seconds::ZERO
         };
         metrics.max_on_period = Seconds::new(cycle_max);
-        metrics.ledger = *self.buffer.ledger();
-        metrics.final_stored = self.buffer.stored_energy();
+        metrics.ledger = *buffer.ledger();
+        metrics.final_stored = buffer.stored_energy();
 
         RunOutcome {
             metrics,
@@ -400,6 +510,81 @@ mod tests {
         if small.boots > 0 && big.boots > 0 {
             assert!(big.mean_on_period >= small.mean_on_period);
         }
+    }
+
+    #[test]
+    fn adaptive_kernel_takes_far_fewer_steps() {
+        // A weak supply spends most of the run charging: the adaptive
+        // kernel should collapse those phases by orders of magnitude.
+        let run = |kernel: KernelMode| {
+            Simulator::new(
+                constant_replay(1.0, 120.0),
+                BufferKind::Static10mF.build(),
+                Box::new(react_workloads::DataEncryption::new()),
+            )
+            .with_kernel(kernel)
+            .run()
+            .metrics
+        };
+        let fixed = run(KernelMode::FixedDt);
+        let adaptive = run(KernelMode::Adaptive);
+        // The ON phase must stay at fine resolution, so the floor here
+        // is set by the ~20 % duty cycle; charge phases collapse ~100×.
+        assert!(
+            adaptive.engine_steps * 3 < fixed.engine_steps,
+            "adaptive {} vs fixed {} steps",
+            adaptive.engine_steps,
+            fixed.engine_steps
+        );
+        // …while agreeing on what actually happened.
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-9);
+        assert_eq!(adaptive.boots, fixed.boots);
+        assert!(rel(adaptive.on_time.get(), fixed.on_time.get()) < 0.02);
+        let (a_ops, f_ops) = (adaptive.ops_completed as f64, fixed.ops_completed as f64);
+        assert!(rel(a_ops, f_ops) < 0.02, "ops {a_ops} vs {f_ops}");
+        assert!(adaptive.relative_conservation_error() < 1e-3);
+    }
+
+    #[test]
+    fn adaptive_kernel_collapses_pure_charge_phases() {
+        // 0.2 mW into 10 mF never reaches 3.3 V in 120 s: the whole run
+        // is one long charge phase, which the adaptive kernel walks in
+        // per-sample-window strides (~100× fewer iterations).
+        let run = |kernel: KernelMode| {
+            Simulator::new(
+                constant_replay(0.2, 120.0),
+                BufferKind::Static10mF.build(),
+                Box::new(react_workloads::DataEncryption::new()),
+            )
+            .with_kernel(kernel)
+            .run()
+            .metrics
+        };
+        let fixed = run(KernelMode::FixedDt);
+        let adaptive = run(KernelMode::Adaptive);
+        assert_eq!(adaptive.boots, 0);
+        assert_eq!(fixed.boots, 0);
+        assert!(
+            adaptive.engine_steps * 50 < fixed.engine_steps,
+            "adaptive {} vs fixed {} steps",
+            adaptive.engine_steps,
+            fixed.engine_steps
+        );
+        // Final stored energy agrees to well under a percent.
+        let (a, f) = (adaptive.final_stored.get(), fixed.final_stored.get());
+        assert!((a - f).abs() < 0.005 * f, "stored {a} vs {f}");
+    }
+
+    #[test]
+    fn monomorphized_simulator_accepts_concrete_types() {
+        // Concrete buffer + concrete workload: fully static dispatch.
+        let sim = Simulator::new(
+            constant_replay(10.0, 20.0),
+            react_buffers::StaticBuffer::static_770uf(),
+            react_workloads::DataEncryption::new(),
+        );
+        let out = sim.run();
+        assert!(out.metrics.ops_completed > 0);
     }
 
     #[test]

@@ -8,14 +8,17 @@
 //! [`best_static_size`] picks the winner, which REACT should match or
 //! beat without anyone choosing it at design time.
 
-use react_buffers::{EnergyBuffer, StaticBuffer};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use react_buffers::StaticBuffer;
 use react_circuit::CapacitorSpec;
 use react_harvest::{Converter, PowerReplay};
 use react_traces::PowerTrace;
 use react_units::Farads;
 
 use crate::metrics::RunMetrics;
-use crate::{Simulator, WorkloadKind};
+use crate::{KernelMode, Simulator, WorkloadKind};
 
 /// One sweep point: a static buffer size and its run result.
 #[derive(Clone, Debug)]
@@ -26,29 +29,72 @@ pub struct SweepPoint {
     pub metrics: RunMetrics,
 }
 
+/// Execution strategy for [`static_size_sweep_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Fan the sweep points out over worker threads.
+    pub parallel: bool,
+    /// Stepping kernel for every point.
+    pub kernel: KernelMode,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            kernel: KernelMode::Adaptive,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// The serial fixed-`dt` baseline the `engine` bench compares
+    /// against.
+    pub fn serial_reference() -> Self {
+        Self {
+            parallel: false,
+            kernel: KernelMode::FixedDt,
+        }
+    }
+}
+
 /// Runs `workload` on `trace` for each capacitance in `sizes`
-/// (supercapacitor-class leakage, as the paper's bulk buffers).
+/// (supercapacitor-class leakage, as the paper's bulk buffers), in
+/// parallel with the adaptive kernel.
 pub fn static_size_sweep(
     trace: &PowerTrace,
     workload: WorkloadKind,
     sizes: &[Farads],
 ) -> Vec<SweepPoint> {
-    sizes
-        .iter()
-        .map(|&capacitance| {
-            let spec = CapacitorSpec::supercap_scaled(capacitance);
-            let buffer: Box<dyn EnergyBuffer> = Box::new(StaticBuffer::new(
-                format!("{:.0} µF", capacitance.to_micro()),
-                spec,
-            ));
-            let replay = PowerReplay::new(trace.clone(), Converter::ideal());
-            let sim = Simulator::new(replay, buffer, workload.build(trace, None));
-            SweepPoint {
-                capacitance,
-                metrics: sim.run().metrics,
-            }
-        })
-        .collect()
+    static_size_sweep_with(trace, workload, sizes, SweepOptions::default())
+}
+
+/// [`static_size_sweep`] with explicit execution options. All points
+/// share one [`Arc`]'d copy of the trace; each point runs a
+/// monomorphized `Simulator<StaticBuffer, _>`.
+pub fn static_size_sweep_with(
+    trace: &PowerTrace,
+    workload: WorkloadKind,
+    sizes: &[Farads],
+    options: SweepOptions,
+) -> Vec<SweepPoint> {
+    let shared: Arc<PowerTrace> = Arc::new(trace.clone());
+    let run_point = |capacitance: Farads| {
+        let spec = CapacitorSpec::supercap_scaled(capacitance);
+        let buffer = StaticBuffer::new(format!("{:.0} µF", capacitance.to_micro()), spec);
+        let replay = PowerReplay::new(Arc::clone(&shared), Converter::ideal());
+        let sim = Simulator::new(replay, buffer, workload.build(&shared, None))
+            .with_kernel(options.kernel);
+        SweepPoint {
+            capacitance,
+            metrics: sim.run().metrics,
+        }
+    };
+    if options.parallel {
+        sizes.par_iter().map(|&c| run_point(c)).collect()
+    } else {
+        sizes.iter().map(|&c| run_point(c)).collect()
+    }
 }
 
 /// Log-spaced capacitances from `lo` to `hi` inclusive.

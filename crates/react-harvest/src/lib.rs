@@ -33,4 +33,4 @@ mod replay;
 
 pub use converter::{Converter, ConverterKind, EfficiencyCurve};
 pub use panel::{MpptTracker, SolarPanel};
-pub use replay::PowerReplay;
+pub use replay::{PowerReplay, ReplayCursor};

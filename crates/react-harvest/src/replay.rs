@@ -1,6 +1,8 @@
 //! Ekho-style record-and-replay power frontend (§4.3).
 
-use react_traces::PowerTrace;
+use std::sync::Arc;
+
+use react_traces::{PowerCursor, PowerTrace};
 use react_units::{Amps, Seconds, Volts, Watts};
 
 use crate::Converter;
@@ -13,9 +15,14 @@ use crate::Converter;
 /// the rail receives `η(P_avail(t)) · P_avail(t)` watts, delivered as a
 /// current at the present buffer voltage, limited to a realistic
 /// charge-current ceiling.
+///
+/// The trace is held behind an [`Arc`] so parallel sweep/matrix runners
+/// can hand the same samples to many replays without cloning megabytes
+/// of data; `PowerReplay::new(trace, ..)` accepts either an owned
+/// [`PowerTrace`] or an `Arc<PowerTrace>`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PowerReplay {
-    trace: PowerTrace,
+    trace: Arc<PowerTrace>,
     converter: Converter,
     current_limit: Amps,
     /// Voltage floor used when converting power to current so a fully
@@ -25,9 +32,9 @@ pub struct PowerReplay {
 
 impl PowerReplay {
     /// Creates a replay frontend with a 50 mA charge-current limit.
-    pub fn new(trace: PowerTrace, converter: Converter) -> Self {
+    pub fn new(trace: impl Into<Arc<PowerTrace>>, converter: Converter) -> Self {
         Self {
-            trace,
+            trace: trace.into(),
             converter,
             current_limit: Amps::from_milli(50.0),
             min_conversion_voltage: Volts::new(0.3),
@@ -45,6 +52,11 @@ impl PowerReplay {
         &self.trace
     }
 
+    /// A cheap handle on the shared trace (for parallel runners).
+    pub fn shared_trace(&self) -> Arc<PowerTrace> {
+        Arc::clone(&self.trace)
+    }
+
     /// The converter model in use.
     pub fn converter(&self) -> &Converter {
         &self.converter
@@ -55,18 +67,27 @@ impl PowerReplay {
         self.trace.power_at(t)
     }
 
-    /// Rail power delivered at time `t` with the buffer at `v_buffer`.
-    pub fn rail_power(&self, t: Seconds, v_buffer: Volts) -> Watts {
-        self.converter
-            .output_power(self.trace.power_at(t), v_buffer)
+    /// Rail power delivered for `available` ambient power with the
+    /// buffer at `v_buffer` — the conversion step with the trace lookup
+    /// already done, so callers holding the available power (from a
+    /// [`ReplayCursor`] or a previous query) don't pay it twice.
+    #[inline]
+    pub fn rail_power_from(&self, available: Watts, v_buffer: Volts) -> Watts {
+        self.converter.output_power(available, v_buffer)
     }
 
-    /// Charging current into the buffer at time `t`, `I = P_rail / V`,
-    /// clamped to the charge-current limit. A deeply discharged buffer is
-    /// charged at the current limit (constant-current region), as real
-    /// boost chargers do.
-    pub fn input_current(&self, t: Seconds, v_buffer: Volts) -> Amps {
-        let p = self.rail_power(t, v_buffer);
+    /// Rail power delivered at time `t` with the buffer at `v_buffer`.
+    pub fn rail_power(&self, t: Seconds, v_buffer: Volts) -> Watts {
+        self.rail_power_from(self.trace.power_at(t), v_buffer)
+    }
+
+    /// Converts already-looked-up available power into charging current
+    /// at `v_buffer`: `I = P_rail / V`, clamped to the charge-current
+    /// limit, with the conversion-floor voltage keeping a fully
+    /// discharged buffer at the limit rather than at infinity.
+    #[inline]
+    pub fn input_current_from(&self, available: Watts, v_buffer: Volts) -> Amps {
+        let p = self.rail_power_from(available, v_buffer);
         if p.get() <= 0.0 {
             return Amps::ZERO;
         }
@@ -74,9 +95,68 @@ impl PowerReplay {
         (p / v).min(self.current_limit)
     }
 
+    /// Charging current into the buffer at time `t`, `I = P_rail / V`,
+    /// clamped to the charge-current limit. A deeply discharged buffer is
+    /// charged at the current limit (constant-current region), as real
+    /// boost chargers do. Performs exactly one trace lookup and feeds
+    /// both the conversion and the current clamp from it.
+    pub fn input_current(&self, t: Seconds, v_buffer: Volts) -> Amps {
+        self.input_current_from(self.trace.power_at(t), v_buffer)
+    }
+
     /// Duration of the underlying trace.
     pub fn duration(&self) -> Seconds {
         self.trace.duration()
+    }
+
+    /// Starts a monotone cursor over the replay for simulation loops:
+    /// each step resolves available power through an amortized-O(1)
+    /// [`PowerCursor`] instead of a fresh `t/dt` division and bounds
+    /// check.
+    pub fn cursor(&self) -> ReplayCursor<'_> {
+        ReplayCursor {
+            replay: self,
+            cursor: PowerCursor::new(&self.trace),
+        }
+    }
+}
+
+/// A stepping view over a [`PowerReplay`]: one shared trace lookup per
+/// query, amortized O(1) for the simulator's monotone access pattern.
+#[derive(Clone, Debug)]
+pub struct ReplayCursor<'a> {
+    replay: &'a PowerReplay,
+    cursor: PowerCursor<'a>,
+}
+
+impl ReplayCursor<'_> {
+    /// Ambient power available at `t` (before conversion).
+    #[inline]
+    pub fn available_power(&mut self, t: Seconds) -> Watts {
+        self.cursor.power_at(t)
+    }
+
+    /// Rail power delivered at `t` with the buffer at `v_buffer`.
+    #[inline]
+    pub fn rail_power(&mut self, t: Seconds, v_buffer: Volts) -> Watts {
+        let available = self.cursor.power_at(t);
+        self.replay.rail_power_from(available, v_buffer)
+    }
+
+    /// Charging current at `t` with the buffer at `v_buffer`; one trace
+    /// lookup shared by the conversion and the clamp.
+    #[inline]
+    pub fn input_current(&mut self, t: Seconds, v_buffer: Volts) -> Amps {
+        let available = self.cursor.power_at(t);
+        self.replay.input_current_from(available, v_buffer)
+    }
+
+    /// The zero-order-hold window covering `t`: available power plus the
+    /// time at which it next changes (`+inf` once past the trace). The
+    /// adaptive kernel integrates analytically across whole windows.
+    #[inline]
+    pub fn sample_window(&mut self, t: Seconds) -> (Watts, Seconds) {
+        self.cursor.sample_window(t)
     }
 }
 

@@ -1,0 +1,231 @@
+//! Amortized-O(1) monotone trace lookup.
+//!
+//! The simulation kernel queries harvested power once per step, with
+//! times that almost always move forward by one timestep. Resolving each
+//! query through [`PowerTrace::power_at`]'s division-and-bounds-check is
+//! wasted work on that access pattern; [`PowerCursor`] instead caches the
+//! current zero-order-hold window and answers in-window queries with two
+//! float compares, re-seeking (via the same authoritative index
+//! computation `power_at` uses) only when a query leaves the window.
+//!
+//! Out-of-order queries are always correct — they just pay the re-seek —
+//! so the cursor is a drop-in for `power_at` at every call site.
+
+use react_units::{Seconds, Watts};
+
+use crate::PowerTrace;
+
+/// Nudges a positive finite float down by two ulps (identity at 0).
+#[inline]
+fn two_ulps_down(x: f64) -> f64 {
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 2)
+    } else {
+        x
+    }
+}
+
+/// Nudges a non-negative finite float up by two ulps.
+#[inline]
+fn two_ulps_up(x: f64) -> f64 {
+    if x == f64::INFINITY {
+        x
+    } else {
+        f64::from_bits(x.to_bits() + 2)
+    }
+}
+
+/// A cached zero-order-hold window over a [`PowerTrace`].
+///
+/// `power_at` here returns *exactly* what [`PowerTrace::power_at`]
+/// returns for every `t` (including negative, boundary, and past-end
+/// times): the fast path only answers queries strictly inside the cached
+/// window shrunk by two ulps on each side, and everything else re-seeks
+/// through the same index computation the trace itself uses.
+#[derive(Clone, Debug)]
+pub struct PowerCursor<'a> {
+    trace: &'a PowerTrace,
+    samples: &'a [f64],
+    dt: f64,
+    /// Cached window sample value (0 past the end of the trace).
+    power: f64,
+    /// Conservative (shrunk) fast-path bounds of the cached window.
+    fast_lo: f64,
+    fast_hi: f64,
+    /// True window end (start of the next sample), `+inf` past the end.
+    window_end: f64,
+}
+
+impl<'a> PowerCursor<'a> {
+    /// Creates a cursor positioned on the first sample window.
+    pub fn new(trace: &'a PowerTrace) -> Self {
+        let (samples, dt) = trace.raw();
+        let mut cursor = Self {
+            trace,
+            samples,
+            dt,
+            power: 0.0,
+            fast_lo: f64::INFINITY,
+            fast_hi: f64::NEG_INFINITY,
+            window_end: 0.0,
+        };
+        cursor.seek(0.0);
+        cursor
+    }
+
+    /// The trace being walked.
+    pub fn trace(&self) -> &'a PowerTrace {
+        self.trace
+    }
+
+    /// Re-positions the cached window on the sample covering `t`, using
+    /// the authoritative [`PowerTrace::sample_index`] computation.
+    fn seek(&mut self, t: f64) {
+        match self.trace.sample_index(t) {
+            Some(idx) => {
+                let lo = idx as f64 * self.dt;
+                let hi = (idx + 1) as f64 * self.dt;
+                self.power = self.samples[idx];
+                self.fast_lo = two_ulps_up(lo);
+                self.fast_hi = two_ulps_down(hi);
+                self.window_end = hi;
+            }
+            None if t >= self.trace.duration().get() => {
+                // Past the end: a single infinite zero-power window.
+                self.power = 0.0;
+                self.fast_lo = two_ulps_up(self.trace.duration().get());
+                self.fast_hi = f64::INFINITY;
+                self.window_end = f64::INFINITY;
+            }
+            None => {
+                // Negative or NaN: answer zero without caching a window.
+                self.power = 0.0;
+                self.fast_lo = f64::INFINITY;
+                self.fast_hi = f64::NEG_INFINITY;
+                self.window_end = 0.0;
+            }
+        }
+    }
+
+    /// Harvested power at `t`; identical to [`PowerTrace::power_at`] for
+    /// all inputs, amortized O(1) for monotone queries. A query outside
+    /// the (conservatively shrunk) cached window re-seeks through the
+    /// authoritative index computation, whose cached answer is then the
+    /// exact result — including for boundary-ulp, negative, and
+    /// past-end times.
+    #[inline]
+    pub fn power_at(&mut self, t: Seconds) -> Watts {
+        let tt = t.get();
+        if !(tt > self.fast_lo && tt < self.fast_hi) {
+            self.seek(tt);
+        }
+        Watts::new(self.power)
+    }
+
+    /// The zero-order-hold window covering `t`: its constant available
+    /// power and its end time (`+inf` once past the trace, the trace
+    /// start for pre-trace times). One shared lookup for callers that
+    /// need both.
+    #[inline]
+    pub fn sample_window(&mut self, t: Seconds) -> (Watts, Seconds) {
+        let p = self.power_at(t);
+        (p, Seconds::new(self.window_end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PowerTrace {
+        let samples = (0..10).map(|i| Watts::from_milli(i as f64)).collect();
+        PowerTrace::new("ramp", Seconds::new(0.5), samples)
+    }
+
+    #[test]
+    fn monotone_walk_matches_power_at() {
+        let t = ramp();
+        let mut c = PowerCursor::new(&t);
+        let mut time = -0.25;
+        while time < 6.0 {
+            let s = Seconds::new(time);
+            assert_eq!(c.power_at(s), t.power_at(s), "at t={time}");
+            time += 0.001;
+        }
+    }
+
+    #[test]
+    fn boundary_times_match_exactly() {
+        let t = ramp();
+        let mut c = PowerCursor::new(&t);
+        for i in 0..=12 {
+            for ulps in [-2i64, -1, 0, 1, 2] {
+                let base = i as f64 * 0.5;
+                let tt = if base == 0.0 {
+                    if ulps < 0 {
+                        -f64::from_bits((-ulps) as u64)
+                    } else {
+                        f64::from_bits(ulps as u64)
+                    }
+                } else {
+                    f64::from_bits((base.to_bits() as i64 + ulps) as u64)
+                };
+                let s = Seconds::new(tt);
+                assert_eq!(c.power_at(s), t.power_at(s), "boundary {i} ulps {ulps}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_queries_are_correct() {
+        let t = ramp();
+        let mut c = PowerCursor::new(&t);
+        // A scrambled sequence covering backwards jumps, repeats, far
+        // seeks past the end, and negative times.
+        for &time in &[3.1, 0.2, 4.9, 4.9, 0.0, 7.5, -1.0, 2.6, 100.0, 1.1] {
+            let s = Seconds::new(time);
+            assert_eq!(c.power_at(s), t.power_at(s), "at t={time}");
+        }
+    }
+
+    #[test]
+    fn negative_and_past_end_are_zero() {
+        let t = ramp();
+        let mut c = PowerCursor::new(&t);
+        assert_eq!(c.power_at(Seconds::new(-0.001)), Watts::ZERO);
+        assert_eq!(c.power_at(Seconds::new(5.0)), Watts::ZERO);
+        assert_eq!(c.power_at(Seconds::new(1e12)), Watts::ZERO);
+        assert_eq!(c.power_at(Seconds::new(f64::NAN)), Watts::ZERO);
+        // And the trace agrees on every one of those.
+        for time in [-0.001, 5.0, 1e12, f64::NAN] {
+            assert_eq!(t.power_at(Seconds::new(time)), Watts::ZERO);
+        }
+    }
+
+    #[test]
+    fn sample_window_reports_constant_power_span() {
+        let t = ramp();
+        let mut c = PowerCursor::new(&t);
+        let (p, end) = c.sample_window(Seconds::new(1.26));
+        assert!((p.to_milli() - 2.0).abs() < 1e-12);
+        assert!((end.get() - 1.5).abs() < 1e-12);
+        // Past the end: zero power, infinite window.
+        let (p, end) = c.sample_window(Seconds::new(9.0));
+        assert_eq!(p, Watts::ZERO);
+        assert_eq!(end.get(), f64::INFINITY);
+    }
+
+    #[test]
+    fn dense_random_times_match_power_at() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let t = ramp();
+        let mut c = PowerCursor::new(&t);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let time = rng.gen_range(-1.0..7.0);
+            let s = Seconds::new(time);
+            assert_eq!(c.power_at(s), t.power_at(s), "at t={time}");
+        }
+    }
+}

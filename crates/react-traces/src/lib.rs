@@ -20,6 +20,7 @@
 //! assert!((stats.mean_power.to_milli() - 2.12).abs() < 0.05);
 //! ```
 
+mod cursor;
 mod io;
 mod library;
 mod stats;
@@ -27,6 +28,7 @@ mod synth;
 mod trace;
 pub mod transform;
 
+pub use cursor::PowerCursor;
 pub use io::{read_csv, write_csv, TraceIoError};
 pub use library::{paper_trace, PaperTrace, Table3Row, TABLE3_TARGETS};
 pub use stats::TraceStats;

@@ -67,16 +67,38 @@ impl PowerTrace {
         Seconds::new(self.dt * self.samples.len() as f64)
     }
 
+    /// The zero-order-hold sample index covering time `t`, or `None`
+    /// for times outside the trace (negative, non-finite, or at/past the
+    /// end). This is the single source of truth for lookup semantics:
+    /// [`PowerTrace::power_at`] and [`PowerCursor`](crate::PowerCursor)
+    /// both resolve through it, so their edge behaviour is identical by
+    /// construction.
+    #[inline]
+    pub(crate) fn sample_index(&self, t: f64) -> Option<usize> {
+        if !(t >= 0.0) {
+            // Negative and NaN both fall outside the trace.
+            return None;
+        }
+        let idx = t / self.dt;
+        if idx >= self.samples.len() as f64 {
+            return None;
+        }
+        Some(idx as usize)
+    }
+
+    /// Raw sample storage and interval, for the cursor in this crate.
+    #[inline]
+    pub(crate) fn raw(&self) -> (&[f64], f64) {
+        (&self.samples, self.dt)
+    }
+
     /// Harvested power at time `t` (zero-order hold). Returns zero beyond
     /// the end of the trace — the paper lets systems run on stored energy
-    /// after the trace completes (§5).
+    /// after the trace completes (§5) — and for negative or non-finite
+    /// times.
     pub fn power_at(&self, t: Seconds) -> Watts {
-        if t.get() < 0.0 {
-            return Watts::ZERO;
-        }
-        let idx = (t.get() / self.dt) as usize;
-        match self.samples.get(idx) {
-            Some(&p) => Watts::new(p),
+        match self.sample_index(t.get()) {
+            Some(idx) => Watts::new(self.samples[idx]),
             None => Watts::ZERO,
         }
     }

@@ -104,6 +104,47 @@ pub trait Workload {
     }
 }
 
+/// Forwarding impl so the simulation engine can be generic over
+/// `W: Workload` (monomorphized hot loop) while `WorkloadKind`-style
+/// `Box<dyn Workload>` constructors keep working as thin wrappers.
+impl<T: Workload + ?Sized> Workload for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_power_up(&mut self, now: Seconds) {
+        (**self).on_power_up(now)
+    }
+
+    fn on_power_down(&mut self, now: Seconds) {
+        (**self).on_power_down(now)
+    }
+
+    fn step(&mut self, env: &WorkloadEnv) -> LoadDemand {
+        (**self).step(env)
+    }
+
+    fn finalize(&mut self, now: Seconds) {
+        (**self).finalize(now)
+    }
+
+    fn ops_completed(&self) -> u64 {
+        (**self).ops_completed()
+    }
+
+    fn ops_failed(&self) -> u64 {
+        (**self).ops_failed()
+    }
+
+    fn aux_completed(&self) -> u64 {
+        (**self).aux_completed()
+    }
+
+    fn events_missed(&self) -> u64 {
+        (**self).events_missed()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,182 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `benchmark_group` / `Bencher` surface the
+//! workspace's benches use, with plain wall-clock timing: each
+//! benchmark is warmed up once, then run for enough iterations to fill
+//! a short measurement window, and the mean per-iteration time is
+//! printed. `--test` (as passed by `cargo bench -- --test`) runs every
+//! benchmark body exactly once without timing — the CI smoke mode.
+//! Positional CLI arguments act as substring filters on benchmark
+//! names, like the real criterion.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filters: Vec::new(),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process CLI arguments.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Harness-protocol flags cargo passes; ignored.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => c.filters.push(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        if self.matches(&name) {
+            run_one(&name, self.test_mode, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring criterion's group API.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        if self.parent.matches(&full) {
+            let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+            run_one(&full, self.parent.test_mode, samples, f);
+        }
+        self
+    }
+
+    /// Ends the group (required by the real API; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; `iter` supplies the body to measure.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that fills
+        // the measurement window.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, self.samples as u128) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last = Some(start.elapsed() / iters);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        test_mode,
+        samples,
+        last: None,
+    };
+    f(&mut b);
+    match (test_mode, b.last) {
+        (true, _) => println!("test {name} ... ok"),
+        (false, Some(t)) => println!("{name:<50} time: [{}]", format_duration(t)),
+        (false, None) => println!("{name:<50} (no measurement)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

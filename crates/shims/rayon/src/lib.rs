@@ -1,0 +1,165 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Implements `par_iter().map(..).collect::<Vec<_>>()` over slices with
+//! scoped OS threads pulling work items off a shared atomic counter
+//! (coarse work stealing), which is all the workspace's sweep and
+//! experiment-matrix runners need. Thread count follows
+//! `RAYON_NUM_THREADS` when set, else `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One-stop import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `.par_iter()` entry point for shared-reference parallel iteration.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by the iterator.
+    type Item: Sync + 'data;
+    /// Starts a parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        C::from_ordered(run_ordered(self.items, &self.f))
+    }
+}
+
+/// Collection types constructible from ordered parallel results.
+pub trait FromParallelResults<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+fn run_ordered<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().expect("results poisoned")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn heavy_items_balance() {
+        let xs: Vec<u32> = (0..64).collect();
+        let ys: Vec<u64> = xs
+            .par_iter()
+            .map(|&x| (0..(x as u64 % 7) * 10_000).sum::<u64>().wrapping_add(x as u64))
+            .collect();
+        assert_eq!(ys.len(), 64);
+    }
+}

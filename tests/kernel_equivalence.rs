@@ -1,0 +1,159 @@
+//! Adaptive-kernel validation: every workload × buffer combination must
+//! produce the same deployment outcome under the adaptive kernel as
+//! under the fixed-`dt` reference, within tight tolerance.
+//!
+//! The adaptive kernel only takes coarse strides while the MCU is dark,
+//! quantizing enable-voltage crossings back onto the fine-step grid, so
+//! ops/boots/on-time should agree to within the reference kernel's own
+//! discretization noise. Conservation must hold independently in both.
+
+use std::sync::Arc;
+
+use react_repro::buffers::BufferKind;
+use react_repro::core::{calib, Experiment, KernelMode, RunMetrics, WorkloadKind};
+use react_repro::traces::{paper_trace, PaperTrace};
+use react_repro::units::Seconds;
+
+fn rel_close(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    (a - b).abs() <= rel * a.abs().max(b.abs()) + abs
+}
+
+fn run_both(
+    buffer: BufferKind,
+    workload: WorkloadKind,
+    trace: &Arc<react_repro::traces::PowerTrace>,
+    which: PaperTrace,
+) -> (RunMetrics, RunMetrics) {
+    let exp = Experiment::new(buffer, workload);
+    let reference = exp
+        .run_shared(trace, Some(which), calib::DEFAULT_DT, None, KernelMode::FixedDt)
+        .metrics;
+    let adaptive = exp
+        .run_shared(trace, Some(which), calib::DEFAULT_DT, None, KernelMode::Adaptive)
+        .metrics;
+    (reference, adaptive)
+}
+
+fn assert_equivalent(buffer: BufferKind, workload: WorkloadKind) {
+    let which = PaperTrace::RfCart;
+    let trace = Arc::new(paper_trace(which).truncated(Seconds::new(120.0)));
+    let (r, a) = run_both(buffer, workload, &trace, which);
+    let label = format!("{} × {}", buffer.label(), workload.label());
+
+    assert!(
+        rel_close(a.ops_completed as f64, r.ops_completed as f64, 0.02, 2.0),
+        "{label}: ops {} vs {}",
+        a.ops_completed,
+        r.ops_completed
+    );
+    assert!(
+        (a.boots as i64 - r.boots as i64).unsigned_abs() <= 2.max(r.boots / 50),
+        "{label}: boots {} vs {}",
+        a.boots,
+        r.boots
+    );
+    assert!(
+        rel_close(a.on_time.get(), r.on_time.get(), 0.02, 0.05),
+        "{label}: on_time {:?} vs {:?}",
+        a.on_time,
+        r.on_time
+    );
+    match (a.first_on_latency, r.first_on_latency) {
+        (None, None) => {}
+        (Some(la), Some(lr)) => assert!(
+            (la.get() - lr.get()).abs() < 0.1,
+            "{label}: latency {la:?} vs {lr:?}"
+        ),
+        (la, lr) => panic!("{label}: latency {la:?} vs {lr:?}"),
+    }
+    // Both kernels must balance their own energy books.
+    assert!(
+        r.relative_conservation_error() < 1e-3,
+        "{label}: reference conservation {}",
+        r.relative_conservation_error()
+    );
+    assert!(
+        a.relative_conservation_error() < 1e-3,
+        "{label}: adaptive conservation {}",
+        a.relative_conservation_error()
+    );
+    // Step counts: runs with idle phases collapse them; runs that stay
+    // on (PF sleeps through the whole trace with the gate closed) can
+    // only add the occasional partial stride at window boundaries, never
+    // meaningful overhead.
+    assert!(
+        a.engine_steps as f64 <= r.engine_steps as f64 * 1.02 + 16.0,
+        "{label}: adaptive took {} steps vs reference {}",
+        a.engine_steps,
+        r.engine_steps
+    );
+}
+
+#[test]
+fn de_matches_reference_on_all_buffers() {
+    for buffer in [BufferKind::Static770uF, BufferKind::Static10mF, BufferKind::React] {
+        assert_equivalent(buffer, WorkloadKind::DataEncryption);
+    }
+}
+
+#[test]
+fn sc_matches_reference_on_all_buffers() {
+    for buffer in [BufferKind::Static770uF, BufferKind::Static10mF, BufferKind::React] {
+        assert_equivalent(buffer, WorkloadKind::SenseCompute);
+    }
+}
+
+#[test]
+fn rt_matches_reference_on_all_buffers() {
+    for buffer in [BufferKind::Static770uF, BufferKind::Static10mF, BufferKind::React] {
+        assert_equivalent(buffer, WorkloadKind::RadioTransmit);
+    }
+}
+
+#[test]
+fn pf_matches_reference_on_all_buffers() {
+    for buffer in [BufferKind::Static770uF, BufferKind::Static10mF, BufferKind::React] {
+        assert_equivalent(buffer, WorkloadKind::PacketForward);
+    }
+}
+
+#[test]
+fn sweep_parallel_adaptive_matches_serial_reference() {
+    use react_repro::core::sweep::{static_size_sweep_with, SweepOptions};
+    use react_repro::units::Farads;
+
+    let trace = paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(60.0));
+    let sizes = [
+        Farads::from_micro(500.0),
+        Farads::from_milli(2.0),
+        Farads::from_milli(10.0),
+    ];
+    let reference = static_size_sweep_with(
+        &trace,
+        WorkloadKind::DataEncryption,
+        &sizes,
+        SweepOptions::serial_reference(),
+    );
+    let fast = static_size_sweep_with(
+        &trace,
+        WorkloadKind::DataEncryption,
+        &sizes,
+        SweepOptions::default(),
+    );
+    assert_eq!(reference.len(), fast.len());
+    for (r, f) in reference.iter().zip(&fast) {
+        assert_eq!(r.capacitance, f.capacitance);
+        assert!(
+            rel_close(
+                f.metrics.ops_completed as f64,
+                r.metrics.ops_completed as f64,
+                0.02,
+                2.0
+            ),
+            "{:?}: ops {} vs {}",
+            r.capacitance,
+            f.metrics.ops_completed,
+            r.metrics.ops_completed
+        );
+    }
+}
