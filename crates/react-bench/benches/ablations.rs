@@ -21,7 +21,10 @@ fn react_rt_ops(config: ReactConfig) -> u64 {
     let replay = PowerReplay::new(trace.clone(), Converter::ideal());
     let workload = WorkloadKind::RadioTransmit.build(&trace, Some(PaperTrace::RfCart));
     let buffer: Box<dyn EnergyBuffer> = Box::new(ReactBuffer::new(config));
-    Simulator::new(replay, buffer, workload).run().metrics.ops_completed
+    Simulator::new(replay, buffer, workload)
+        .run()
+        .metrics
+        .ops_completed
 }
 
 fn regenerate() {
@@ -35,7 +38,11 @@ fn regenerate() {
     let mut no_reclaim = ReactConfig::paper_prototype();
     no_reclaim.charge_reclamation = false;
     let without = react_rt_ops(no_reclaim);
-    table.push_row(&["REACT (paper)".into(), base.to_string(), "reclamation on".into()]);
+    table.push_row(&[
+        "REACT (paper)".into(),
+        base.to_string(),
+        "reclamation on".into(),
+    ]);
     table.push_row(&[
         "REACT, no reclamation".into(),
         without.to_string(),

@@ -1,14 +1,26 @@
 //! Engine bench: adaptive kernel + parallel runners vs the fixed-`dt`
-//! serial baseline.
+//! serial baseline, plus the controller-aware REACT/Morphy fast path vs
+//! the legacy adaptive kernel that fine-stepped controller buffers.
 //!
-//! Prints (and saves under `target/paper-artifacts/engine.txt`) three
+//! Prints (and saves under `target/paper-artifacts/engine.txt`) four
 //! comparisons:
 //!
 //! 1. single-run kernel throughput (wall-clock and engine steps) for a
 //!    charge-dominated scenario,
 //! 2. a buffer-size sweep: serial fixed-`dt` vs parallel adaptive
-//!    wall-clock, and
-//! 3. a small trace × buffer experiment matrix, same comparison.
+//!    wall-clock,
+//! 3. a small static trace × buffer experiment matrix, same comparison,
+//! 4. a REACT-dominated matrix (REACT + Morphy cells): the
+//!    controller-aware idle fast path vs the same adaptive kernel with
+//!    the fast path suppressed (PR 1 behavior — controller buffers fell
+//!    back to fine stepping while dark).
+//!
+//! Every comparison also lands in
+//! `target/paper-artifacts/BENCH_engine.json` (name, wall-clock,
+//! speedup, steps/sec per scenario); CI uploads that file and fails if
+//! any scenario's *speedup* regresses >20 % against the committed
+//! baseline in `ci/bench-baseline.json` (absolute wall-clock is not
+//! comparable across runners, the speedup ratio is).
 //!
 //! Run with `cargo bench --bench engine`; `-- --test` is the CI smoke
 //! mode (each measurement body runs once, no timing claims).
@@ -17,17 +29,70 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use react_bench::save_artifact;
-use react_buffers::BufferKind;
+use react_bench::{save_artifact, save_bench_report, BenchReport, BenchScenario};
+use react_buffers::{BufferKind, EnergyBuffer};
+use react_circuit::EnergyLedger;
 use react_core::sweep::{log_spaced_sizes, static_size_sweep_with, SweepOptions};
-use react_core::{calib, Experiment, ExperimentMatrix, KernelMode, WorkloadKind};
+use react_core::{
+    calib, Experiment, ExperimentMatrix, KernelMode, RunMetrics, Simulator, WorkloadKind,
+};
+use react_harvest::{Converter, PowerReplay};
 use react_traces::{paper_trace, PaperTrace, PowerTrace};
-use react_units::Seconds;
+use react_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
+
+/// Forwarding wrapper that hides a buffer's idle fast path, reproducing
+/// the legacy adaptive kernel: the engine fine-steps the buffer while
+/// the MCU is dark instead of handing it whole trace windows.
+struct NoFastPath<B>(B);
+
+impl<B: EnergyBuffer> EnergyBuffer for NoFastPath<B> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn rail_voltage(&self) -> Volts {
+        self.0.rail_voltage()
+    }
+    fn input_voltage(&self) -> Volts {
+        self.0.input_voltage()
+    }
+    fn equivalent_capacitance(&self) -> Farads {
+        self.0.equivalent_capacitance()
+    }
+    fn stored_energy(&self) -> Joules {
+        self.0.stored_energy()
+    }
+    fn usable_energy_above(&self, v_floor: Volts) -> Joules {
+        self.0.usable_energy_above(v_floor)
+    }
+    fn supports_longevity(&self) -> bool {
+        self.0.supports_longevity()
+    }
+    fn capacitance_level(&self) -> u32 {
+        self.0.capacitance_level()
+    }
+    fn reconfiguration_count(&self) -> u64 {
+        self.0.reconfiguration_count()
+    }
+    fn capacitance_dwell(&self) -> Vec<(u32, f64)> {
+        self.0.capacitance_dwell()
+    }
+    fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool) {
+        self.0.step(input, load, dt, mcu_running)
+    }
+    fn ledger(&self) -> &EnergyLedger {
+        self.0.ledger()
+    }
+}
 
 fn single_run(trace: &Arc<PowerTrace>, kernel: KernelMode) -> (f64, u64, u64) {
     let start = Instant::now();
-    let out = Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption)
-        .run_shared(trace, None, calib::DEFAULT_DT, None, kernel);
+    let out = Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption).run_shared(
+        trace,
+        None,
+        calib::DEFAULT_DT,
+        None,
+        kernel,
+    );
     (
         start.elapsed().as_secs_f64(),
         out.metrics.engine_steps,
@@ -35,8 +100,30 @@ fn single_run(trace: &Arc<PowerTrace>, kernel: KernelMode) -> (f64, u64, u64) {
     )
 }
 
+/// Runs one REACT-dominated matrix cell; `fast_path` selects the
+/// controller-aware closed form vs the legacy fine-step fallback.
+fn controller_cell(
+    trace: &Arc<PowerTrace>,
+    which: PaperTrace,
+    buffer: BufferKind,
+    fast_path: bool,
+) -> RunMetrics {
+    let replay = PowerReplay::new(Arc::clone(trace), Converter::ideal());
+    let workload = WorkloadKind::DataEncryption.build(trace, Some(which));
+    if fast_path {
+        Simulator::new(replay, buffer.build(), workload)
+            .run()
+            .metrics
+    } else {
+        Simulator::new(replay, NoFastPath(buffer.build()), workload)
+            .run()
+            .metrics
+    }
+}
+
 fn compare_then_bench(c: &mut Criterion) {
     let mut report = String::new();
+    let mut perf = BenchReport::default();
 
     // 1. Kernel throughput on one charge-dominated run.
     let trace = Arc::new(paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(120.0)));
@@ -56,6 +143,13 @@ fn compare_then_bench(c: &mut Criterion) {
         t_fixed / t_adaptive.max(1e-9),
         steps_fixed as f64 / steps_adaptive.max(1) as f64,
     ));
+    perf.scenarios.push(BenchScenario {
+        name: "single_de_10mf_rfobs".into(),
+        wall_ms_baseline: t_fixed * 1e3,
+        wall_ms_fast: t_adaptive * 1e3,
+        speedup: t_fixed / t_adaptive.max(1e-9),
+        steps_per_sec: steps_adaptive as f64 / t_adaptive.max(1e-9),
+    });
 
     // 2. Buffer-size sweep: the §2.1 design-space exploration.
     let sweep_trace = paper_trace(PaperTrace::RfObstructed).truncated(Seconds::new(120.0));
@@ -93,9 +187,17 @@ fn compare_then_bench(c: &mut Criterion) {
         t_serial * 1e3,
         t_parallel * 1e3,
     ));
+    let sweep_steps: u64 = fast.iter().map(|r| r.metrics.engine_steps).sum();
+    perf.scenarios.push(BenchScenario {
+        name: "sweep_de_8sizes_rfobs".into(),
+        wall_ms_baseline: t_serial * 1e3,
+        wall_ms_fast: t_parallel * 1e3,
+        speedup: sweep_speedup,
+        steps_per_sec: sweep_steps as f64 / t_parallel.max(1e-9),
+    });
 
-    // 3. Trace × buffer matrix corner. SolarCommute is the paper's
-    // long mostly-dark trace (6030 s, 0.148 mW) — the case whose
+    // 3. Static trace × buffer matrix corner. SolarCommute is the
+    // paper's long mostly-dark trace (6030 s, 0.148 mW) — the case whose
     // hour-scale charge phases motivated the adaptive kernel.
     let traces = [
         PaperTrace::RfCart,
@@ -134,16 +236,87 @@ fn compare_then_bench(c: &mut Criterion) {
         })
     });
     report.push_str(&format!(
-        "experiment matrix (3 traces × 3 buffers × DE, full traces)\n\
+        "experiment matrix (3 traces × 3 static buffers × DE, full traces)\n\
          \x20 serial fixed-dt  : {:>8.1} ms\n\
          \x20 parallel adaptive: {:>8.1} ms\n\
-         \x20 matrix speedup: {matrix_speedup:.1}×  (results agree: {cells_agree})\n",
+         \x20 matrix speedup: {matrix_speedup:.1}×  (results agree: {cells_agree})\n\n",
         t_serial * 1e3,
         t_parallel * 1e3,
     ));
+    let matrix_steps: u64 = m_fast
+        .rows
+        .iter()
+        .flat_map(|r| r.cells.iter().map(|c| c.outcome.metrics.engine_steps))
+        .sum();
+    perf.scenarios.push(BenchScenario {
+        name: "matrix_static_3x3".into(),
+        wall_ms_baseline: t_serial * 1e3,
+        wall_ms_fast: t_parallel * 1e3,
+        speedup: matrix_speedup,
+        steps_per_sec: matrix_steps as f64 / t_parallel.max(1e-9),
+    });
+
+    // 4. REACT-dominated matrix: the controller cells the ROADMAP
+    // flagged as dominating wall-clock. Baseline is the *legacy*
+    // adaptive kernel (fast path suppressed, so REACT/Morphy fine-step
+    // while dark — PR 1 behavior); fast is the controller-aware closed
+    // form. Both serial, so the ratio is pure kernel speedup.
+    let ctl_traces = [
+        (
+            PaperTrace::RfObstructed,
+            Arc::new(paper_trace(PaperTrace::RfObstructed)),
+        ),
+        (
+            PaperTrace::SolarCommute,
+            Arc::new(paper_trace(PaperTrace::SolarCommute).truncated(Seconds::new(1200.0))),
+        ),
+    ];
+    let ctl_buffers = [BufferKind::React, BufferKind::Morphy];
+    let start = Instant::now();
+    let legacy: Vec<RunMetrics> = ctl_traces
+        .iter()
+        .flat_map(|(which, trace)| {
+            ctl_buffers
+                .iter()
+                .map(|&b| controller_cell(trace, *which, b, false))
+        })
+        .collect();
+    let t_legacy = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let fastpath: Vec<RunMetrics> = ctl_traces
+        .iter()
+        .flat_map(|(which, trace)| {
+            ctl_buffers
+                .iter()
+                .map(|&b| controller_cell(trace, *which, b, true))
+        })
+        .collect();
+    let t_fastpath = start.elapsed().as_secs_f64();
+    let ctl_speedup = t_legacy / t_fastpath.max(1e-9);
+    let ctl_agree = legacy.iter().zip(&fastpath).all(|(l, f)| {
+        let (a, b) = (l.ops_completed as f64, f.ops_completed as f64);
+        (a - b).abs() <= 0.02 * a.max(b) + 2.0
+    });
+    report.push_str(&format!(
+        "REACT-dominated matrix (2 traces × REACT/Morphy × DE)\n\
+         \x20 legacy adaptive (no controller fast path): {:>8.1} ms\n\
+         \x20 controller-aware adaptive                : {:>8.1} ms\n\
+         \x20 controller fast-path speedup: {ctl_speedup:.1}×  (results agree: {ctl_agree})\n",
+        t_legacy * 1e3,
+        t_fastpath * 1e3,
+    ));
+    let ctl_steps: u64 = fastpath.iter().map(|m| m.engine_steps).sum();
+    perf.scenarios.push(BenchScenario {
+        name: "matrix_react_morphy".into(),
+        wall_ms_baseline: t_legacy * 1e3,
+        wall_ms_fast: t_fastpath * 1e3,
+        speedup: ctl_speedup,
+        steps_per_sec: ctl_steps as f64 / t_fastpath.max(1e-9),
+    });
 
     println!("{report}");
     save_artifact("engine", &report, None);
+    save_bench_report("engine", &perf);
 
     // Criterion-style timed kernels for regression tracking.
     let mut group = c.benchmark_group("engine");
@@ -161,6 +334,14 @@ fn compare_then_bench(c: &mut Criterion) {
         b.iter(|| {
             Experiment::new(BufferKind::Static10mF, WorkloadKind::DataEncryption)
                 .run_shared(&short, None, calib::DEFAULT_DT, None, KernelMode::FixedDt)
+                .metrics
+                .ops_completed
+        })
+    });
+    group.bench_function("de_react_rfobs_60s_adaptive", |b| {
+        b.iter(|| {
+            Experiment::new(BufferKind::React, WorkloadKind::DataEncryption)
+                .run_shared(&short, None, calib::DEFAULT_DT, None, KernelMode::Adaptive)
                 .metrics
                 .ops_completed
         })

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
-use react_buffers::{StaticBuffer, EnergyBuffer};
+use react_buffers::{EnergyBuffer, StaticBuffer};
 use react_circuit::CapacitorSpec;
 use react_core::{ConstantLoad, Simulator};
 use react_harvest::{Converter, PowerReplay};
@@ -14,8 +14,7 @@ use react_units::{Amps, Farads, Seconds};
 
 fn run_static(c_mf: f64, trace: PaperTrace, probe: bool) -> react_core::RunOutcome {
     let spec = CapacitorSpec::supercap_scaled(Farads::from_milli(c_mf));
-    let buffer: Box<dyn EnergyBuffer> =
-        Box::new(StaticBuffer::new(format!("{c_mf} mF"), spec));
+    let buffer: Box<dyn EnergyBuffer> = Box::new(StaticBuffer::new(format!("{c_mf} mF"), spec));
     // §2.1: the system "draws 1.5 mA in active mode" — the MCU model
     // already draws 1.5 mA active, so no extra peripheral load.
     let workload = Box::new(ConstantLoad::new(Amps::ZERO));

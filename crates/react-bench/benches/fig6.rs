@@ -30,15 +30,25 @@ fn regenerate() {
 
     let mut csv = String::from("time_s");
     for (kind, _) in &runs {
-        csv.push_str(&format!(",v_{0},on_{0},cap_{0}", kind.label().replace(' ', "")));
+        csv.push_str(&format!(
+            ",v_{0},on_{0},cap_{0}",
+            kind.label().replace(' ', "")
+        ));
     }
     csv.push('\n');
-    let len = runs.iter().map(|(_, o)| o.voltage_series.len()).min().unwrap_or(0);
+    let len = runs
+        .iter()
+        .map(|(_, o)| o.voltage_series.len())
+        .min()
+        .unwrap_or(0);
     for i in 0..len {
         csv.push_str(&format!("{:.1}", runs[0].1.voltage_series[i].time_s));
         for (_, out) in &runs {
             let s = &out.voltage_series[i];
-            csv.push_str(&format!(",{:.4},{},{:.6}", s.voltage_v, s.on as u8, s.capacitance_f));
+            csv.push_str(&format!(
+                ",{:.4},{},{:.6}",
+                s.voltage_v, s.on as u8, s.capacitance_f
+            ));
         }
         csv.push('\n');
     }

@@ -56,8 +56,14 @@ fn regenerate() {
          (paper: ≈68 µW, ~13.6 µW/bank)\n"
     );
     println!("{text}");
-    assert!(penalty > 0.5 && penalty < 5.0, "software penalty {penalty}%");
-    assert!(hw_uw > 40.0 && hw_uw < 100.0, "hardware overhead {hw_uw} µW");
+    assert!(
+        penalty > 0.5 && penalty < 5.0,
+        "software penalty {penalty}%"
+    );
+    assert!(
+        hw_uw > 40.0 && hw_uw < 100.0,
+        "hardware overhead {hw_uw} µW"
+    );
     save_artifact("overhead", &text, None);
 }
 

@@ -9,7 +9,13 @@ use react_traces::{paper_trace, PaperTrace, TABLE3_TARGETS};
 fn regenerate() {
     let mut table = TextTable::new(
         "Table 3: power traces",
-        &["Trace", "Time (s)", "Avg. Pow. (mW)", "Power CV", "Paper CV"],
+        &[
+            "Trace",
+            "Time (s)",
+            "Avg. Pow. (mW)",
+            "Power CV",
+            "Paper CV",
+        ],
     );
     for row in TABLE3_TARGETS {
         let stats = paper_trace(row.trace).stats();

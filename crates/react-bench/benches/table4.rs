@@ -34,7 +34,11 @@ fn regenerate() {
     }
     let mut mean = vec!["Mean".to_string()];
     for (s, c) in sums.iter().zip(&counts) {
-        mean.push(if *c > 0 { format!("{:.2}", s / *c as f64) } else { "-".into() });
+        mean.push(if *c > 0 {
+            format!("{:.2}", s / *c as f64)
+        } else {
+            "-".into()
+        });
     }
     table.push_row(&mean);
     println!("{}", table.render());

@@ -1,0 +1,94 @@
+//! CI perf-regression gate for the `engine` bench.
+//!
+//! Usage: `bench_gate <baseline.json> <current.json> [max-regression]`
+//!
+//! Compares each baseline scenario's *speedup* (adaptive vs baseline
+//! kernel wall-clock, measured within one run on one machine — the only
+//! metric that transfers across CI runners) against the current
+//! `BENCH_engine.json`. Exits non-zero when any scenario's speedup
+//! falls more than `max-regression` (default 0.20 = 20 %) below its
+//! committed baseline, or when a baseline scenario is missing from the
+//! current report.
+
+use std::process::ExitCode;
+
+use react_bench::BenchReport;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [max-regression]");
+        return ExitCode::from(2);
+    }
+    let max_regression: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("max-regression must be a number"))
+        .unwrap_or(0.20);
+
+    let (baseline, current) = match (load(&args[1]), load(&args[2])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}  verdict",
+        "scenario", "base", "current", "floor"
+    );
+    for base in &baseline.scenarios {
+        let floor = base.speedup * (1.0 - max_regression);
+        match current.scenario(&base.name) {
+            Some(cur) => {
+                let ok = cur.speedup >= floor;
+                failed |= !ok;
+                println!(
+                    "{:<24} {:>9.2}× {:>9.2}× {:>7.2}×  {}",
+                    base.name,
+                    base.speedup,
+                    cur.speedup,
+                    floor,
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+            }
+            None => {
+                failed = true;
+                println!(
+                    "{:<24} {:>9.2}× {:>10} {:>7.2}×  MISSING",
+                    base.name, base.speedup, "-", floor
+                );
+            }
+        }
+    }
+    for cur in &current.scenarios {
+        if baseline.scenario(&cur.name).is_none() {
+            println!(
+                "{:<24} {:>10} {:>9.2}× {:>8}  new (no baseline)",
+                cur.name, "-", cur.speedup, "-"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench_gate: speedup regression >{:.0}% vs baseline",
+            max_regression * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_gate: all scenarios within {:.0}% of baseline",
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -34,7 +34,18 @@ fn main() {
     );
     println!(
         "{:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>7}",
-        "buffer", "ops", "harvest", "clip", "leak", "diode", "switch", "load", "ovrhd", "fail", "miss", "on-time"
+        "buffer",
+        "ops",
+        "harvest",
+        "clip",
+        "leak",
+        "diode",
+        "switch",
+        "load",
+        "ovrhd",
+        "fail",
+        "miss",
+        "on-time"
     );
     for kind in BufferKind::PAPER_COLUMNS {
         let out = Experiment::new(kind, workload).run_paper_trace(trace);

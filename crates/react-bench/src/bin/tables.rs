@@ -14,7 +14,13 @@ fn main() {
     // Table 3 — trace statistics.
     let mut t3 = TextTable::new(
         "Table 3: power traces",
-        &["Trace", "Time (s)", "Avg. Pow. (mW)", "Power CV", "Paper CV"],
+        &[
+            "Trace",
+            "Time (s)",
+            "Avg. Pow. (mW)",
+            "Power CV",
+            "Paper CV",
+        ],
     );
     for row in TABLE3_TARGETS {
         let stats = paper_trace(row.trace).stats();
@@ -52,17 +58,30 @@ fn main() {
     }
     let mut mean_row = vec!["Mean".to_string()];
     for (m, c) in means.iter().zip(&counts) {
-        mean_row.push(if *c > 0 { format!("{:.2}", m / *c as f64) } else { "-".into() });
+        mean_row.push(if *c > 0 {
+            format!("{:.2}", m / *c as f64)
+        } else {
+            "-".into()
+        });
     }
     t4.push_row(&mean_row);
     println!("{}", t4.render());
 
     // Table 2 — DE / SC / RT.
-    println!("{}", render_ops_table("Table 2a: Data Encryption", &de).render());
+    println!(
+        "{}",
+        render_ops_table("Table 2a: Data Encryption", &de).render()
+    );
     let sc = ExperimentMatrix::run(WorkloadKind::SenseCompute);
-    println!("{}", render_ops_table("Table 2b: Sense and Compute", &sc).render());
+    println!(
+        "{}",
+        render_ops_table("Table 2b: Sense and Compute", &sc).render()
+    );
     let rt = ExperimentMatrix::run(WorkloadKind::RadioTransmit);
-    println!("{}", render_ops_table("Table 2c: Radio Transmit", &rt).render());
+    println!(
+        "{}",
+        render_ops_table("Table 2c: Radio Transmit", &rt).render()
+    );
 
     // Table 5 — PF Rx/Tx.
     let pf = ExperimentMatrix::run(WorkloadKind::PacketForward);

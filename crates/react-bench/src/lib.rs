@@ -9,6 +9,40 @@ use react_buffers::BufferKind;
 use react_core::report::TextTable;
 use react_core::{ExperimentMatrix, WorkloadKind};
 use react_traces::PaperTrace;
+use serde::{Deserialize, Serialize};
+
+/// One engine-bench scenario's performance record — the unit the CI
+/// perf-regression gate compares against its committed baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchScenario {
+    /// Stable scenario identifier (the gate matches on it).
+    pub name: String,
+    /// Wall-clock of the baseline kernel configuration, in ms.
+    pub wall_ms_baseline: f64,
+    /// Wall-clock of the fast (adaptive) configuration, in ms.
+    pub wall_ms_fast: f64,
+    /// `wall_ms_baseline / wall_ms_fast` — the machine-independent
+    /// metric the CI gate checks (absolute wall-clock is not comparable
+    /// across runners).
+    pub speedup: f64,
+    /// Engine iterations per second sustained by the fast configuration.
+    pub steps_per_sec: f64,
+}
+
+/// The `BENCH_engine.json` document: every scenario the engine bench
+/// measured in one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Measured scenarios, in bench order.
+    pub scenarios: Vec<BenchScenario>,
+}
+
+impl BenchReport {
+    /// Looks up a scenario by name.
+    pub fn scenario(&self, name: &str) -> Option<&BenchScenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
 
 /// Renders an ops-count matrix (Table 2 / Table 5 style) as a text
 /// table, one row per trace plus the mean row.
@@ -44,14 +78,36 @@ pub fn render_ops_table(title: &str, matrix: &ExperimentMatrix) -> TextTable {
     table
 }
 
-/// Writes a rendered artefact (text and optional CSV) under
-/// `target/paper-artifacts/` so bench output survives the run.
+/// The workspace-root `target/paper-artifacts/` directory, regardless
+/// of the working directory cargo launched the bench with (benches run
+/// with the package dir as cwd, which would scatter artifacts under
+/// `crates/react-bench/target`).
+fn artifact_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/paper-artifacts")
+}
+
+/// Writes a rendered artefact (text and optional CSV) under the
+/// workspace `target/paper-artifacts/` so bench output survives the
+/// run.
 pub fn save_artifact(name: &str, text: &str, csv: Option<&str>) {
-    let dir = std::path::Path::new("target/paper-artifacts");
-    if std::fs::create_dir_all(dir).is_ok() {
+    let dir = artifact_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
         let _ = std::fs::write(dir.join(format!("{name}.txt")), text);
         if let Some(csv) = csv {
             let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+        }
+    }
+}
+
+/// Writes a perf report as `target/paper-artifacts/BENCH_<name>.json`
+/// under the workspace root (the artifact CI uploads and gates on).
+pub fn save_bench_report(name: &str, report: &BenchReport) {
+    let dir = artifact_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(json) = serde_json::to_string(report) {
+            let _ = std::fs::write(dir.join(format!("BENCH_{name}.json")), json);
         }
     }
 }

@@ -68,6 +68,32 @@ pub trait EnergyBuffer {
         0
     }
 
+    /// `true` if this buffer's MCU-off physics are coarse-integrable:
+    /// its [`idle_advance`](Self::idle_advance) collapses whole charge
+    /// phases in closed form instead of replaying fine steps. The
+    /// adaptive simulation kernel only hands idle trace windows to
+    /// buffers that report `true`; everything else runs through the
+    /// ordinary fine-step loop, keeping step counts honest.
+    fn supports_idle_fast_path(&self) -> bool {
+        false
+    }
+
+    /// Count of capacitance reconfigurations the buffer's controller has
+    /// performed (REACT bank switches, Morphy ladder moves). Zero for
+    /// buffers without a controller.
+    fn reconfiguration_count(&self) -> u64 {
+        0
+    }
+
+    /// Dwell time per [`capacitance_level`](Self::capacitance_level):
+    /// `(level, seconds)` pairs covering the whole simulated time, in
+    /// ascending level order. Empty for buffers that never change level.
+    /// Both kernels must account this identically — the equivalence
+    /// suite asserts it.
+    fn capacitance_dwell(&self) -> Vec<(u32, f64)> {
+        Vec::new()
+    }
+
     /// Advances the buffer by `dt`. `mcu_running` gates controller
     /// software that runs on the target MCU (REACT's poller); externally
     /// powered controllers (Morphy) ignore it.
@@ -81,30 +107,55 @@ pub trait EnergyBuffer {
     /// step at the end of `duration`.
     ///
     /// The default implementation replays the fixed-timestep reference
-    /// loop exactly, so buffers with internal controllers (REACT's diode
-    /// steering, Morphy's externally powered switch network) keep
-    /// step-identical semantics. Buffers whose idle physics have a
-    /// closed form — [`StaticBuffer`](crate::StaticBuffer) — override
-    /// this to integrate whole charge phases analytically, which is what
-    /// makes the adaptive simulation kernel fast.
-    fn idle_advance(&mut self, input: Watts, duration: Seconds, v_stop: Volts, fine_dt: Seconds) -> Seconds {
-        let total = duration.get();
-        let dt = fine_dt.get();
-        assert!(dt > 0.0, "fine timestep must be positive");
-        let mut elapsed = 0.0_f64;
-        while elapsed < total {
-            if self.rail_voltage() >= v_stop {
-                break;
-            }
-            let h = dt.min(total - elapsed);
-            self.step(input, Amps::ZERO, Seconds::new(h), false);
-            elapsed += h;
-        }
-        Seconds::new(elapsed)
+    /// loop ([`reference_idle_advance`]) exactly, so buffers with idle
+    /// dynamics the closed forms do not cover keep step-identical
+    /// semantics. Buffers whose idle physics are coarse-integrable —
+    /// [`StaticBuffer`](crate::StaticBuffer),
+    /// [`ReactBuffer`](crate::ReactBuffer),
+    /// [`MorphyBuffer`](crate::MorphyBuffer) — override this to
+    /// integrate whole charge phases analytically (see
+    /// [`charge_ode`](crate::charge_ode)), which is what makes the
+    /// adaptive simulation kernel fast.
+    fn idle_advance(
+        &mut self,
+        input: Watts,
+        duration: Seconds,
+        v_stop: Volts,
+        fine_dt: Seconds,
+    ) -> Seconds {
+        reference_idle_advance(self, input, duration, v_stop, fine_dt)
     }
 
     /// Energy accounting so far.
     fn ledger(&self) -> &EnergyLedger;
+}
+
+/// The fixed-timestep reference idle loop: constant rail `input`, zero
+/// load, MCU off, stopping early at `v_stop`. This is the single
+/// definition behind [`EnergyBuffer::idle_advance`]'s default *and* the
+/// controller buffers' fallback paths for states their closed forms do
+/// not cover — sharing it guarantees the fallbacks can never drift from
+/// the reference semantics the equivalence suite pins.
+pub fn reference_idle_advance<B: EnergyBuffer + ?Sized>(
+    buffer: &mut B,
+    input: Watts,
+    duration: Seconds,
+    v_stop: Volts,
+    fine_dt: Seconds,
+) -> Seconds {
+    let total = duration.get();
+    let dt = fine_dt.get();
+    assert!(dt > 0.0, "fine timestep must be positive");
+    let mut elapsed = 0.0_f64;
+    while elapsed < total {
+        if buffer.rail_voltage() >= v_stop {
+            break;
+        }
+        let h = dt.min(total - elapsed);
+        buffer.step(input, Amps::ZERO, Seconds::new(h), false);
+        elapsed += h;
+    }
+    Seconds::new(elapsed)
 }
 
 /// Forwarding impl so the simulation engine can be generic over
@@ -145,11 +196,29 @@ impl<T: EnergyBuffer + ?Sized> EnergyBuffer for Box<T> {
         (**self).capacitance_level()
     }
 
+    fn supports_idle_fast_path(&self) -> bool {
+        (**self).supports_idle_fast_path()
+    }
+
+    fn reconfiguration_count(&self) -> u64 {
+        (**self).reconfiguration_count()
+    }
+
+    fn capacitance_dwell(&self) -> Vec<(u32, f64)> {
+        (**self).capacitance_dwell()
+    }
+
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool) {
         (**self).step(input, load, dt, mcu_running)
     }
 
-    fn idle_advance(&mut self, input: Watts, duration: Seconds, v_stop: Volts, fine_dt: Seconds) -> Seconds {
+    fn idle_advance(
+        &mut self,
+        input: Watts,
+        duration: Seconds,
+        v_stop: Volts,
+        fine_dt: Seconds,
+    ) -> Seconds {
         (**self).idle_advance(input, duration, v_stop, fine_dt)
     }
 
@@ -240,7 +309,11 @@ mod tests {
             BufferKind::Capybara,
         ] {
             let buf = kind.build();
-            assert!(buf.rail_voltage().get().abs() < 1e-9, "{} starts empty", buf.name());
+            assert!(
+                buf.rail_voltage().get().abs() < 1e-9,
+                "{} starts empty",
+                buf.name()
+            );
             assert!(buf.equivalent_capacitance().get() > 0.0);
         }
     }

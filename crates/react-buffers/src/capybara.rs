@@ -148,9 +148,7 @@ impl EnergyBuffer for CapybaraBuffer {
             if clip_small.get() > 0.0 {
                 // Redirect the surplus to the big bank.
                 let surplus_q = clip_small.get() / RAIL_CLAMP.get();
-                clipped = self
-                    .big
-                    .deposit(Amps::new(surplus_q / dt.get()), dt);
+                clipped = self.big.deposit(Amps::new(surplus_q / dt.get()), dt);
             }
             let delivered = (self.small.energy() + self.big.energy()) - before;
             self.ledger.delivered += delivered;
@@ -178,7 +176,12 @@ mod tests {
     fn small_bank_charges_first() {
         let mut c = CapybaraBuffer::reference();
         for _ in 0..500 {
-            c.step(Watts::from_milli(1.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+            c.step(
+                Watts::from_milli(1.0),
+                Amps::ZERO,
+                Seconds::from_milli(1.0),
+                false,
+            );
         }
         assert!(c.rail_voltage().get() > 0.3);
         assert!(c.big_voltage().get() < 0.01);
@@ -189,9 +192,18 @@ mod tests {
         let mut c = CapybaraBuffer::reference();
         c.set_voltages(Volts::new(3.6), Volts::ZERO);
         for _ in 0..1000 {
-            c.step(Watts::from_milli(20.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+            c.step(
+                Watts::from_milli(20.0),
+                Amps::ZERO,
+                Seconds::from_milli(1.0),
+                false,
+            );
         }
-        assert!(c.big_voltage().get() > 0.4, "big bank at {}", c.big_voltage().get());
+        assert!(
+            c.big_voltage().get() > 0.4,
+            "big bank at {}",
+            c.big_voltage().get()
+        );
         assert_eq!(c.ledger().clipped, Joules::ZERO);
     }
 
@@ -232,7 +244,12 @@ mod tests {
         c.set_voltages(Volts::new(3.3), Volts::new(3.3));
         c.connect_big();
         for _ in 0..1000 {
-            c.step(Watts::ZERO, Amps::from_milli(10.0), Seconds::from_milli(1.0), false);
+            c.step(
+                Watts::ZERO,
+                Amps::from_milli(10.0),
+                Seconds::from_milli(1.0),
+                false,
+            );
         }
         // Both banks sagged together.
         assert!((c.rail_voltage().get() - c.big_voltage().get()).abs() < 0.01);

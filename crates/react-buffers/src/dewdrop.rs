@@ -48,8 +48,8 @@ impl DewdropBuffer {
     /// `V = sqrt(V_br² + 2·E/C)`, clamped to the rail.
     pub fn adaptive_enable_voltage(&self) -> Volts {
         let c = self.inner.equivalent_capacitance().get();
-        let v = (self.brownout.get() * self.brownout.get() + 2.0 * self.task_quantum.get() / c)
-            .sqrt();
+        let v =
+            (self.brownout.get() * self.brownout.get() + 2.0 * self.task_quantum.get() / c).sqrt();
         Volts::new(v.min(crate::static_buf::RAIL_CLAMP.get()))
     }
 
@@ -126,7 +126,12 @@ mod tests {
     fn behaves_as_static_buffer_electrically() {
         let mut d = DewdropBuffer::reference();
         for _ in 0..1000 {
-            d.step(Watts::from_milli(2.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+            d.step(
+                Watts::from_milli(2.0),
+                Amps::ZERO,
+                Seconds::from_milli(1.0),
+                false,
+            );
         }
         assert!(d.rail_voltage().get() > 0.2);
         assert!(d.supports_longevity());

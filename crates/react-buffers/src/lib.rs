@@ -30,12 +30,16 @@
 
 mod buffer;
 mod capybara;
+pub mod charge_ode;
 mod dewdrop;
 mod morphy;
 mod react;
 pub mod static_buf;
 
-pub use buffer::{power_intake, BufferKind, EnergyBuffer, CHARGE_CURRENT_LIMIT, CONVERSION_FLOOR};
+pub use buffer::{
+    power_intake, reference_idle_advance, BufferKind, EnergyBuffer, CHARGE_CURRENT_LIMIT,
+    CONVERSION_FLOOR,
+};
 pub use capybara::CapybaraBuffer;
 pub use dewdrop::DewdropBuffer;
 pub use morphy::{transition_path as morphy_transition_path, MorphyBuffer};

@@ -113,9 +113,7 @@ impl ReactConfig {
         let c_ser = c_unit.get() / nf;
         let c_last = self.llb.capacitance.get();
         let v_low = self.v_low.get();
-        Volts::new(
-            (nf * v_low) * c_ser / (c_last + c_ser) + v_low * c_last / (c_last + c_ser),
-        )
+        Volts::new((nf * v_low) * c_ser / (c_last + c_ser) + v_low * c_last / (c_last + c_ser))
     }
 
     /// Eq. 2: the unit-capacitance ceiling for a bank of `n` capacitors.
@@ -166,7 +164,11 @@ mod tests {
         let c = ReactConfig::paper_prototype();
         assert!((c.llb.capacitance.to_micro() - 770.0).abs() < 1e-9);
         assert_eq!(c.banks.len(), 5);
-        let sizes: Vec<f64> = c.banks.iter().map(|b| b.unit.capacitance.to_micro()).collect();
+        let sizes: Vec<f64> = c
+            .banks
+            .iter()
+            .map(|b| b.unit.capacitance.to_micro())
+            .collect();
         for (got, want) in sizes.iter().zip([220.0, 440.0, 880.0, 880.0, 5000.0]) {
             assert!((got - want).abs() < 1e-6, "bank size {got} vs {want}");
         }
@@ -200,10 +202,7 @@ mod tests {
         let c = ReactConfig::paper_prototype();
         for bank in &c.banks {
             let v = c.eq1_post_boost_voltage(bank.unit.capacitance, bank.count);
-            assert!(
-                v <= c.v_high,
-                "bank boost to {v:?} exceeds v_high"
-            );
+            assert!(v <= c.v_high, "bank boost to {v:?} exceeds v_high");
             // And the boost actually raises the LLB above v_low.
             if bank.count as f64 * c.v_low.get() > c.v_low.get() {
                 assert!(v > c.v_low);
@@ -214,10 +213,7 @@ mod tests {
     #[test]
     fn oversized_bank_fails_validation() {
         let mut c = ReactConfig::paper_prototype();
-        c.banks[0] = BankSpec::new(
-            CapacitorSpec::ceramic_scaled(Farads::from_milli(5.0)),
-            3,
-        );
+        c.banks[0] = BankSpec::new(CapacitorSpec::ceramic_scaled(Farads::from_milli(5.0)), 3);
         match c.validate() {
             Err(ConfigError::BankTooLarge { bank: 0, .. }) => {}
             other => panic!("expected BankTooLarge, got {other:?}"),
@@ -243,7 +239,10 @@ mod tests {
 
     #[test]
     fn config_error_display() {
-        let e = ConfigError::BankTooLarge { bank: 2, limit: Farads::from_micro(100.0) };
+        let e = ConfigError::BankTooLarge {
+            bank: 2,
+            limit: Farads::from_micro(100.0),
+        };
         assert!(format!("{e}").contains("bank 2"));
     }
 }

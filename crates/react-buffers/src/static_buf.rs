@@ -3,7 +3,8 @@
 use react_circuit::{Capacitor, CapacitorSpec, EnergyLedger};
 use react_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
 
-use crate::{power_intake, EnergyBuffer, CHARGE_CURRENT_LIMIT, CONVERSION_FLOOR};
+use crate::charge_ode::{self, ChargeOde};
+use crate::{power_intake, EnergyBuffer};
 
 /// A single static buffer capacitor with an overvoltage clamp.
 #[derive(Clone, Debug)]
@@ -30,258 +31,31 @@ impl StaticBuffer {
 
     /// The paper's 770 µF baseline (ceramic-class leakage).
     pub fn static_770uf() -> Self {
-        Self::new("770 µF", CapacitorSpec::ceramic_scaled(Farads::from_micro(770.0)))
+        Self::new(
+            "770 µF",
+            CapacitorSpec::ceramic_scaled(Farads::from_micro(770.0)),
+        )
     }
 
     /// The paper's 10 mF baseline (supercapacitor-class leakage).
     pub fn static_10mf() -> Self {
-        Self::new("10 mF", CapacitorSpec::supercap_scaled(Farads::from_milli(10.0)))
+        Self::new(
+            "10 mF",
+            CapacitorSpec::supercap_scaled(Farads::from_milli(10.0)),
+        )
     }
 
     /// The paper's 17 mF baseline, matching REACT's full capacity.
     pub fn static_17mf() -> Self {
-        Self::new("17 mF", CapacitorSpec::supercap_scaled(Farads::from_milli(17.0)))
+        Self::new(
+            "17 mF",
+            CapacitorSpec::supercap_scaled(Farads::from_milli(17.0)),
+        )
     }
 
     /// Force the stored voltage (test setup).
     pub fn set_voltage(&mut self, v: Volts) {
         self.cap.set_voltage(v);
-    }
-}
-
-/// Result of one closed-form idle integration.
-#[derive(Clone, Copy, Debug)]
-struct IdleSolution {
-    /// Time integrated (≤ the requested horizon; shorter only when the
-    /// stop voltage was reached first).
-    elapsed: f64,
-    /// Terminal voltage.
-    v_final: f64,
-    /// Energy lost to leakage over `elapsed`, `∫ G·v² dt`.
-    leaked: f64,
-    /// Energy burned by the overvoltage clamp over `elapsed`.
-    clipped: f64,
-}
-
-/// Integrates the MCU-off charge/decay dynamics of a single capacitor in
-/// closed form.
-///
-/// The per-step reference physics (leak, then `power_intake` deposit)
-/// discretize the ODE `C·dv/dt = i_in(v) − G·v` with
-/// `i_in(v) = min(p / max(v, V_floor), I_limit)` for `p > 0`, which is
-/// piecewise linear either in `v` (constant-current regions) or in
-/// `u = v²` (the power-limited region, where `du/dt = 2(p − G·u)/C` —
-/// the "RC charge curve" with leakage as the R). Each regime therefore
-/// has an exact exponential solution and an invertible crossing time;
-/// the integrator walks the regimes in sequence, accumulating the exact
-/// leakage integral, and holds with clipping at the overvoltage clamp.
-fn integrate_idle(
-    c: f64,
-    g: f64,
-    v_max: f64,
-    p: f64,
-    v_start: f64,
-    horizon: f64,
-    v_stop: Option<f64>,
-) -> IdleSolution {
-    const V_FLOOR: f64 = CONVERSION_FLOOR.get();
-    const I_LIMIT: f64 = CHARGE_CURRENT_LIMIT.get();
-
-    let mut v = v_start.max(0.0);
-    let mut remaining = horizon;
-    let mut leaked = 0.0;
-    let mut clipped = 0.0;
-
-    // Exact ∫(a + b·e^{−k t})² dt over [0, T], scaled by `g`: the
-    // leakage integral for the linear-in-v regimes.
-    let leak_integral_v = |a: f64, b: f64, k: f64, t: f64| -> f64 {
-        if g == 0.0 {
-            return 0.0;
-        }
-        if k <= 0.0 {
-            // b is constant (no decay term): v = a + b.
-            let vv = a + b;
-            return g * vv * vv * t;
-        }
-        let e1 = -(-k * t).exp_m1(); // 1 − e^{−kT}
-        let e2 = -(-2.0 * k * t).exp_m1(); // 1 − e^{−2kT}
-        g * (a * a * t + 2.0 * a * b * e1 / k + b * b * e2 / (2.0 * k))
-    };
-
-    for _ in 0..64 {
-        if remaining <= 0.0 {
-            break;
-        }
-        if let Some(vs) = v_stop {
-            if v >= vs {
-                break;
-            }
-        }
-        let target = v_stop.unwrap_or(f64::INFINITY).min(v_max);
-
-        // Overvoltage clamp hold: input refills leakage, the rest burns.
-        if v >= v_max - 1e-12 {
-            let i_in = if p > 0.0 {
-                (p / v_max.max(V_FLOOR)).min(I_LIMIT)
-            } else {
-                0.0
-            };
-            let i_leak = g * v_max;
-            if i_in >= i_leak {
-                leaked += i_leak * v_max * remaining;
-                clipped += (i_in - i_leak) * v_max * remaining;
-                // Replacement charge arrives continuously; v stays put.
-                return IdleSolution {
-                    elapsed: horizon,
-                    v_final: v_max,
-                    leaked,
-                    clipped,
-                };
-            }
-            // Leak outruns the input: fall through and decay below the
-            // clamp via the ordinary regimes.
-        }
-
-        // Constant-current regimes: linear ODE C·dv/dt = i − G·v.
-        let const_current = if p <= 0.0 {
-            Some((0.0, f64::INFINITY)) // pure decay everywhere
-        } else if v < V_FLOOR {
-            Some(((p / V_FLOOR).min(I_LIMIT), V_FLOOR))
-        } else if p / v >= I_LIMIT {
-            Some((I_LIMIT, p / I_LIMIT))
-        } else {
-            None
-        };
-
-        if let Some((i, regime_top)) = const_current {
-            let k = g / c;
-            let slope0 = (i - g * v) / c;
-            let upper = target.min(regime_top);
-            if slope0 <= 0.0 {
-                // Decaying (or flat): stays in regime; integrate out.
-                let (a, b) = if g > 0.0 { (i / g, v - i / g) } else { (0.0, v) };
-                let v_end = if g > 0.0 {
-                    a + b * (-k * remaining).exp()
-                } else {
-                    v // i == 0 && g == 0: nothing moves
-                };
-                leaked += leak_integral_v(a, b, k, remaining);
-                v = v_end;
-                remaining = 0.0;
-                break;
-            }
-            // Rising: time to the regime/target boundary.
-            let (a, b) = if g > 0.0 { (i / g, v - i / g) } else { (v, 0.0) };
-            let t_hit = if g > 0.0 {
-                let ratio = (upper - a) / (v - a);
-                if ratio <= 0.0 || ratio >= 1.0 {
-                    f64::INFINITY // boundary at/behind the asymptote
-                } else {
-                    -ratio.ln() / k
-                }
-            } else {
-                (upper - v) * c / i
-            };
-            if t_hit >= remaining {
-                let v_end = if g > 0.0 {
-                    a + b * (-k * remaining).exp()
-                } else {
-                    v + i * remaining / c
-                };
-                leaked += if g > 0.0 {
-                    leak_integral_v(a, b, k, remaining)
-                } else {
-                    0.0
-                };
-                v = v_end.min(upper);
-                remaining = 0.0;
-                break;
-            }
-            leaked += if g > 0.0 {
-                leak_integral_v(a, b, k, t_hit)
-            } else {
-                0.0
-            };
-            remaining -= t_hit;
-            // Land an ulp past the boundary so the next iteration
-            // classifies into the adjacent regime.
-            v = f64::from_bits(upper.to_bits() + 1);
-            continue;
-        }
-
-        // Power-limited regime: linear ODE in u = v²,
-        // du/dt = (2/C)(p − G·u).
-        let u = v * v;
-        let target_u = target * target;
-        let k2 = 2.0 * g / c;
-        let du0 = 2.0 * (p - g * u) / c;
-        if du0 <= 0.0 {
-            // Decaying toward √(p/G) (which sits above the lower regime
-            // boundaries whenever decay happens — leakage currents are
-            // orders of magnitude below the charge-current limit): the
-            // trajectory never exits the regime; integrate out.
-            let ueq = p / g; // g > 0 here, else du0 > 0
-            let u_end = ueq + (u - ueq) * (-k2 * remaining).exp();
-            // ∫u dt for u = ueq + (u0−ueq)e^{−k2 t}.
-            let e1 = -(-k2 * remaining).exp_m1();
-            leaked += g * (ueq * remaining + (u - ueq) * e1 / k2);
-            v = u_end.max(0.0).sqrt();
-            remaining = 0.0;
-            break;
-        }
-        // u(t) = ueq + (u0 − ueq)·e^{−k2 t} for G > 0, else a linear
-        // ramp u0 + 2pt/C.
-        let u_after = |tt: f64| -> f64 {
-            if g > 0.0 {
-                let ueq = p / g;
-                ueq + (u - ueq) * (-k2 * tt).exp()
-            } else {
-                u + 2.0 * p * tt / c
-            }
-        };
-        let leak_over = |tt: f64| -> f64 {
-            if g > 0.0 {
-                let ueq = p / g;
-                let e1 = -(-k2 * tt).exp_m1();
-                g * (ueq * tt + (u - ueq) * e1 / k2)
-            } else {
-                0.0
-            }
-        };
-        let t_hit = if g > 0.0 {
-            let ueq = p / g;
-            let ratio = (target_u - ueq) / (u - ueq);
-            if ratio <= 0.0 || ratio >= 1.0 {
-                f64::INFINITY // boundary at/behind the asymptote
-            } else {
-                -ratio.ln() / k2
-            }
-        } else {
-            (target_u - u) * c / (2.0 * p)
-        };
-        if t_hit >= remaining {
-            let u_end = u_after(remaining).min(target_u);
-            leaked += leak_over(remaining);
-            v = u_end.max(0.0).sqrt();
-            remaining = 0.0;
-            break;
-        }
-        leaked += leak_over(t_hit);
-        remaining -= t_hit;
-        v = f64::from_bits(target.to_bits() + 1).min(v_max);
-        if let Some(vs) = v_stop {
-            if target >= vs {
-                v = vs;
-                break;
-            }
-        }
-    }
-
-    IdleSolution {
-        elapsed: horizon - remaining,
-        v_final: v,
-        leaked,
-        clipped,
     }
 }
 
@@ -316,40 +90,30 @@ impl EnergyBuffer for StaticBuffer {
     /// to `v_stop` is solved exactly, then rounded *up* to the fine-step
     /// grid so the power gate observes the enable crossing at the same
     /// timestep quantization as the fixed-dt reference kernel.
-    fn idle_advance(&mut self, input: Watts, duration: Seconds, v_stop: Volts, fine_dt: Seconds) -> Seconds {
+    fn idle_advance(
+        &mut self,
+        input: Watts,
+        duration: Seconds,
+        v_stop: Volts,
+        fine_dt: Seconds,
+    ) -> Seconds {
         let v0 = self.cap.voltage().get();
         let vs = v_stop.get();
         if v0 >= vs || duration.get() <= 0.0 {
             return Seconds::ZERO;
         }
-        let dt = fine_dt.get();
-        assert!(dt > 0.0, "fine timestep must be positive");
         let spec = *self.cap.spec();
-        let c = spec.capacitance.get();
-        let g = if spec.leakage.rated_voltage.get() > 0.0 {
-            spec.leakage.current_at_rated.get() / spec.leakage.rated_voltage.get()
-        } else {
-            0.0
+        let ode = ChargeOde {
+            c: spec.capacitance.get(),
+            g: charge_ode::leakage_conductance(&spec.leakage),
+            v_max: spec.max_voltage.get(),
+            p_in: input.get().max(0.0),
+            p_drain: 0.0,
+            v_drain_min: f64::INFINITY,
         };
-        let p = input.get().max(0.0);
-
-        // Pass 1: where (if at all) does the trajectory cross `v_stop`?
-        let probe = integrate_idle(c, g, spec.max_voltage.get(), p, v0, duration.get(), Some(vs));
-        let t_adv = if probe.elapsed < duration.get() {
-            // Crossed early: quantize the crossing up to the step grid.
-            ((probe.elapsed / dt).ceil() * dt).max(dt).min(duration.get())
-        } else {
-            duration.get()
-        };
-
-        // Pass 2: integrate exactly `t_adv` and book the energy flows.
-        // When pass 1 ran the full horizon without stopping (the common
-        // long-charge-phase case), its solution already is the answer.
-        let fin = if probe.elapsed >= duration.get() {
-            probe
-        } else {
-            integrate_idle(c, g, spec.max_voltage.get(), p, v0, t_adv, None)
-        };
+        let (t_adv, fin) =
+            charge_ode::integrate_quantized(&ode, v0, duration.get(), vs, fine_dt.get())
+                .expect("drain-free charge ODE is total");
         let e0 = self.cap.energy();
         self.cap.set_voltage(Volts::new(fin.v_final));
         let delta_e = self.cap.energy() - e0;
@@ -361,6 +125,10 @@ impl EnergyBuffer for StaticBuffer {
         self.ledger.clipped += Joules::new(fin.clipped);
         self.ledger.harvested += delivered + Joules::new(fin.clipped);
         Seconds::new(t_adv)
+    }
+
+    fn supports_idle_fast_path(&self) -> bool {
+        true
     }
 
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, _mcu_running: bool) {
@@ -394,9 +162,30 @@ mod tests {
 
     #[test]
     fn paper_sizes() {
-        assert!((StaticBuffer::static_770uf().equivalent_capacitance().to_micro() - 770.0).abs() < 1e-9);
-        assert!((StaticBuffer::static_10mf().equivalent_capacitance().to_milli() - 10.0).abs() < 1e-9);
-        assert!((StaticBuffer::static_17mf().equivalent_capacitance().to_milli() - 17.0).abs() < 1e-9);
+        assert!(
+            (StaticBuffer::static_770uf()
+                .equivalent_capacitance()
+                .to_micro()
+                - 770.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (StaticBuffer::static_10mf()
+                .equivalent_capacitance()
+                .to_milli()
+                - 10.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (StaticBuffer::static_17mf()
+                .equivalent_capacitance()
+                .to_milli()
+                - 17.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -404,7 +193,12 @@ mod tests {
         let mut b = StaticBuffer::static_770uf();
         // 2 mW for 1 s = 2 mJ stored → V = sqrt(2·2m/770µ) ≈ 2.28 V.
         for _ in 0..1000 {
-            b.step(Watts::from_milli(2.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+            b.step(
+                Watts::from_milli(2.0),
+                Amps::ZERO,
+                Seconds::from_milli(1.0),
+                false,
+            );
         }
         let expected = (2.0 * 2e-3 / 770e-6_f64).sqrt();
         assert!(
@@ -420,7 +214,12 @@ mod tests {
     fn clips_at_rail_clamp() {
         let mut b = StaticBuffer::static_770uf();
         b.set_voltage(Volts::new(3.6));
-        b.step(Watts::from_milli(15.0), Amps::ZERO, Seconds::from_milli(1.0), false);
+        b.step(
+            Watts::from_milli(15.0),
+            Amps::ZERO,
+            Seconds::from_milli(1.0),
+            false,
+        );
         assert!((b.rail_voltage().get() - 3.6).abs() < 1e-9);
         assert!(b.ledger().clipped.get() > 0.0);
     }
@@ -431,7 +230,12 @@ mod tests {
         b.set_voltage(Volts::new(3.3));
         let e0 = b.stored_energy();
         for _ in 0..100 {
-            b.step(Watts::ZERO, Amps::from_milli(1.5), Seconds::from_milli(1.0), true);
+            b.step(
+                Watts::ZERO,
+                Amps::from_milli(1.5),
+                Seconds::from_milli(1.0),
+                true,
+            );
         }
         assert!(b.rail_voltage().get() < 3.3);
         let spent = e0 - b.stored_energy();
@@ -508,7 +312,10 @@ mod tests {
             (la - lr).abs() <= 0.02 * lr.max(1e-9),
             "{scenario}: leaked {la} vs {lr}"
         );
-        let (da, dr) = (b.ledger().delivered.get(), reference.ledger().delivered.get());
+        let (da, dr) = (
+            b.ledger().delivered.get(),
+            reference.ledger().delivered.get(),
+        );
         assert!(
             (da - dr).abs() <= 0.01 * dr.max(1e-9),
             "{scenario}: delivered {da} vs {dr}"
@@ -570,8 +377,16 @@ mod tests {
         let mut b = StaticBuffer::static_17mf();
         let initial = b.stored_energy();
         for i in 0..10_000 {
-            let input = if i % 3 == 0 { Watts::from_milli(5.0) } else { Watts::ZERO };
-            let load = if i % 2 == 0 { Amps::from_milli(1.5) } else { Amps::ZERO };
+            let input = if i % 3 == 0 {
+                Watts::from_milli(5.0)
+            } else {
+                Watts::ZERO
+            };
+            let load = if i % 2 == 0 {
+                Amps::from_milli(1.5)
+            } else {
+                Amps::ZERO
+            };
             b.step(input, load, Seconds::from_milli(1.0), true);
         }
         let resid = b.ledger().conservation_residual(initial, b.stored_energy());

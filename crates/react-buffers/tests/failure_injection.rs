@@ -29,13 +29,19 @@ fn aged_react_still_conserves_energy() {
     let mut fresh = ReactBuffer::paper_prototype();
     let e0 = aged.stored_energy();
     for i in 0..60_000u32 {
-        let input = if i % 10 < 4 { Watts::from_milli(5.0) } else { Watts::ZERO };
+        let input = if i % 10 < 4 {
+            Watts::from_milli(5.0)
+        } else {
+            Watts::ZERO
+        };
         let load = Amps::from_micro(500.0);
         aged.step(input, load, Seconds::from_milli(1.0), true);
         fresh.step(input, load, Seconds::from_milli(1.0), true);
     }
     // Conservation holds for the degraded build.
-    let resid = aged.ledger().conservation_residual(e0, aged.stored_energy());
+    let resid = aged
+        .ledger()
+        .conservation_residual(e0, aged.stored_energy());
     assert!(resid.get().abs() < 1e-3 * aged.ledger().harvested.get().max(1e-9));
     // Aging shows up as leakage, not as vanished energy.
     assert!(aged.ledger().leaked > fresh.ledger().leaked);
@@ -50,7 +56,12 @@ fn react_with_missing_bank_degrades_gracefully() {
     assert_eq!(config.validate(), Ok(()));
     let mut r = ReactBuffer::new(config);
     for _ in 0..30_000 {
-        r.step(Watts::from_milli(10.0), Amps::from_micro(100.0), Seconds::from_milli(1.0), true);
+        r.step(
+            Watts::from_milli(10.0),
+            Amps::from_micro(100.0),
+            Seconds::from_milli(1.0),
+            true,
+        );
     }
     // It still expands past the LLB, just to a smaller ceiling.
     assert!(r.equivalent_capacitance().to_milli() > 1.0);
@@ -67,10 +78,17 @@ fn extreme_leakage_respects_envelope() {
     });
     let mut b = StaticBuffer::new("leaky", spec);
     for i in 0..20_000u32 {
-        let input = if i % 2 == 0 { Watts::from_milli(20.0) } else { Watts::ZERO };
+        let input = if i % 2 == 0 {
+            Watts::from_milli(20.0)
+        } else {
+            Watts::ZERO
+        };
         b.step(input, Amps::from_milli(1.0), Seconds::from_milli(1.0), true);
         let v = b.rail_voltage().get();
-        assert!((0.0..=3.6 + 1e-9).contains(&v), "voltage {v} out of envelope");
+        assert!(
+            (0.0..=3.6 + 1e-9).contains(&v),
+            "voltage {v} out of envelope"
+        );
         assert!(b.stored_energy().get() >= 0.0);
     }
     assert!(b.ledger().leaked.get() > 0.0);
@@ -86,7 +104,12 @@ fn morphy_without_controller_actions_is_static() {
     m.set_all_voltages(Volts::new(2.5 / 8.0)); // terminal 2.5 V at [8]
     let c0 = m.equivalent_capacitance();
     for _ in 0..5_000 {
-        m.step(Watts::from_micro(50.0), Amps::from_micro(60.0), Seconds::from_milli(1.0), false);
+        m.step(
+            Watts::from_micro(50.0),
+            Amps::from_micro(60.0),
+            Seconds::from_milli(1.0),
+            false,
+        );
     }
     assert_eq!(m.equivalent_capacitance(), c0);
     assert_eq!(m.reconfiguration_count(), 0);
@@ -97,13 +120,26 @@ fn morphy_without_controller_actions_is_static() {
 /// milliseconds must not corrupt any buffer's accounting.
 #[test]
 fn power_flapping_keeps_ledgers_sane() {
-    for kind in [BufferKind::Static770uF, BufferKind::Morphy, BufferKind::React] {
+    for kind in [
+        BufferKind::Static770uF,
+        BufferKind::Morphy,
+        BufferKind::React,
+    ] {
         let mut b = kind.build();
         let e0 = b.stored_energy();
         for i in 0..50_000u32 {
             // Input flickers on/off every 3 ms; MCU flag flaps too.
-            let input = if i % 3 == 0 { Watts::from_milli(8.0) } else { Watts::ZERO };
-            b.step(input, Amps::from_milli(1.5), Seconds::from_milli(1.0), i % 7 < 3);
+            let input = if i % 3 == 0 {
+                Watts::from_milli(8.0)
+            } else {
+                Watts::ZERO
+            };
+            b.step(
+                input,
+                Amps::from_milli(1.5),
+                Seconds::from_milli(1.0),
+                i % 7 < 3,
+            );
         }
         let resid = b.ledger().conservation_residual(e0, b.stored_energy());
         assert!(
@@ -120,9 +156,6 @@ fn power_flapping_keeps_ledgers_sane() {
 #[test]
 fn oversized_retrofit_is_rejected() {
     let mut config = ReactConfig::paper_prototype();
-    config.banks[0] = BankSpec::new(
-        CapacitorSpec::ceramic_scaled(Farads::from_milli(2.0)),
-        3,
-    );
+    config.banks[0] = BankSpec::new(CapacitorSpec::ceramic_scaled(Farads::from_milli(2.0)), 3);
     assert!(config.validate().is_err());
 }

@@ -258,7 +258,9 @@ mod tests {
     use super::*;
 
     fn lossless(c_uf: f64) -> Capacitor {
-        Capacitor::new(CapacitorSpec::new(Farads::from_micro(c_uf)).with_max_voltage(Volts::new(3.6)))
+        Capacitor::new(
+            CapacitorSpec::new(Farads::from_micro(c_uf)).with_max_voltage(Volts::new(3.6)),
+        )
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn pair_equalize_through(
     let c_series = a.capacitance().series_with(b.capacitance());
     let tau = r.get() * c_series.get();
     let dv0 = a.voltage() - b.voltage();
-    let decay = if tau > 0.0 { (-dt.get() / tau).exp() } else { 0.0 };
+    let decay = if tau > 0.0 {
+        (-dt.get() / tau).exp()
+    } else {
+        0.0
+    };
     // Charge moved from a to b: q = C_series · ΔV₀ · (1 − e^{−t/τ})
     let q = c_series * Volts::new(dv0.get() * (1.0 - decay));
     a.shift_charge(-q);

@@ -93,7 +93,11 @@ impl std::fmt::Display for EnergyLedger {
         writeln!(f, "diode loss: {:>10.3} mJ", self.diode_loss.to_milli())?;
         writeln!(f, "switch loss:{:>10.3} mJ", self.switch_loss.to_milli())?;
         writeln!(f, "load:       {:>10.3} mJ", self.load_consumed.to_milli())?;
-        write!(f, "overhead:   {:>10.3} mJ", self.overhead_consumed.to_milli())
+        write!(
+            f,
+            "overhead:   {:>10.3} mJ",
+            self.overhead_consumed.to_milli()
+        )
     }
 }
 
@@ -160,7 +164,16 @@ mod tests {
     #[test]
     fn display_mentions_every_field() {
         let s = format!("{}", EnergyLedger::new());
-        for key in ["harvested", "delivered", "clipped", "leaked", "diode", "switch", "load", "overhead"] {
+        for key in [
+            "harvested",
+            "delivered",
+            "clipped",
+            "leaked",
+            "diode",
+            "switch",
+            "load",
+            "overhead",
+        ] {
             assert!(s.contains(key), "display missing {key}");
         }
     }

@@ -164,6 +164,81 @@ impl ChainNetwork {
         self.caps.iter().map(|c| c.voltage()).collect()
     }
 
+    /// The unit capacitor spec shared by every capacitor.
+    pub fn unit_spec(&self) -> &CapacitorSpec {
+        self.caps[0].spec()
+    }
+
+    /// Chain terminal voltages in partition order (the fast-path guard
+    /// checks these agree before coarse-integrating).
+    pub fn chain_voltages(&self) -> Vec<Volts> {
+        self.chain_ranges()
+            .map(|(start, len)| {
+                Volts::new(
+                    self.caps[start..start + len]
+                        .iter()
+                        .map(|c| c.voltage().get())
+                        .sum(),
+                )
+            })
+            .collect()
+    }
+
+    /// Sum over capacitors of the squared deviation from their chain
+    /// mean voltage — the within-chain imbalance whose independent decay
+    /// the idle fast path tracks for exact leakage booking.
+    pub fn chain_imbalance(&self) -> f64 {
+        let ranges: Vec<(usize, usize)> = self.chain_ranges().collect();
+        let mut sum = 0.0;
+        for (start, len) in ranges {
+            let mean = self.caps[start..start + len]
+                .iter()
+                .map(|c| c.voltage().get())
+                .sum::<f64>()
+                / len as f64;
+            for cap in &self.caps[start..start + len] {
+                let w = cap.voltage().get() - mean;
+                sum += w * w;
+            }
+        }
+        sum
+    }
+
+    /// Applies a closed-form idle solution: every chain's terminal lands
+    /// on `v_end` while within-chain imbalance (each capacitor's offset
+    /// from its chain mean) decays by `decay = e^{−(g/C)·T}`. Only valid
+    /// when the chains share a common terminal voltage — the idle-phase
+    /// invariant the fast path checks with [`chain_voltages`].
+    ///
+    /// [`chain_voltages`]: Self::chain_voltages
+    pub fn apply_idle_solution(&mut self, v_end: Volts, decay: f64) {
+        let ranges: Vec<(usize, usize)> = self.chain_ranges().collect();
+        for (start, len) in ranges {
+            let mean0 = self.caps[start..start + len]
+                .iter()
+                .map(|c| c.voltage().get())
+                .sum::<f64>()
+                / len as f64;
+            let mean1 = v_end.get() / len as f64;
+            for cap in &mut self.caps[start..start + len] {
+                let w = cap.voltage().get() - mean0;
+                cap.set_voltage(Volts::new(mean1 + w * decay));
+            }
+        }
+    }
+
+    /// Sets every chain's terminal voltage to `v`, balancing the
+    /// capacitors within each chain (test setup).
+    pub fn set_chain_terminals(&mut self, v: Volts) {
+        let ranges: Vec<(usize, usize)> = self.chain_ranges().collect();
+        for (start, len) in ranges {
+            let unit_v = Volts::new(v.get() / len as f64);
+            for cap in &mut self.caps[start..start + len] {
+                cap.set_voltage(unit_v);
+            }
+        }
+    }
+
     /// Forces every capacitor to voltage `v` (test setup).
     pub fn set_all_voltages(&mut self, v: Volts) {
         for cap in &mut self.caps {
@@ -343,8 +418,22 @@ mod tests {
     #[test]
     fn equivalent_capacitance_of_configs() {
         let c = Farads::from_milli(2.0);
-        assert!((Partition::all_series(8).equivalent_capacitance(c).to_micro() - 250.0).abs() < 1e-9);
-        assert!((Partition::all_parallel(8).equivalent_capacitance(c).to_milli() - 16.0).abs() < 1e-9);
+        assert!(
+            (Partition::all_series(8)
+                .equivalent_capacitance(c)
+                .to_micro()
+                - 250.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (Partition::all_parallel(8)
+                .equivalent_capacitance(c)
+                .to_milli()
+                - 16.0)
+                .abs()
+                < 1e-9
+        );
         let p = Partition::new(vec![4, 4]).unwrap();
         assert!((p.equivalent_capacitance(c).to_milli() - 1.0).abs() < 1e-9);
     }

@@ -202,7 +202,10 @@ fn equation_2_is_the_boundary_of_eq_1() {
         // At exactly the limit, Eq. 1 gives V_new = V_high.
         let v_new = (nf * v_low) * (c_limit / nf) / (c_last + c_limit / nf)
             + v_low * c_last / (c_last + c_limit / nf);
-        assert!((v_new - v_high).abs() < 1e-9, "Eq.2 boundary broken for N={n}");
+        assert!(
+            (v_new - v_high).abs() < 1e-9,
+            "Eq.2 boundary broken for N={n}"
+        );
         // Slightly below the limit keeps V_new below V_high.
         let c_ok = c_limit * 0.99;
         let v_ok = (nf * v_low) * (c_ok / nf) / (c_last + c_ok / nf)

@@ -66,6 +66,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the invariants
     fn constants_are_consistent() {
         assert!(BROWNOUT_VOLTAGE < ENABLE_VOLTAGE);
         assert!((DEFAULT_DT.to_milli() - 1.0).abs() < 1e-12);
@@ -77,7 +78,9 @@ mod tests {
         // The cart trace sees the most packets, the obstructed the
         // fewest — matching Table 5's offered load.
         assert!(pf_arrival_rate(PaperTrace::RfCart) > pf_arrival_rate(PaperTrace::RfMobile));
-        assert!(pf_arrival_rate(PaperTrace::RfObstructed) < pf_arrival_rate(PaperTrace::SolarCampus));
+        assert!(
+            pf_arrival_rate(PaperTrace::RfObstructed) < pf_arrival_rate(PaperTrace::SolarCampus)
+        );
     }
 
     #[test]

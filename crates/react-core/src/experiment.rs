@@ -229,8 +229,13 @@ impl ExperimentMatrix {
             let (which, ref trace) = shared[i];
             MatrixCell {
                 buffer,
-                outcome: Experiment::new(buffer, workload)
-                    .run_shared(trace, Some(which), dt, None, kernel),
+                outcome: Experiment::new(buffer, workload).run_shared(
+                    trace,
+                    Some(which),
+                    dt,
+                    None,
+                    kernel,
+                ),
             }
         };
         let cells: Vec<MatrixCell> = if parallel {
@@ -317,8 +322,8 @@ mod tests {
             Seconds::new(20.0),
             Seconds::new(0.1),
         );
-        let out = Experiment::new(BufferKind::Static770uF, WorkloadKind::DataEncryption)
-            .run(&trace);
+        let out =
+            Experiment::new(BufferKind::Static770uF, WorkloadKind::DataEncryption).run(&trace);
         assert!(out.metrics.ops_completed > 0);
     }
 

@@ -12,14 +12,12 @@ use crate::metrics::RunMetrics;
 /// The benchmark figure of merit for one run.
 pub fn figure_of_merit(workload: WorkloadKind, metrics: &RunMetrics) -> f64 {
     match workload {
-        WorkloadKind::DataEncryption
-        | WorkloadKind::SenseCompute
-        | WorkloadKind::RadioTransmit => metrics.ops_completed as f64,
+        WorkloadKind::DataEncryption | WorkloadKind::SenseCompute | WorkloadKind::RadioTransmit => {
+            metrics.ops_completed as f64
+        }
         // PF: packets received plus packets forwarded (both matter in
         // Table 5).
-        WorkloadKind::PacketForward => {
-            (metrics.aux_completed + metrics.ops_completed) as f64
-        }
+        WorkloadKind::PacketForward => (metrics.aux_completed + metrics.ops_completed) as f64,
     }
 }
 
@@ -119,8 +117,14 @@ mod tests {
             rows: vec![MatrixRow {
                 trace: PaperTrace::RfCart,
                 cells: vec![
-                    MatrixCell { buffer: BufferKind::Static770uF, outcome: outcome(50, 0) },
-                    MatrixCell { buffer: BufferKind::React, outcome: outcome(100, 0) },
+                    MatrixCell {
+                        buffer: BufferKind::Static770uF,
+                        outcome: outcome(50, 0),
+                    },
+                    MatrixCell {
+                        buffer: BufferKind::React,
+                        outcome: outcome(100, 0),
+                    },
                 ],
             }],
         }
@@ -128,21 +132,34 @@ mod tests {
 
     #[test]
     fn fom_counts_ops_for_de() {
-        let m = RunMetrics { ops_completed: 7, ..Default::default() };
+        let m = RunMetrics {
+            ops_completed: 7,
+            ..Default::default()
+        };
         assert_eq!(figure_of_merit(WorkloadKind::DataEncryption, &m), 7.0);
     }
 
     #[test]
     fn fom_counts_rx_plus_tx_for_pf() {
-        let m = RunMetrics { ops_completed: 3, aux_completed: 5, ..Default::default() };
+        let m = RunMetrics {
+            ops_completed: 3,
+            aux_completed: 5,
+            ..Default::default()
+        };
         assert_eq!(figure_of_merit(WorkloadKind::PacketForward, &m), 8.0);
     }
 
     #[test]
     fn normalization_to_react() {
         let scores = normalize_to_react(&tiny_matrix());
-        let s770 = scores.iter().find(|s| s.buffer == BufferKind::Static770uF).unwrap();
-        let sreact = scores.iter().find(|s| s.buffer == BufferKind::React).unwrap();
+        let s770 = scores
+            .iter()
+            .find(|s| s.buffer == BufferKind::Static770uF)
+            .unwrap();
+        let sreact = scores
+            .iter()
+            .find(|s| s.buffer == BufferKind::React)
+            .unwrap();
         assert!((s770.score - 0.5).abs() < 1e-12);
         assert!((sreact.score - 1.0).abs() < 1e-12);
     }

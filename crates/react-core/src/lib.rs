@@ -41,6 +41,6 @@ mod sim;
 pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
-pub use metrics::{RunMetrics, RunOutcome, VoltageSample};
+pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
 pub use sim::{ConstantLoad, KernelMode, Simulator};
 pub use sweep::SweepOptions;

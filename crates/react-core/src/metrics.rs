@@ -32,6 +32,12 @@ pub struct RunMetrics {
     /// idle strides. The adaptive/fixed ratio of this count is the
     /// structural speedup of a run (see the `engine` bench).
     pub engine_steps: u64,
+    /// Capacitance reconfigurations the buffer's controller performed
+    /// (REACT bank switches, Morphy ladder moves; zero for statics).
+    pub reconfigurations: u64,
+    /// Time spent at each capacitance level (§3.4.1 surrogate), in
+    /// ascending level order. Empty for buffers without levels.
+    pub capacitance_dwell: Vec<LevelDwell>,
     /// Energy accounting.
     pub ledger: EnergyLedger,
     /// Stored energy at the start of the run.
@@ -40,7 +46,24 @@ pub struct RunMetrics {
     pub final_stored: Joules,
 }
 
+/// Time spent at one capacitance level over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelDwell {
+    /// The buffer's capacitance level (bank/ladder step).
+    pub level: u32,
+    /// Seconds spent at that level.
+    pub seconds: f64,
+}
+
 impl RunMetrics {
+    /// Seconds the buffer spent at capacitance `level` (0.0 if never).
+    pub fn dwell_at(&self, level: u32) -> f64 {
+        self.capacitance_dwell
+            .iter()
+            .find(|d| d.level == level)
+            .map_or(0.0, |d| d.seconds)
+    }
+
     /// Fraction of the run the system was on (§2.1.2 operational duty).
     pub fn duty_cycle(&self) -> f64 {
         if self.total_time.get() <= 0.0 {

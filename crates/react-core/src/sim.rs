@@ -156,6 +156,10 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             }
             None => Vec::new(),
         };
+        // The idle fast path is only worth taking for buffers whose
+        // MCU-off physics integrate in closed form; everything else
+        // fine-steps through the main loop, keeping step counts honest.
+        let fast_path = kernel == KernelMode::Adaptive && buffer.supports_idle_fast_path();
         let mut t = Seconds::ZERO;
         let mut probe_acc = Seconds::ZERO;
         let mut on_since: Option<Seconds> = None;
@@ -169,13 +173,11 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             let v = buffer.rail_voltage();
 
             // Adaptive idle fast path: gate open, MCU dark — the only
-            // dynamics are buffer physics under a piecewise-constant
-            // input, which `idle_advance` integrates in one stride.
-            if kernel == KernelMode::Adaptive
-                && !gate.is_closed()
-                && !mcu.is_powered()
-                && v < gate.enable_voltage()
-            {
+            // dynamics are buffer physics (plus, for controller-driven
+            // buffers, threshold-sparse controller decisions) under a
+            // piecewise-constant input, which `idle_advance` integrates
+            // in one stride.
+            if fast_path && !gate.is_closed() && !mcu.is_powered() && v < gate.enable_voltage() {
                 let (p_avail, window_end) = cursor.sample_window(t);
                 let mut stride_end = window_end.min(hard_end);
                 if let Some(interval) = probe_interval {
@@ -185,8 +187,7 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
                 let stride = stride_end - t;
                 if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
                     let p_rail = replay.rail_power_from(p_avail, buffer.input_voltage());
-                    let advanced =
-                        buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
+                    let advanced = buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
                     if advanced.get() > 0.0 {
                         engine_steps += 1;
                         t += advanced;
@@ -254,8 +255,7 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
                             now: t,
                             dt,
                             rail_voltage: v,
-                            usable_energy: buffer
-                                .usable_energy_above(gate.brownout_voltage()),
+                            usable_energy: buffer.usable_energy_above(gate.brownout_voltage()),
                             supports_longevity: buffer.supports_longevity(),
                         };
                         let LoadDemand {
@@ -339,6 +339,16 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             Seconds::ZERO
         };
         metrics.max_on_period = Seconds::new(cycle_max);
+        // Controller accounting comes from the buffer itself, which
+        // tracks it through both fine steps and coarse idle strides, so
+        // the two kernels agree on it (asserted by the equivalence
+        // suite).
+        metrics.reconfigurations = buffer.reconfiguration_count();
+        metrics.capacitance_dwell = buffer
+            .capacitance_dwell()
+            .into_iter()
+            .map(|(level, seconds)| crate::metrics::LevelDwell { level, seconds })
+            .collect();
         metrics.ledger = *buffer.ledger();
         metrics.final_stored = buffer.stored_energy();
 

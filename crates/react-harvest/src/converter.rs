@@ -195,20 +195,33 @@ mod tests {
     #[test]
     fn cold_start_floor_blocks_tiny_inputs() {
         let c = Converter::boost_charger();
-        assert_eq!(c.output_power(Watts::from_micro(10.0), Volts::new(1.0)), Watts::ZERO);
-        assert!(c.output_power(Watts::from_micro(50.0), Volts::new(1.0)).get() > 0.0);
+        assert_eq!(
+            c.output_power(Watts::from_micro(10.0), Volts::new(1.0)),
+            Watts::ZERO
+        );
+        assert!(
+            c.output_power(Watts::from_micro(50.0), Volts::new(1.0))
+                .get()
+                > 0.0
+        );
     }
 
     #[test]
     fn overvoltage_stops_conversion() {
         let c = Converter::rf_rectifier();
-        assert_eq!(c.output_power(Watts::from_milli(5.0), Volts::new(4.5)), Watts::ZERO);
+        assert_eq!(
+            c.output_power(Watts::from_milli(5.0), Volts::new(4.5)),
+            Watts::ZERO
+        );
     }
 
     #[test]
     fn kinds_accessible() {
         assert_eq!(Converter::ideal().kind(), ConverterKind::Ideal);
         assert_eq!(Converter::rf_rectifier().kind(), ConverterKind::RfRectifier);
-        assert_eq!(Converter::boost_charger().kind(), ConverterKind::BoostCharger);
+        assert_eq!(
+            Converter::boost_charger().kind(),
+            ConverterKind::BoostCharger
+        );
     }
 }

@@ -31,7 +31,10 @@ impl SolarPanel {
             efficiency > 0.0 && efficiency <= 1.0,
             "efficiency must be in (0, 1]"
         );
-        Self { area_cm2, efficiency }
+        Self {
+            area_cm2,
+            efficiency,
+        }
     }
 
     /// The paper's panel: 5 cm², 22 % efficient (§2.1.1, §4.3).

@@ -192,8 +192,14 @@ mod tests {
     #[test]
     fn no_power_after_trace_ends() {
         let r = replay(3.3);
-        assert_eq!(r.input_current(Seconds::new(200.0), Volts::new(2.0)), Amps::ZERO);
-        assert_eq!(r.rail_power(Seconds::new(200.0), Volts::new(2.0)), Watts::ZERO);
+        assert_eq!(
+            r.input_current(Seconds::new(200.0), Volts::new(2.0)),
+            Amps::ZERO
+        );
+        assert_eq!(
+            r.rail_power(Seconds::new(200.0), Volts::new(2.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]

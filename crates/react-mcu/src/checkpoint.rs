@@ -75,8 +75,14 @@ impl<T: Clone> Checkpointer<T> {
     pub fn new(costs: CheckpointCosts) -> Self {
         Self {
             slots: [
-                Slot { sequence: 0, snapshot: None },
-                Slot { sequence: 0, snapshot: None },
+                Slot {
+                    sequence: 0,
+                    snapshot: None,
+                },
+                Slot {
+                    sequence: 0,
+                    snapshot: None,
+                },
             ],
             costs,
             in_flight: None,
@@ -112,7 +118,11 @@ impl<T: Clone> Checkpointer<T> {
         assert!(self.in_flight.is_none(), "commit already in flight");
         let (time, energy) = self.costs.commit_cost(bytes);
         // Write the slot that does NOT hold the newest checkpoint.
-        let target = if self.slots[0].sequence <= self.slots[1].sequence { 0 } else { 1 };
+        let target = if self.slots[0].sequence <= self.slots[1].sequence {
+            0
+        } else {
+            1
+        };
         self.in_flight = Some((target, state, time));
         energy
     }
@@ -147,7 +157,11 @@ impl<T: Clone> Checkpointer<T> {
 
     /// Restores the most recent completed checkpoint, if any.
     pub fn restore(&self) -> Option<&T> {
-        let newest = if self.slots[0].sequence >= self.slots[1].sequence { 0 } else { 1 };
+        let newest = if self.slots[0].sequence >= self.slots[1].sequence {
+            0
+        } else {
+            1
+        };
         self.slots[newest].snapshot.as_ref()
     }
 }

@@ -139,7 +139,11 @@ mod tests {
         let trace = PowerTrace::new(
             "rt",
             Seconds::new(0.5),
-            vec![Watts::from_milli(1.0), Watts::from_milli(2.0), Watts::from_milli(3.0)],
+            vec![
+                Watts::from_milli(1.0),
+                Watts::from_milli(2.0),
+                Watts::from_milli(3.0),
+            ],
         );
         let path = tmp("roundtrip");
         write_csv(&trace, &path).unwrap();
@@ -179,7 +183,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TraceIoError::Parse { line: 7, message: "bad".into() };
+        let e = TraceIoError::Parse {
+            line: 7,
+            message: "bad".into(),
+        };
         assert!(format!("{e}").contains("line 7"));
         assert!(format!("{}", TraceIoError::Empty).contains("no samples"));
     }

@@ -71,11 +71,36 @@ pub struct Table3Row {
 
 /// Table 3 of the paper, verbatim.
 pub const TABLE3_TARGETS: [Table3Row; 5] = [
-    Table3Row { trace: PaperTrace::RfCart, duration_s: 313.0, avg_power_mw: 2.12, cv_percent: 103.0 },
-    Table3Row { trace: PaperTrace::RfObstructed, duration_s: 313.0, avg_power_mw: 0.227, cv_percent: 61.0 },
-    Table3Row { trace: PaperTrace::RfMobile, duration_s: 318.0, avg_power_mw: 0.5, cv_percent: 166.0 },
-    Table3Row { trace: PaperTrace::SolarCampus, duration_s: 3609.0, avg_power_mw: 5.18, cv_percent: 207.0 },
-    Table3Row { trace: PaperTrace::SolarCommute, duration_s: 6030.0, avg_power_mw: 0.148, cv_percent: 333.0 },
+    Table3Row {
+        trace: PaperTrace::RfCart,
+        duration_s: 313.0,
+        avg_power_mw: 2.12,
+        cv_percent: 103.0,
+    },
+    Table3Row {
+        trace: PaperTrace::RfObstructed,
+        duration_s: 313.0,
+        avg_power_mw: 0.227,
+        cv_percent: 61.0,
+    },
+    Table3Row {
+        trace: PaperTrace::RfMobile,
+        duration_s: 318.0,
+        avg_power_mw: 0.5,
+        cv_percent: 166.0,
+    },
+    Table3Row {
+        trace: PaperTrace::SolarCampus,
+        duration_s: 3609.0,
+        avg_power_mw: 5.18,
+        cv_percent: 207.0,
+    },
+    Table3Row {
+        trace: PaperTrace::SolarCommute,
+        duration_s: 6030.0,
+        avg_power_mw: 0.148,
+        cv_percent: 333.0,
+    },
 ];
 
 /// Builds a library trace (fixed seed; fully deterministic).
@@ -83,7 +108,11 @@ pub fn paper_trace(which: PaperTrace) -> PowerTrace {
     match which {
         PaperTrace::RfCart => TraceSynthesizer::new(
             which.label(),
-            SynthKind::Periodic { period: 35.0, width: 8.0, amplitude: 12.0 },
+            SynthKind::Periodic {
+                period: 35.0,
+                width: 8.0,
+                amplitude: 12.0,
+            },
             Seconds::new(313.0),
             0x5_EAC7_0001,
         )
@@ -105,7 +134,11 @@ pub fn paper_trace(which: PaperTrace) -> PowerTrace {
 
         PaperTrace::RfMobile => TraceSynthesizer::new(
             which.label(),
-            SynthKind::Spiky { rate: 0.12, amplitude: 10.0, decay: 1.5 },
+            SynthKind::Spiky {
+                rate: 0.12,
+                amplitude: 10.0,
+                decay: 1.5,
+            },
             Seconds::new(318.0),
             0x5_EAC7_0003,
         )
@@ -180,15 +213,15 @@ fn solar_commute_trace() -> PowerTrace {
     let mut rng = StdRng::seed_from_u64(0x5_EAC7_0005);
     // (start, end, kind): kind 0 = dark, 1 = dim, 2 = bright.
     let segments: [(f64, f64, u8); 9] = [
-        (0.0, 120.0, 1),      // leaving home: window light
-        (120.0, 400.0, 2),    // walk to the station
-        (400.0, 2100.0, 0),   // subway
-        (2100.0, 2500.0, 2),  // transfer outdoors
-        (2500.0, 4100.0, 0),  // second leg underground
-        (4100.0, 4400.0, 2),  // street walk
-        (4400.0, 5300.0, 0),  // office corridors
-        (5300.0, 5600.0, 2),  // courtyard
-        (5600.0, 6030.0, 1),  // desk by the window
+        (0.0, 120.0, 1),     // leaving home: window light
+        (120.0, 400.0, 2),   // walk to the station
+        (400.0, 2100.0, 0),  // subway
+        (2100.0, 2500.0, 2), // transfer outdoors
+        (2500.0, 4100.0, 0), // second leg underground
+        (4100.0, 4400.0, 2), // street walk
+        (4400.0, 5300.0, 0), // office corridors
+        (5300.0, 5600.0, 2), // courtyard
+        (5600.0, 6030.0, 1), // desk by the window
     ];
     let mut samples = Vec::with_capacity(n);
     for i in 0..n {
@@ -306,8 +339,14 @@ mod tests {
 
     #[test]
     fn traces_are_deterministic() {
-        assert_eq!(paper_trace(PaperTrace::RfCart), paper_trace(PaperTrace::RfCart));
-        assert_eq!(paper_trace(PaperTrace::Pedestrian), paper_trace(PaperTrace::Pedestrian));
+        assert_eq!(
+            paper_trace(PaperTrace::RfCart),
+            paper_trace(PaperTrace::RfCart)
+        );
+        assert_eq!(
+            paper_trace(PaperTrace::Pedestrian),
+            paper_trace(PaperTrace::Pedestrian)
+        );
     }
 
     #[test]
@@ -319,7 +358,10 @@ mod tests {
             (spike_energy - 0.82).abs() < 0.08,
             "spike energy share {spike_energy}"
         );
-        assert!((low_time - 0.77).abs() < 0.05, "low-power time share {low_time}");
+        assert!(
+            (low_time - 0.77).abs() < 0.05,
+            "low-power time share {low_time}"
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ impl TraceSynthesizer {
 
             let extra = match self.kind {
                 SynthKind::Baseline => 0.0,
-                SynthKind::Spiky { rate, amplitude, decay } => {
+                SynthKind::Spiky {
+                    rate,
+                    amplitude,
+                    decay,
+                } => {
                     spike_level *= (-dt / decay).exp();
                     if rng.gen_bool((rate * dt).clamp(0.0, 1.0)) {
                         // Spikes have heavy (exponential) amplitude tails.
@@ -143,7 +147,11 @@ impl TraceSynthesizer {
                     }
                     spike_level
                 }
-                SynthKind::Periodic { period, width, amplitude } => {
+                SynthKind::Periodic {
+                    period,
+                    width,
+                    amplitude,
+                } => {
                     let t = i as f64 * dt;
                     let phase = t % period;
                     if phase < width {
@@ -240,7 +248,11 @@ mod tests {
         for target in [0.61, 1.03, 1.66, 2.07] {
             let t = TraceSynthesizer::new(
                 "t",
-                SynthKind::Spiky { rate: 0.2, amplitude: 5.0, decay: 2.0 },
+                SynthKind::Spiky {
+                    rate: 0.2,
+                    amplitude: 5.0,
+                    decay: 2.0,
+                },
                 Seconds::new(300.0),
                 13,
             )
@@ -248,10 +260,7 @@ mod tests {
             .coefficient_of_variation(target)
             .build();
             let cv = t.stats().cv;
-            assert!(
-                (cv - target).abs() < 0.02,
-                "target {target}, got {cv}"
-            );
+            assert!((cv - target).abs() < 0.02, "target {target}, got {cv}");
         }
     }
 
@@ -259,7 +268,11 @@ mod tests {
     fn samples_are_nonnegative_and_finite() {
         let t = TraceSynthesizer::new(
             "t",
-            SynthKind::Spiky { rate: 0.5, amplitude: 20.0, decay: 1.0 },
+            SynthKind::Spiky {
+                rate: 0.5,
+                amplitude: 20.0,
+                decay: 1.0,
+            },
             Seconds::new(120.0),
             99,
         )
@@ -275,7 +288,11 @@ mod tests {
     fn periodic_kind_produces_bursts() {
         let t = TraceSynthesizer::new(
             "cart",
-            SynthKind::Periodic { period: 20.0, width: 4.0, amplitude: 30.0 },
+            SynthKind::Periodic {
+                period: 20.0,
+                width: 4.0,
+                amplitude: 30.0,
+            },
             Seconds::new(100.0),
             3,
         )

@@ -75,7 +75,7 @@ impl PowerTrace {
     /// construction.
     #[inline]
     pub(crate) fn sample_index(&self, t: f64) -> Option<usize> {
-        if !(t >= 0.0) {
+        if t < 0.0 || t.is_nan() {
             // Negative and NaN both fall outside the trace.
             return None;
         }
@@ -164,11 +164,7 @@ impl PowerTrace {
         if total <= 0.0 {
             return 0.0;
         }
-        let above: f64 = self
-            .samples
-            .iter()
-            .filter(|&&p| p > threshold.get())
-            .sum();
+        let above: f64 = self.samples.iter().filter(|&&p| p > threshold.get()).sum();
         above / total
     }
 
@@ -221,7 +217,12 @@ mod tests {
 
     #[test]
     fn constant_trace() {
-        let t = PowerTrace::constant("c", Watts::from_milli(2.0), Seconds::new(10.0), Seconds::new(0.1));
+        let t = PowerTrace::constant(
+            "c",
+            Watts::from_milli(2.0),
+            Seconds::new(10.0),
+            Seconds::new(0.1),
+        );
         assert_eq!(t.len(), 100);
         assert!((t.total_energy().to_milli() - 20.0).abs() < 1e-9);
         let s = t.stats();

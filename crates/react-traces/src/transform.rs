@@ -79,7 +79,9 @@ pub fn mask(trace: &PowerTrace, envelope: impl Fn(Seconds) -> f64) -> PowerTrace
 pub fn time_scale(trace: &PowerTrace, factor: f64) -> PowerTrace {
     assert!(factor > 0.0, "time factor must be positive");
     let dt = trace.sample_interval();
-    let n = ((trace.duration().get() * factor) / dt.get()).round().max(1.0) as usize;
+    let n = ((trace.duration().get() * factor) / dt.get())
+        .round()
+        .max(1.0) as usize;
     let samples = (0..n)
         .map(|i| trace.power_at(Seconds::new(i as f64 * dt.get() / factor)))
         .collect();
@@ -91,7 +93,12 @@ mod tests {
     use super::*;
 
     fn flat(mw: f64, secs: f64) -> PowerTrace {
-        PowerTrace::constant("flat", Watts::from_milli(mw), Seconds::new(secs), Seconds::new(0.1))
+        PowerTrace::constant(
+            "flat",
+            Watts::from_milli(mw),
+            Seconds::new(secs),
+            Seconds::new(0.1),
+        )
     }
 
     #[test]

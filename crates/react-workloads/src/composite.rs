@@ -58,7 +58,10 @@ impl SenseAndSend {
             deadlines: EventSchedule::periodic(costs::SC_PERIOD, horizon),
             mic: Microphone::spu0414(0xC0_55EED),
             mic_power: Peripheral::microphone(),
-            tx_energy: costs::op_energy_estimate(radio.rated_current() + mcu_active, costs::RT_BURST),
+            tx_energy: costs::op_energy_estimate(
+                radio.rated_current() + mcu_active,
+                costs::RT_BURST,
+            ),
             radio,
             filter: FirFilter::lowpass(0.0625, 63),
             phase: Phase::Idle,
@@ -148,8 +151,7 @@ impl Workload for SenseAndSend {
                 if left.get() <= 0.0 {
                     // Real DSP on the acquired window.
                     let window = self.mic.acquire(160);
-                    let _level: f64 =
-                        self.filter.apply(&window).iter().map(|x| x * x).sum();
+                    let _level: f64 = self.filter.apply(&window).iter().map(|x| x * x).sum();
                     self.measurements += 1;
                     self.buffered += 1;
                     self.phase = Phase::Idle;

@@ -60,10 +60,7 @@ mod tests {
     fn radio_ops_exceed_small_buffer_capacity() {
         // The RT burst must not fit in the 770 µF buffer's usable energy
         // (≈2.9 mJ from 3.3 V to 1.8 V) — that is the premise of §5.4.
-        let tx = op_energy_estimate(
-            Amps::from_milli(5.0) + Amps::from_milli(1.5),
-            RT_BURST,
-        );
+        let tx = op_energy_estimate(Amps::from_milli(5.0) + Amps::from_milli(1.5), RT_BURST);
         assert!(tx.to_milli() > 2.9, "RT burst {} mJ", tx.to_milli());
     }
 }

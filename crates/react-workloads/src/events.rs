@@ -80,11 +80,7 @@ impl EventSchedule {
     /// Consumes and returns every event with time ≤ `now`.
     pub fn take_due(&mut self, now: Seconds) -> usize {
         let start = self.cursor;
-        while self
-            .times
-            .get(self.cursor)
-            .is_some_and(|&t| t <= now.get())
-        {
+        while self.times.get(self.cursor).is_some_and(|&t| t <= now.get()) {
             self.cursor += 1;
         }
         self.cursor - start

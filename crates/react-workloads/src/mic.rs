@@ -56,7 +56,9 @@ impl Microphone {
         (0..n)
             .map(|i| {
                 let t = i as f64;
-                (440.0 * w * t).sin() + 0.5 * (5000.0 * w * t).sin() + 0.2 * rng.gen_range(-1.0..1.0)
+                (440.0 * w * t).sin()
+                    + 0.5 * (5000.0 * w * t).sin()
+                    + 0.2 * rng.gen_range(-1.0..1.0)
             })
             .collect()
     }
@@ -93,7 +95,10 @@ mod tests {
         assert!(filter.magnitude_at(440.0 / 16_000.0) > 0.9);
         assert!(filter.magnitude_at(5000.0 / 16_000.0) < 0.01);
         // Output amplitude close to the 440 Hz tone alone (amplitude 1).
-        let peak = clean[100..].iter().cloned().fold(0.0_f64, |m, x| m.max(x.abs()));
+        let peak = clean[100..]
+            .iter()
+            .cloned()
+            .fold(0.0_f64, |m, x| m.max(x.abs()));
         assert!(peak > 0.7 && peak < 1.3, "peak {peak}");
     }
 

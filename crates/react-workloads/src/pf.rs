@@ -53,8 +53,14 @@ impl PacketForward {
         let radio_tx = Peripheral::radio_tx();
         let mcu_active = react_units::Amps::from_milli(1.5);
         Self {
-            rx_energy: costs::op_energy_estimate(radio_rx.rated_current() + mcu_active, costs::PF_RX),
-            tx_energy: costs::op_energy_estimate(radio_tx.rated_current() + mcu_active, costs::PF_TX),
+            rx_energy: costs::op_energy_estimate(
+                radio_rx.rated_current() + mcu_active,
+                costs::PF_RX,
+            ),
+            tx_energy: costs::op_energy_estimate(
+                radio_tx.rated_current() + mcu_active,
+                costs::PF_TX,
+            ),
             arrivals,
             radio_rx,
             radio_tx,
@@ -148,7 +154,10 @@ impl Workload for PacketForward {
         }
 
         match self.state {
-            State::Receiving { remaining, sequence } => {
+            State::Receiving {
+                remaining,
+                sequence,
+            } => {
                 let left = remaining - env.dt;
                 if left.get() <= 0.0 {
                     // Decode the real frame; CRC always passes in the
@@ -164,7 +173,10 @@ impl Workload for PacketForward {
                     }
                     self.state = State::Listening;
                 } else {
-                    self.state = State::Receiving { remaining: left, sequence };
+                    self.state = State::Receiving {
+                        remaining: left,
+                        sequence,
+                    };
                 }
                 LoadDemand::active_with(self.radio_rx.rated_current())
             }
@@ -183,7 +195,9 @@ impl Workload for PacketForward {
                 if !self.queue.is_empty() {
                     let ready = !env.supports_longevity || env.usable_energy >= self.tx_energy;
                     if ready {
-                        self.state = State::Transmitting { remaining: costs::PF_TX };
+                        self.state = State::Transmitting {
+                            remaining: costs::PF_TX,
+                        };
                         return LoadDemand::active_with(self.radio_tx.rated_current());
                     }
                 }

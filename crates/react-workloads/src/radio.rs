@@ -164,7 +164,10 @@ mod tests {
     fn truncated_frame_fails() {
         let wire = Packet::new(1, 7, vec![9; 10]).encode();
         assert_eq!(Packet::decode(&wire[..5]), Err(DecodeError::TooShort));
-        assert_eq!(Packet::decode(&wire[..wire.len() - 1]), Err(DecodeError::BadLength));
+        assert_eq!(
+            Packet::decode(&wire[..wire.len() - 1]),
+            Err(DecodeError::BadLength)
+        );
     }
 
     #[test]

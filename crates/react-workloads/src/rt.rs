@@ -62,7 +62,9 @@ impl RadioTransmit {
     fn complete_burst(&mut self) {
         // Encode the real 16-packet burst the radio would send.
         for _ in 0..16 {
-            let payload: Vec<u8> = (0..60).map(|i| (self.sequence as u8).wrapping_add(i)).collect();
+            let payload: Vec<u8> = (0..60)
+                .map(|i| (self.sequence as u8).wrapping_add(i))
+                .collect();
             let wire = Packet::new(1, self.sequence, payload).encode();
             self.bytes_sent += wire.len() as u64;
             self.sequence = self.sequence.wrapping_add(1);

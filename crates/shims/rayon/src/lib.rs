@@ -158,7 +158,11 @@ mod tests {
         let xs: Vec<u32> = (0..64).collect();
         let ys: Vec<u64> = xs
             .par_iter()
-            .map(|&x| (0..(x as u64 % 7) * 10_000).sum::<u64>().wrapping_add(x as u64))
+            .map(|&x| {
+                (0..(x as u64 % 7) * 10_000)
+                    .sum::<u64>()
+                    .wrapping_add(x as u64)
+            })
             .collect();
         assert_eq!(ys.len(), 64);
     }

@@ -136,7 +136,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         };
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         // Consume the type up to a top-level comma.
         let mut angle_depth = 0i32;
@@ -222,15 +226,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         let elems: Vec<String> = (0..info.tuple_fields)
             .map(|i| format!("::serde::Deserialize::from_value(v.index({i})?)?"))
             .collect();
-        format!(
-            "::std::result::Result::Ok({name}({}))",
-            elems.join(", ")
-        )
+        format!("::std::result::Result::Ok({name}({}))", elems.join(", "))
     } else if info.transparent && info.fields.len() == 1 {
         let f = &info.fields[0];
-        format!(
-            "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})"
-        )
+        format!("::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})")
     } else {
         let inits: Vec<String> = info
             .fields

@@ -120,7 +120,10 @@ impl Parser<'_> {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 

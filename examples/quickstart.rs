@@ -25,9 +25,20 @@ fn main() {
             .map(|l| format!("{:.2} s after cold start", l.get()))
             .unwrap_or_else(|| "never".into())
     );
-    println!("measurements:      {} completed, {} missed deadlines", m.ops_completed, m.events_missed);
-    println!("on-time:           {:.0} s of {:.0} s simulated", m.on_time.get(), m.total_time.get());
-    println!("power cycles:      {} (mean {:.1} s)", m.boots, m.mean_on_period.get());
+    println!(
+        "measurements:      {} completed, {} missed deadlines",
+        m.ops_completed, m.events_missed
+    );
+    println!(
+        "on-time:           {:.0} s of {:.0} s simulated",
+        m.on_time.get(),
+        m.total_time.get()
+    );
+    println!(
+        "power cycles:      {} (mean {:.1} s)",
+        m.boots,
+        m.mean_on_period.get()
+    );
     println!();
     println!("energy ledger:");
     println!("{}", m.ledger);

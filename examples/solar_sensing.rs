@@ -17,7 +17,15 @@ fn main() {
 
     let mut table = TextTable::new(
         "Sense-and-Compute on the campus walk",
-        &["Buffer", "Samples", "Missed", "Latency (s)", "Duty", "Clipped (mJ)", "Efficiency"],
+        &[
+            "Buffer",
+            "Samples",
+            "Missed",
+            "Latency (s)",
+            "Duty",
+            "Clipped (mJ)",
+            "Efficiency",
+        ],
     );
     for kind in BufferKind::PAPER_COLUMNS {
         let out = Experiment::new(kind, WorkloadKind::SenseCompute)

@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    println!("{:<12} {:>9} {:>12} {:>8} {:>10} {:>10}", "trace", "time (s)", "avg (mW)", "CV", "peak (mW)", "energy (J)");
+    println!(
+        "{:<12} {:>9} {:>12} {:>8} {:>10} {:>10}",
+        "trace", "time (s)", "avg (mW)", "CV", "peak (mW)", "energy (J)"
+    );
     for which in [
         PaperTrace::RfCart,
         PaperTrace::RfObstructed,
@@ -44,7 +47,11 @@ fn main() {
     // A custom synthetic trace: windy-day vibration harvester, say.
     let custom = TraceSynthesizer::new(
         "custom-vibration",
-        SynthKind::Spiky { rate: 0.3, amplitude: 4.0, decay: 0.8 },
+        SynthKind::Spiky {
+            rate: 0.3,
+            amplitude: 4.0,
+            decay: 0.8,
+        },
         Seconds::new(600.0),
         42,
     )

@@ -18,10 +18,8 @@ fn composite_workload_on_react() {
         Seconds::new(60.0),
         Seconds::new(0.1),
     );
-    let replay = react_repro::harvest::PowerReplay::new(
-        trace,
-        react_repro::harvest::Converter::ideal(),
-    );
+    let replay =
+        react_repro::harvest::PowerReplay::new(trace, react_repro::harvest::Converter::ideal());
     let workload = Box::new(SenseAndSend::new(Seconds::new(120.0), 2));
     let sim = react_repro::core::Simulator::new(replay, BufferKind::React.build(), workload);
     let out = sim.run();
@@ -88,7 +86,10 @@ fn sizing_sweep_penalizes_oversized_buffers() {
     let points = static_size_sweep(&trace, WorkloadKind::DataEncryption, &sizes);
     let best = best_static_size(WorkloadKind::DataEncryption, &points);
     let biggest = points.last().unwrap();
-    assert_eq!(biggest.metrics.ops_completed, 0, "100 mF should never start");
+    assert_eq!(
+        biggest.metrics.ops_completed, 0,
+        "100 mF should never start"
+    );
     assert!(best.metrics.ops_completed > 0);
     assert!(best.capacitance < biggest.capacitance);
 }

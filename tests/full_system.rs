@@ -37,13 +37,12 @@ fn every_pair_runs_and_conserves_energy() {
 fn runs_are_deterministic() {
     let trace = paper_trace(PaperTrace::RfMobile).truncated(Seconds::new(45.0));
     let run = || {
-        Experiment::new(BufferKind::React, WorkloadKind::PacketForward)
-            .run_configured(
-                &trace,
-                Some(PaperTrace::RfMobile),
-                Seconds::new(0.001),
-                Some(Seconds::new(1.0)),
-            )
+        Experiment::new(BufferKind::React, WorkloadKind::PacketForward).run_configured(
+            &trace,
+            Some(PaperTrace::RfMobile),
+            Seconds::new(0.001),
+            Some(Seconds::new(1.0)),
+        )
     };
     let a = run();
     let b = run();

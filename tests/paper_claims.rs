@@ -166,6 +166,11 @@ fn morphy_min_config_smaller_than_llb() {
     assert!(morphy.equivalent_capacitance() < react.equivalent_capacitance());
     // And a static buffer exposes exactly its capacitance.
     assert!(
-        (StaticBuffer::static_17mf().equivalent_capacitance().to_milli() - 17.0).abs() < 1e-9
+        (StaticBuffer::static_17mf()
+            .equivalent_capacitance()
+            .to_milli()
+            - 17.0)
+            .abs()
+            < 1e-9
     );
 }

@@ -7,7 +7,11 @@ use react_repro::traces::{SynthKind, TraceSynthesizer};
 fn random_trace(seed: u64, mean_mw: f64, cv: f64, secs: f64) -> PowerTrace {
     TraceSynthesizer::new(
         "prop",
-        SynthKind::Spiky { rate: 0.2, amplitude: 6.0, decay: 1.0 },
+        SynthKind::Spiky {
+            rate: 0.2,
+            amplitude: 6.0,
+            decay: 1.0,
+        },
         Seconds::new(secs),
         seed,
     )
