@@ -13,7 +13,13 @@
 //! 4. a REACT-dominated matrix (REACT + Morphy cells): the
 //!    controller-aware idle fast path vs the same adaptive kernel with
 //!    the fast path suppressed (PR 1 behavior — controller buffers fell
-//!    back to fine stepping while dark).
+//!    back to fine stepping while dark),
+//! 5. a week-horizon streaming environment (the `rf-sparse-week`
+//!    registry scenario): the adaptive kernel consuming generative
+//!    segments directly vs the pre-`react-env` workflow of
+//!    materializing the environment into a 100 ms trace and replaying
+//!    it (both adaptive — the ratio isolates streaming vs
+//!    sample-bounded strides).
 //!
 //! Every comparison also lands in
 //! `target/paper-artifacts/BENCH_engine.json` (name, wall-clock,
@@ -34,8 +40,10 @@ use react_buffers::{BufferKind, EnergyBuffer};
 use react_circuit::EnergyLedger;
 use react_core::sweep::{log_spaced_sizes, static_size_sweep_with, SweepOptions};
 use react_core::{
-    calib, Experiment, ExperimentMatrix, KernelMode, RunMetrics, Simulator, WorkloadKind,
+    calib, find_scenario, Experiment, ExperimentMatrix, KernelMode, RunMetrics, Simulator,
+    WorkloadKind,
 };
+use react_env::materialize;
 use react_harvest::{Converter, PowerReplay};
 use react_traces::{paper_trace, PaperTrace, PowerTrace};
 use react_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
@@ -312,6 +320,63 @@ fn compare_then_bench(c: &mut Criterion) {
         wall_ms_fast: t_fastpath * 1e3,
         speedup: ctl_speedup,
         steps_per_sec: ctl_steps as f64 / t_fastpath.max(1e-9),
+    });
+
+    // 5. Week-horizon streaming environment. The streaming arm never
+    // materializes anything: the adaptive kernel strides the
+    // environment's native segments (a few thousand for the whole
+    // week). The baseline arm is what required a bounded PowerTrace
+    // before react-env existed: sample the same seeded environment at
+    // the trace library's 100 ms resolution (6 M samples) and replay
+    // it — same adaptive kernel, but every idle stride stops at a
+    // sample-window boundary.
+    let week = find_scenario("rf-sparse-week").expect("registry scenario");
+    let start = Instant::now();
+    let streamed = week.run().metrics;
+    let t_stream = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mat_trace = Arc::new(materialize(
+        &mut week.source(),
+        "rf-sparse-week (materialized)",
+        Seconds::new(0.1),
+        week.horizon,
+    ));
+    let mat_workload = week
+        .workload
+        .build_streaming(week.horizon, week.workload_seed());
+    let materialized = Simulator::new(
+        PowerReplay::new(Arc::clone(&mat_trace), Converter::ideal()),
+        week.buffer.build(),
+        mat_workload,
+    )
+    .with_timestep(week.dt)
+    .run()
+    .metrics;
+    let t_materialized = start.elapsed().as_secs_f64();
+    let week_speedup = t_materialized / t_stream.max(1e-9);
+    let week_agree = {
+        let (a, b) = (
+            streamed.ops_completed as f64,
+            materialized.ops_completed as f64,
+        );
+        (a - b).abs() <= 0.05 * a.max(b) + 5.0
+    };
+    report.push_str(&format!(
+        "\nweek-horizon streaming environment (rf-sparse-week, SC × 770 µF × 7 days)\n\
+         \x20 materialize 100 ms trace + adaptive replay: {:>8.1} ms ({} steps)\n\
+         \x20 streaming adaptive (no materialization)   : {:>8.1} ms ({} steps)\n\
+         \x20 streaming speedup: {week_speedup:.1}×  (results agree: {week_agree})\n",
+        t_materialized * 1e3,
+        materialized.engine_steps,
+        t_stream * 1e3,
+        streamed.engine_steps,
+    ));
+    perf.scenarios.push(BenchScenario {
+        name: "week_streaming_env".into(),
+        wall_ms_baseline: t_materialized * 1e3,
+        wall_ms_fast: t_stream * 1e3,
+        speedup: week_speedup,
+        steps_per_sec: streamed.engine_steps as f64 / t_stream.max(1e-9),
     });
 
     println!("{report}");

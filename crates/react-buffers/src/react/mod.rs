@@ -352,8 +352,8 @@ impl EnergyBuffer for ReactBuffer {
     /// dark REACT's normally-open switches hold every bank disconnected
     /// and the 10 Hz poller cannot run, so the LLB is electrically a
     /// fixed-capacitance static buffer with one extra term: the
-    /// always-on instrumentation draw (two comparators) above
-    /// [`INSTRUMENTATION_FLOOR`]. The shared regime solver integrates
+    /// always-on instrumentation draw (two comparators) above the
+    /// 0.5 V `INSTRUMENTATION_FLOOR`. The shared regime solver integrates
     /// the whole stride in closed form — quantizing any `v_stop`
     /// crossing up to the fine-step grid, exactly like the static fast
     /// path — while each disconnected bank decays on its own

@@ -69,6 +69,24 @@ impl WorkloadKind {
             }
         }
     }
+
+    /// Instantiates the workload for a streaming environment replayed
+    /// for `horizon` of wall-clock time (no trace to derive schedules
+    /// from): SC deadlines and PF Poisson arrivals span the horizon,
+    /// with PF's arrival stream drawn from `seed`.
+    pub fn build_streaming(self, horizon: Seconds, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::DataEncryption => Box::new(DataEncryption::new()),
+            WorkloadKind::SenseCompute => {
+                Box::new(SenseCompute::new(horizon + calib::MAX_DRAIN_TIME))
+            }
+            WorkloadKind::RadioTransmit => Box::new(RadioTransmit::new()),
+            WorkloadKind::PacketForward => {
+                let arrivals = EventSchedule::poisson(0.05, horizon, seed);
+                Box::new(PacketForward::new(arrivals))
+            }
+        }
+    }
 }
 
 /// A single (buffer, workload) experiment, run against any trace.

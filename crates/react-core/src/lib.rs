@@ -13,6 +13,10 @@
 //!   against a trace, or the full trace × buffer matrix behind
 //!   Tables 2, 4, and 5 (every cell in parallel, traces shared via
 //!   `Arc`).
+//! * [`scenario`] — the named scenario registry: streaming `react-env`
+//!   environments × buffer × workload × horizon, run through the same
+//!   parallel engine (week-long horizons stream segment by segment,
+//!   never materializing samples).
 //! * [`RunMetrics`] / [`RunOutcome`] — what each run measures.
 //! * [`fom`] — figures of merit and REACT-normalized scores (Fig. 7).
 //! * [`report`] — text/CSV table rendering for the bench harnesses.
@@ -37,10 +41,12 @@ mod experiment;
 pub mod fom;
 mod metrics;
 pub mod report;
+pub mod scenario;
 mod sim;
 pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
 pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
+pub use scenario::{find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario};
 pub use sim::{ConstantLoad, KernelMode, Simulator};
 pub use sweep::SweepOptions;

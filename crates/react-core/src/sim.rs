@@ -23,7 +23,7 @@
 //! type parameters.
 
 use react_buffers::EnergyBuffer;
-use react_harvest::PowerReplay;
+use react_harvest::{PowerReplay, PowerSource, TraceSource};
 use react_mcu::{Mcu, McuSpec, PowerGate};
 use react_units::{Amps, Seconds};
 use react_workloads::{LoadDemand, Workload, WorkloadEnv};
@@ -44,8 +44,13 @@ pub enum KernelMode {
 
 /// A configured simulation: every testbed component from §4 of the
 /// paper, assembled.
-pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>> {
-    replay: PowerReplay,
+///
+/// Generic over the power source as well as buffer and workload: the
+/// default [`TraceSource`] replays a recorded trace exactly as before,
+/// while streaming `react-env` sources run unbounded environments —
+/// those need an explicit [`Simulator::with_horizon`].
+pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = TraceSource> {
+    replay: PowerReplay<S>,
     buffer: B,
     mcu: Mcu,
     gate: PowerGate,
@@ -54,16 +59,19 @@ pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>> {
     kernel: KernelMode,
     probe_interval: Option<Seconds>,
     max_drain: Seconds,
+    /// Explicit harvest horizon (plays the role of the trace end for
+    /// unbounded sources; also truncates bounded ones).
+    horizon: Option<Seconds>,
     /// Fraction of CPU time the buffer's on-MCU software component
     /// steals (REACT's 10 Hz poller, §5.1). Zero for static buffers and
     /// externally-controlled Morphy.
     software_overhead: f64,
 }
 
-impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
+impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
     /// Builds a simulator with paper-default gate thresholds, MCU spec,
     /// timestep, and drain allowance.
-    pub fn new(replay: PowerReplay, buffer: B, workload: W) -> Self {
+    pub fn new(replay: PowerReplay<S>, buffer: B, workload: W) -> Self {
         let software_overhead = if buffer.name() == "REACT" {
             calib::REACT_SOFTWARE_OVERHEAD
         } else {
@@ -79,8 +87,25 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             kernel: KernelMode::default(),
             probe_interval: None,
             max_drain: calib::MAX_DRAIN_TIME,
+            horizon: None,
             software_overhead,
         }
+    }
+
+    /// Sets the harvest horizon: how long the environment is replayed
+    /// before the run enters its drain phase. Mandatory for unbounded
+    /// streaming sources; on bounded traces it acts as a truncation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon` is positive and finite.
+    pub fn with_horizon(mut self, horizon: Seconds) -> Self {
+        assert!(
+            horizon.get() > 0.0 && horizon.get().is_finite(),
+            "horizon must be positive and finite"
+        );
+        self.horizon = Some(horizon);
+        self
     }
 
     /// Overrides the timestep.
@@ -133,10 +158,16 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             kernel,
             probe_interval,
             max_drain,
+            horizon,
             software_overhead,
         } = self;
 
-        let trace_end = replay.duration();
+        // The harvest horizon: an explicit override, else the bounded
+        // source duration. Unbounded streaming environments have
+        // neither end nor a natural stop, so they must pick one.
+        let trace_end = horizon
+            .or_else(|| replay.source_duration())
+            .expect("unbounded power source: set Simulator::with_horizon");
         let hard_end = trace_end + max_drain;
         let mut cursor = replay.cursor();
 
@@ -178,7 +209,16 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             // piecewise-constant input, which `idle_advance` integrates
             // in one stride.
             if fast_path && !gate.is_closed() && !mcu.is_powered() && v < gate.enable_voltage() {
-                let (p_avail, window_end) = cursor.sample_window(t);
+                // Past the harvest horizon the environment is
+                // disconnected: the drain phase runs on stored energy
+                // alone, matching bounded-trace semantics (power_at is
+                // zero past the end) for streaming sources too.
+                let (p_avail, window_end) = if t >= trace_end {
+                    (react_units::Watts::ZERO, hard_end)
+                } else {
+                    let (p, end) = cursor.sample_window(t);
+                    (p, end.min(trace_end))
+                };
                 let mut stride_end = window_end.min(hard_end);
                 if let Some(interval) = probe_interval {
                     // Never integrate across a probe boundary.
@@ -285,7 +325,13 @@ impl<B: EnergyBuffer, W: Workload> Simulator<B, W> {
             // Harvest + buffer physics. The converter delivers *power*;
             // the buffer converts it to charge at its input node's
             // voltage (for REACT the lowest connected element, §3.2.1).
-            let input = cursor.rail_power(t, buffer.input_voltage());
+            // Past the horizon the environment is disconnected (see the
+            // idle path above).
+            let input = if t >= trace_end {
+                react_units::Watts::ZERO
+            } else {
+                cursor.rail_power(t, buffer.input_voltage())
+            };
             buffer.step(input, mcu_current + peripheral, dt, mcu.is_running());
 
             // Accounting.

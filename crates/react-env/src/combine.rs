@@ -1,0 +1,294 @@
+//! Source combinators: build compound environments from simple ones.
+//!
+//! Every combinator preserves the piecewise-constant contract by
+//! intersecting its operands' segments — the combined segment ends at
+//! the *earliest* operand boundary — so the adaptive kernel's
+//! closed-form idle strides stay exact through arbitrarily nested
+//! compositions.
+
+use react_units::{Seconds, Watts};
+
+use crate::source::{PowerSource, Segment};
+
+/// The sum of two sources (e.g. solar + ambient RF on one rail).
+#[derive(Clone, Debug)]
+pub struct Mix<A, B> {
+    a: A,
+    b: B,
+    name: String,
+}
+
+impl<A: PowerSource, B: PowerSource> Mix<A, B> {
+    /// Combines two sources additively.
+    pub fn new(a: A, b: B) -> Self {
+        let name = format!("{}+{}", a.name(), b.name());
+        Self { a, b, name }
+    }
+}
+
+impl<A, B> PowerSource for Mix<A, B>
+where
+    A: PowerSource + Clone + 'static,
+    B: PowerSource + Clone + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let sa = self.a.segment(t);
+        let sb = self.b.segment(t);
+        Segment {
+            power: sa.power + sb.power,
+            end: sa.end.min(sb.end),
+        }
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        // Bounded only when both operands are: past its duration a
+        // bounded source contributes zero, so the mix runs as long as
+        // the longer one.
+        match (self.a.duration(), self.b.duration()) {
+            (Some(da), Some(db)) => Some(da.max(db)),
+            _ => None,
+        }
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// A source scaled by a constant factor (panel area, antenna gain).
+#[derive(Clone, Debug)]
+pub struct Scale<S> {
+    inner: S,
+    factor: f64,
+    name: String,
+}
+
+impl<S: PowerSource> Scale<S> {
+    /// Multiplies every power value by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and non-negative.
+    pub fn new(inner: S, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        let name = format!("{factor}x {}", inner.name());
+        Self {
+            inner,
+            factor,
+            name,
+        }
+    }
+}
+
+impl<S: PowerSource + Clone + 'static> PowerSource for Scale<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let seg = self.inner.segment(t);
+        Segment {
+            power: seg.power * self.factor,
+            end: seg.end,
+        }
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        self.inner.duration()
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// A source clamped to a ceiling (a converter's input saturation).
+#[derive(Clone, Debug)]
+pub struct Cap<S> {
+    inner: S,
+    cap: f64,
+    name: String,
+}
+
+impl<S: PowerSource> Cap<S> {
+    /// Clamps every power value to at most `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cap` is non-negative.
+    pub fn new(inner: S, cap: Watts) -> Self {
+        assert!(cap.get() >= 0.0, "cap must be non-negative");
+        let name = format!("cap({})", inner.name());
+        Self {
+            inner,
+            cap: cap.get(),
+            name,
+        }
+    }
+}
+
+impl<S: PowerSource + Clone + 'static> PowerSource for Cap<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let seg = self.inner.segment(t);
+        Segment {
+            power: seg.power.min(Watts::new(self.cap)),
+            end: seg.end,
+        }
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        self.inner.duration()
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// Source `a` until `at`, then source `b` with its clock rebased to the
+/// splice point (deployment relocation, season change).
+#[derive(Clone, Debug)]
+pub struct Splice<A, B> {
+    a: A,
+    b: B,
+    at: f64,
+    name: String,
+}
+
+impl<A: PowerSource, B: PowerSource> Splice<A, B> {
+    /// Switches from `a` to `b` at time `at`; `b` sees time starting
+    /// from zero at the splice.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `at` is positive and finite.
+    pub fn new(a: A, b: B, at: Seconds) -> Self {
+        assert!(
+            at.get() > 0.0 && at.get().is_finite(),
+            "splice point must be positive and finite"
+        );
+        let name = format!("{}|{}", a.name(), b.name());
+        Self {
+            a,
+            b,
+            at: at.get(),
+            name,
+        }
+    }
+}
+
+impl<A, B> PowerSource for Splice<A, B>
+where
+    A: PowerSource + Clone + 'static,
+    B: PowerSource + Clone + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let tt = t.get();
+        if !tt.is_finite() || tt < 0.0 {
+            return Segment::dark(Seconds::ZERO);
+        }
+        if tt < self.at {
+            let seg = self.a.segment(t);
+            Segment {
+                power: seg.power,
+                end: seg.end.min(Seconds::new(self.at)),
+            }
+        } else {
+            let seg = self.b.segment(Seconds::new(tt - self.at));
+            Segment {
+                power: seg.power,
+                // `+inf + at` stays `+inf`, so constant tails survive.
+                end: Seconds::new(seg.end.get() + self.at),
+            }
+        }
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        self.b.duration().map(|d| Seconds::new(self.at) + d)
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MarkovRf, Mobility};
+
+    fn steady(power_mw: f64, name: &str) -> Mobility {
+        Mobility::schedule(name, vec![(Seconds::new(0.0), Watts::from_milli(power_mw))])
+    }
+
+    fn bursty() -> MarkovRf {
+        MarkovRf::new(
+            "rf",
+            Watts::from_milli(5.0),
+            Watts::from_micro(10.0),
+            Seconds::new(4.0),
+            Seconds::new(20.0),
+            3,
+        )
+    }
+
+    #[test]
+    fn mix_adds_and_intersects_segments() {
+        let mut mixed = Mix::new(steady(1.0, "a"), bursty());
+        let mut rf = bursty();
+        for i in 0..200 {
+            let t = Seconds::new(i as f64 * 1.7);
+            let want = Watts::from_milli(1.0) + rf.power_at(t);
+            assert_eq!(mixed.power_at(t), want, "at {t:?}");
+        }
+        let seg = mixed.segment(Seconds::new(10.0));
+        let rf_seg = rf.segment(Seconds::new(10.0));
+        assert_eq!(seg.end, rf_seg.end); // steady's end is +inf
+    }
+
+    #[test]
+    fn scale_and_cap_compose() {
+        let mut src = Cap::new(Scale::new(steady(4.0, "s"), 3.0), Watts::from_milli(10.0));
+        // 4 mW × 3 = 12 mW, capped at 10 mW.
+        assert_eq!(src.power_at(Seconds::new(1.0)), Watts::from_milli(10.0));
+        let mut unclipped = Cap::new(Scale::new(steady(2.0, "s"), 3.0), Watts::from_milli(10.0));
+        assert_eq!(
+            unclipped.power_at(Seconds::new(1.0)),
+            Watts::from_milli(6.0)
+        );
+    }
+
+    #[test]
+    fn splice_switches_and_rebases_time() {
+        let mut src = Splice::new(steady(1.0, "before"), bursty(), Seconds::new(100.0));
+        assert_eq!(src.power_at(Seconds::new(50.0)), Watts::from_milli(1.0));
+        // The pre-splice segment is clipped at the splice point.
+        let seg = src.segment(Seconds::new(50.0));
+        assert!((seg.end.get() - 100.0).abs() < 1e-9);
+        // After the splice, b sees rebased time.
+        let mut b = bursty();
+        for i in 0..100 {
+            let t = 100.0 + i as f64 * 2.3;
+            assert_eq!(
+                src.power_at(Seconds::new(t)),
+                b.power_at(Seconds::new(t - 100.0)),
+                "at t={t}"
+            );
+        }
+    }
+}

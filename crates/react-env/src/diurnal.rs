@@ -1,0 +1,300 @@
+//! Diurnal solar model: day/night envelope × Markov cloud process.
+//!
+//! Multi-day intermittency — the regime behind the paper's persistence
+//! claims — is fundamentally diurnal: a deterministic irradiance
+//! envelope (zero all night, a smooth hump across the day) modulated by
+//! a stochastic cloud process. The envelope is quantized onto a
+//! configurable step so the signal stays piecewise-constant (what the
+//! adaptive kernel's closed-form idle integrator needs); an entire
+//! night is a *single* zero-power segment, which is what lets week-long
+//! runs cross outages in a handful of strides.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use react_units::{Seconds, Watts};
+
+use crate::markov::exp_dwell;
+use crate::source::{PowerSource, Segment};
+
+/// A seeded diurnal solar source.
+///
+/// Power at `t` is `envelope(t) × cloud(t)`, where the envelope is a
+/// raised `sin²` day hump (zero at night) held constant over
+/// `envelope_step` spans, and the cloud factor is a two-state Markov
+/// chain (clear = 1, cloudy = `attenuation`) with exponential dwells.
+/// Deterministic given its seed, unbounded, rewindable.
+#[derive(Clone, Debug)]
+pub struct Diurnal {
+    name: String,
+    peak: f64,
+    period: f64,
+    day_fraction: f64,
+    env_step: f64,
+    attenuation: f64,
+    mean_clear: f64,
+    mean_cloudy: f64,
+    seed: u64,
+    rng: StdRng,
+    cloudy: bool,
+    cloud_start: f64,
+    cloud_end: f64,
+}
+
+impl Diurnal {
+    /// Creates a diurnal source with a 24 h period, 50 % daylight, a
+    /// 5 min envelope step, and mild clouds (mean 30 min clear / 4 min
+    /// cloudy at 25 % transmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `peak` is non-negative.
+    pub fn new(name: impl Into<String>, peak: Watts, seed: u64) -> Self {
+        assert!(peak.get() >= 0.0, "peak power must be non-negative");
+        let mut source = Self {
+            name: name.into(),
+            peak: peak.get(),
+            period: 86_400.0,
+            day_fraction: 0.5,
+            env_step: 300.0,
+            attenuation: 0.25,
+            mean_clear: 1800.0,
+            mean_cloudy: 240.0,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            cloudy: false,
+            cloud_start: 0.0,
+            cloud_end: 0.0,
+        };
+        source.reset();
+        source
+    }
+
+    /// Overrides the day/night period (useful for compressed tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period` is positive.
+    pub fn with_period(mut self, period: Seconds, day_fraction: f64) -> Self {
+        assert!(period.get() > 0.0, "period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&day_fraction),
+            "day fraction must be in [0, 1]"
+        );
+        self.period = period.get();
+        self.day_fraction = day_fraction;
+        self.env_step = self.env_step.min(self.period / 4.0);
+        self.reset();
+        self
+    }
+
+    /// Overrides the envelope quantization step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step` is positive.
+    pub fn with_envelope_step(mut self, step: Seconds) -> Self {
+        assert!(step.get() > 0.0, "envelope step must be positive");
+        self.env_step = step.get();
+        self.reset();
+        self
+    }
+
+    /// Overrides the cloud process (`attenuation` is the cloudy-state
+    /// transmission factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dwell means are positive and `attenuation`
+    /// is in `[0, 1]`.
+    pub fn with_clouds(
+        mut self,
+        mean_clear: Seconds,
+        mean_cloudy: Seconds,
+        attenuation: f64,
+    ) -> Self {
+        assert!(
+            mean_clear.get() > 0.0 && mean_cloudy.get() > 0.0,
+            "cloud dwell means must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&attenuation),
+            "attenuation must be in [0, 1]"
+        );
+        self.mean_clear = mean_clear.get();
+        self.mean_cloudy = mean_cloudy.get();
+        self.attenuation = attenuation;
+        self.reset();
+        self
+    }
+
+    /// Restarts the cloud chain from its seed.
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        let stationary_cloudy = self.mean_cloudy / (self.mean_clear + self.mean_cloudy);
+        self.cloudy = self.rng.gen_bool(stationary_cloudy);
+        self.cloud_start = 0.0;
+        let mean = if self.cloudy {
+            self.mean_cloudy
+        } else {
+            self.mean_clear
+        };
+        self.cloud_end = exp_dwell(&mut self.rng, mean);
+    }
+
+    /// Steps the cloud chain to its next dwell.
+    fn cloud_advance(&mut self) {
+        self.cloud_start = self.cloud_end;
+        self.cloudy = !self.cloudy;
+        let mean = if self.cloudy {
+            self.mean_cloudy
+        } else {
+            self.mean_clear
+        };
+        self.cloud_end = self.cloud_start + exp_dwell(&mut self.rng, mean);
+    }
+
+    /// Positions the cloud walker over `t`, rewinding for backward
+    /// queries.
+    fn cloud_covers(&mut self, t: f64) {
+        if t < self.cloud_start {
+            self.reset();
+        }
+        while t >= self.cloud_end {
+            self.cloud_advance();
+        }
+    }
+
+    /// The quantized envelope window covering `t`: `(power, end)`. A
+    /// whole night collapses into one zero-power window ending at the
+    /// next sunrise.
+    fn envelope_window(&self, t: f64) -> (f64, f64) {
+        let day_len = self.day_fraction * self.period;
+        let (cycle_base, phase) = crate::source::cycle_phase(t, self.period);
+        if phase >= day_len || day_len == 0.0 {
+            // Night: dark until the next cycle's sunrise.
+            return (0.0, cycle_base + self.period);
+        }
+        let k = (phase / self.env_step).floor();
+        let lo = k * self.env_step;
+        let hi = ((k + 1.0) * self.env_step).min(day_len);
+        // Hold the midpoint irradiance across the span.
+        let mid = 0.5 * (lo + hi);
+        let s = (std::f64::consts::PI * mid / day_len).sin();
+        (self.peak * s * s, cycle_base + hi)
+    }
+}
+
+impl PowerSource for Diurnal {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let tt = t.get();
+        if !tt.is_finite() || tt < 0.0 {
+            return Segment::dark(Seconds::ZERO);
+        }
+        let (envelope, env_end) = self.envelope_window(tt);
+        if envelope == 0.0 {
+            // Clouds cannot modulate darkness: the whole night really
+            // is one segment (the stride that lets week-long runs cross
+            // outages in a handful of steps). The cloud walker catches
+            // up lazily at the next daylight query.
+            return Segment::dark(Seconds::new(env_end));
+        }
+        self.cloud_covers(tt);
+        let factor = if self.cloudy { self.attenuation } else { 1.0 };
+        Segment {
+            power: Watts::new(envelope * factor),
+            end: Seconds::new(env_end.min(self.cloud_end)),
+        }
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sun() -> Diurnal {
+        Diurnal::new("sun", Watts::from_milli(20.0), 11)
+    }
+
+    #[test]
+    fn night_is_dark_and_one_segment() {
+        let mut src = sun().with_clouds(Seconds::new(1e7), Seconds::new(1.0), 0.5);
+        // Deep in the first night (day ends at 43 200 s).
+        let seg = src.segment(Seconds::new(50_000.0));
+        assert_eq!(seg.power, Watts::ZERO);
+        assert!((seg.end.get() - 86_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn night_is_one_segment_even_under_active_clouds() {
+        // The default cloud chain (minutes-scale dwells) must not chop
+        // the night: darkness modulated by anything is still darkness,
+        // and the adaptive kernel crosses it in one stride.
+        let mut src = sun();
+        let seg = src.segment(Seconds::new(50_000.0));
+        assert_eq!(seg.power, Watts::ZERO);
+        assert!((seg.end.get() - 86_400.0).abs() < 1e-6, "end {:?}", seg.end);
+    }
+
+    #[test]
+    fn day_boundary_ulp_queries_always_advance() {
+        // Regression: a rounded-up `t / period` quotient used to yield
+        // a negative phase and a non-advancing segment at midnight.
+        let mut src = sun();
+        for k in 1..40u64 {
+            let boundary = k as f64 * 86_400.0;
+            for ulps in [-2i64, -1, 0, 1, 2] {
+                let tt = f64::from_bits((boundary.to_bits() as i64 + ulps) as u64);
+                let seg = src.segment(Seconds::new(tt));
+                assert!(seg.end.get() > tt, "segment stalled at {tt}");
+            }
+        }
+    }
+
+    #[test]
+    fn noon_is_near_peak() {
+        let mut src = sun().with_clouds(Seconds::new(1e7), Seconds::new(1.0), 0.5);
+        let noon = src.power_at(Seconds::new(21_600.0));
+        assert!(noon.to_milli() > 19.0, "noon {noon:?}");
+        // Sunrise edge is weak.
+        let dawn = src.power_at(Seconds::new(120.0));
+        assert!(dawn < noon);
+    }
+
+    #[test]
+    fn clouds_attenuate_deterministically() {
+        let mut a = sun();
+        let mut b = sun();
+        let mut attenuated = 0usize;
+        for i in 0..2000 {
+            let t = Seconds::new(i as f64 * 20.0);
+            let (pa, pb) = (a.power_at(t), b.power_at(t));
+            assert_eq!(pa, pb);
+            let (env, _) = a.envelope_window(t.get());
+            if env > 0.0 && pa.get() < 0.9 * env {
+                attenuated += 1;
+            }
+        }
+        assert!(attenuated > 0, "clouds never attenuated");
+    }
+
+    #[test]
+    fn rewind_reproduces_the_stream() {
+        let mut src = sun();
+        let reference: Vec<Watts> = (0..200)
+            .map(|i| sun().power_at(Seconds::new(i as f64 * 300.0)))
+            .collect();
+        let _ = src.power_at(Seconds::new(200_000.0));
+        let _ = src.power_at(Seconds::new(10.0)); // backward: rewinds
+        for (i, want) in reference.iter().enumerate() {
+            assert_eq!(src.power_at(Seconds::new(i as f64 * 300.0)), *want);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Scheduled field-strength mobility model.
+//!
+//! A harvester carried through a deployment sees *scheduled* regime
+//! changes — home, commute, subway, office — rather than random ones:
+//! field strength is a function of where the wearer is, and where the
+//! wearer is follows a timetable. [`Mobility`] models exactly that: a
+//! piecewise-constant schedule of `(offset, power)` breakpoints, either
+//! one-shot (holding the last level forever) or cycled with a period
+//! (the daily commute, repeated all week).
+
+use react_units::{Seconds, Watts};
+
+use crate::source::{PowerSource, Segment};
+
+/// A deterministic, piecewise-constant field-strength schedule.
+#[derive(Clone, Debug)]
+pub struct Mobility {
+    name: String,
+    /// `(offset_s, power_w)` breakpoints, strictly increasing offsets,
+    /// first at 0.
+    points: Vec<(f64, f64)>,
+    /// Cycle length; `None` holds the last level forever.
+    period: Option<f64>,
+}
+
+impl Mobility {
+    /// Validates and stores the breakpoint list.
+    fn build(name: String, points: Vec<(Seconds, Watts)>, period: Option<f64>) -> Self {
+        assert!(!points.is_empty(), "schedule needs at least one point");
+        let points: Vec<(f64, f64)> = points
+            .into_iter()
+            .map(|(t, p)| (t.get(), p.get()))
+            .collect();
+        assert!(points[0].0 == 0.0, "first breakpoint must be at t = 0");
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "breakpoint offsets must strictly increase"
+            );
+        }
+        assert!(
+            points.iter().all(|&(_, p)| p >= 0.0 && p.is_finite()),
+            "powers must be finite and non-negative"
+        );
+        if let Some(p) = period {
+            assert!(
+                points.last().expect("nonempty").0 < p,
+                "breakpoints must fit inside the period"
+            );
+        }
+        Self {
+            name,
+            points,
+            period,
+        }
+    }
+
+    /// A one-shot schedule: each breakpoint's power holds until the
+    /// next offset; the last holds forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty, does not start at 0, is not
+    /// strictly increasing, or contains a negative/non-finite power.
+    pub fn schedule(name: impl Into<String>, points: Vec<(Seconds, Watts)>) -> Self {
+        Self::build(name.into(), points, None)
+    }
+
+    /// A cyclic schedule repeating every `period` (e.g. one day).
+    ///
+    /// # Panics
+    ///
+    /// As [`Mobility::schedule`], plus if any offset reaches `period`.
+    pub fn cyclic(name: impl Into<String>, points: Vec<(Seconds, Watts)>, period: Seconds) -> Self {
+        assert!(period.get() > 0.0, "period must be positive");
+        Self::build(name.into(), points, Some(period.get()))
+    }
+
+    /// The schedule interval covering local phase `phase`:
+    /// `(power, local_end)` where `local_end` is the next breakpoint
+    /// offset, the period, or `+inf` for a one-shot tail.
+    fn interval(&self, phase: f64) -> (f64, f64) {
+        let idx = self.points.partition_point(|&(off, _)| off <= phase) - 1;
+        let power = self.points[idx].1;
+        let end = match self.points.get(idx + 1) {
+            Some(&(next, _)) => next,
+            None => self.period.unwrap_or(f64::INFINITY),
+        };
+        (power, end)
+    }
+}
+
+impl PowerSource for Mobility {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let tt = t.get();
+        if !tt.is_finite() || tt < 0.0 {
+            return Segment::dark(Seconds::ZERO);
+        }
+        let (base, phase) = match self.period {
+            Some(p) => crate::source::cycle_phase(tt, p),
+            None => (0.0, tt),
+        };
+        let (power, local_end) = self.interval(phase);
+        Segment {
+            power: Watts::new(power),
+            end: Seconds::new(base + local_end),
+        }
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commute() -> Mobility {
+        Mobility::cyclic(
+            "commute",
+            vec![
+                (Seconds::new(0.0), Watts::from_micro(50.0)),
+                (Seconds::new(100.0), Watts::from_milli(4.0)),
+                (Seconds::new(160.0), Watts::from_micro(2.0)),
+                (Seconds::new(400.0), Watts::from_micro(300.0)),
+            ],
+            Seconds::new(600.0),
+        )
+    }
+
+    #[test]
+    fn cyclic_schedule_repeats() {
+        let mut src = commute();
+        for cycle in 0..3 {
+            let base = cycle as f64 * 600.0;
+            assert_eq!(
+                src.power_at(Seconds::new(base + 10.0)),
+                Watts::from_micro(50.0)
+            );
+            let seg = src.segment(Seconds::new(base + 120.0));
+            assert_eq!(seg.power, Watts::from_milli(4.0));
+            assert!((seg.end.get() - (base + 160.0)).abs() < 1e-9);
+            // Tail interval runs to the period boundary.
+            let seg = src.segment(Seconds::new(base + 500.0));
+            assert!((seg.end.get() - (base + 600.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_shot_holds_final_level_forever() {
+        let mut src = Mobility::schedule(
+            "walk",
+            vec![
+                (Seconds::new(0.0), Watts::from_milli(1.0)),
+                (Seconds::new(50.0), Watts::from_milli(2.0)),
+            ],
+        );
+        let seg = src.segment(Seconds::new(1e9));
+        assert_eq!(seg.power, Watts::from_milli(2.0));
+        assert_eq!(seg.end.get(), f64::INFINITY);
+        assert_eq!(src.duration(), None);
+    }
+
+    #[test]
+    fn cycle_boundary_ulp_queries_never_panic_and_advance() {
+        // Regression: at multiples of the period, `t / period` can
+        // round up to the next integer, driving the raw phase one ulp
+        // negative — which used to underflow the breakpoint lookup.
+        let mut src = commute();
+        for k in 1..2000u64 {
+            let boundary = k as f64 * 600.0;
+            for ulps in [-2i64, -1, 0, 1, 2] {
+                let tt = f64::from_bits((boundary.to_bits() as i64 + ulps) as u64);
+                let seg = src.segment(Seconds::new(tt));
+                assert!(seg.end.get() > tt, "segment stalled at {tt}");
+                assert!(seg.power.get().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn unsorted_points_panic() {
+        Mobility::schedule(
+            "bad",
+            vec![
+                (Seconds::new(0.0), Watts::ZERO),
+                (Seconds::new(5.0), Watts::ZERO),
+                (Seconds::new(5.0), Watts::ZERO),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "first breakpoint")]
+    fn missing_origin_panics() {
+        Mobility::schedule("bad", vec![(Seconds::new(1.0), Watts::ZERO)]);
+    }
+}

@@ -1,0 +1,274 @@
+//! The streaming power-source abstraction and the recorded-trace
+//! adapter.
+//!
+//! A [`PowerSource`] is the generalization of a bounded
+//! [`PowerTrace`]: a piecewise-constant harvested-power signal that may
+//! extend over an *unbounded* horizon, materialized lazily segment by
+//! segment. Two queries make it usable by the simulation engine without
+//! ever sampling the whole signal:
+//!
+//! * [`PowerSource::power_at`] — the fine-step query the kernel issues
+//!   while the MCU runs, and
+//! * [`PowerSource::segment`] — the piecewise-constant span covering a
+//!   time, whose end is the *next-event hint* the adaptive kernel uses
+//!   to integrate whole MCU-off stretches in closed form.
+//!
+//! Sources are stateful cursors (generative models keep an RNG and the
+//! current dwell), but they are *logically pure*: a seeded source
+//! answers every time query with the same value no matter the query
+//! order. Backward queries trigger a graceful rewind — the generator
+//! restarts from its seed and replays forward — so out-of-order probes
+//! (easy to trigger from the streaming kernel) are always correct, just
+//! slower.
+
+use std::sync::Arc;
+
+use react_traces::PowerTrace;
+use react_units::{Seconds, Watts};
+
+/// One piecewise-constant span of a power signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Constant available power over the span.
+    pub power: Watts,
+    /// Time at which the power next changes (`+inf` for a constant
+    /// tail). The adaptive kernel integrates analytically up to here.
+    pub end: Seconds,
+}
+
+impl Segment {
+    /// A zero-power segment ending at `end`.
+    pub fn dark(end: Seconds) -> Self {
+        Self {
+            power: Watts::ZERO,
+            end,
+        }
+    }
+}
+
+/// A streaming harvested-power signal: seeded, piecewise-constant, and
+/// (for generative models) unbounded.
+///
+/// Implementations take `&mut self` because they are cursors — they
+/// cache the segment covering the last query — but they must behave as
+/// pure functions of time: any query order yields the same values, with
+/// non-monotone queries handled by an internal rewind.
+pub trait PowerSource: std::fmt::Debug + Send {
+    /// Human-readable source name (shows up in scenario listings).
+    fn name(&self) -> &str;
+
+    /// The piecewise-constant segment covering `t`. Negative or
+    /// non-finite times yield a degenerate zero segment.
+    fn segment(&mut self, t: Seconds) -> Segment;
+
+    /// Available power at `t`; the default resolves through
+    /// [`PowerSource::segment`].
+    fn power_at(&mut self, t: Seconds) -> Watts {
+        self.segment(t).power
+    }
+
+    /// Bounded signal duration, or `None` for unbounded streaming
+    /// sources. Bounded sources deliver zero power past their duration
+    /// (matching [`PowerTrace::power_at`] semantics); simulations over
+    /// unbounded sources must pick an explicit horizon.
+    fn duration(&self) -> Option<Seconds> {
+        None
+    }
+
+    /// Clones the source behind a box, preserving seed and
+    /// configuration (the cursor position need not survive — a clone
+    /// may rewind). Lets `Box<dyn PowerSource>` registries hand out
+    /// per-run cursors.
+    fn clone_source(&self) -> Box<dyn PowerSource>;
+}
+
+impl PowerSource for Box<dyn PowerSource> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        (**self).segment(t)
+    }
+
+    fn power_at(&mut self, t: Seconds) -> Watts {
+        (**self).power_at(t)
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        (**self).duration()
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        (**self).clone_source()
+    }
+}
+
+impl Clone for Box<dyn PowerSource> {
+    fn clone(&self) -> Self {
+        self.clone_source()
+    }
+}
+
+/// Splits `t ≥ 0` into `(cycle_base, phase)` for a periodic signal:
+/// `cycle_base = floor(t/period)·period`, phase clamped non-negative.
+/// The quotient can round *up* exactly at a cycle boundary, which would
+/// otherwise yield a one-ulp-negative phase — and, downstream, an
+/// underflowing breakpoint lookup or a non-advancing segment. Every
+/// periodic model resolves its phase through here so that boundary
+/// subtlety lives in one place.
+#[inline]
+pub(crate) fn cycle_phase(t: f64, period: f64) -> (f64, f64) {
+    let base = (t / period).floor() * period;
+    (base, (t - base).max(0.0))
+}
+
+/// A recorded [`PowerTrace`] viewed as a [`PowerSource`].
+///
+/// This is the adapter that makes every pre-existing code path one
+/// instance of the streaming abstraction: the trace is held behind an
+/// [`Arc`] (shared with sweep/matrix runners), and queries resolve
+/// through the same [`WindowCache`] fast path `PowerCursor` uses, so
+/// `power_at` here is bit-identical to [`PowerTrace::power_at`] for
+/// every input.
+///
+/// [`WindowCache`]: react_traces::WindowCache
+#[derive(Clone, Debug)]
+pub struct TraceSource {
+    trace: Arc<PowerTrace>,
+    cache: react_traces::WindowCache,
+}
+
+impl TraceSource {
+    /// Wraps a trace (owned or already shared) as a streaming source.
+    pub fn new(trace: impl Into<Arc<PowerTrace>>) -> Self {
+        let trace = trace.into();
+        let mut cache = react_traces::WindowCache::new();
+        cache.lookup(&trace, 0.0);
+        Self { trace, cache }
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// A cheap handle on the shared trace (for parallel runners).
+    pub fn shared_trace(&self) -> Arc<PowerTrace> {
+        Arc::clone(&self.trace)
+    }
+}
+
+impl PowerSource for TraceSource {
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let (power, end) = self.cache.lookup(&self.trace, t.get());
+        Segment {
+            power: Watts::new(power),
+            end: Seconds::new(end),
+        }
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        Some(self.trace.duration())
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// Samples a source onto a fixed-`dt` grid, producing a bounded
+/// [`PowerTrace`] with zero-order-hold semantics (sample `i` holds
+/// `power_at(i·dt)`). The trace covers the *whole* horizon: when the
+/// horizon is not a multiple of `dt`, the trailing partial window is
+/// held at full width rather than dropped. This is the *opposite* of
+/// how the engine normally consumes sources — the whole point of
+/// streaming is never doing this at fine resolution over long
+/// horizons — but it is what comparison baselines, CSV export, and the
+/// round-trip tests need.
+///
+/// # Panics
+///
+/// Panics if `dt` is not positive or `horizon < dt`.
+pub fn materialize(
+    source: &mut dyn PowerSource,
+    name: impl Into<String>,
+    dt: Seconds,
+    horizon: Seconds,
+) -> PowerTrace {
+    assert!(dt.get() > 0.0, "sample interval must be positive");
+    assert!(horizon >= dt, "horizon shorter than one sample");
+    // Ceil so no tail of the horizon is silently zeroed; the 1e-9
+    // guard keeps near-exact quotients (600.0 / 0.1 → 6000.000…01)
+    // from gaining a spurious extra sample.
+    let n = ((horizon.get() / dt.get()) - 1e-9).ceil().max(1.0) as usize;
+    let samples = (0..n)
+        .map(|i| source.power_at(Seconds::new(i as f64 * dt.get())))
+        .collect();
+    PowerTrace::new(name, dt, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use react_traces::PowerTrace;
+
+    fn ramp() -> PowerTrace {
+        let samples = (0..10).map(|i| Watts::from_milli(i as f64)).collect();
+        PowerTrace::new("ramp", Seconds::new(0.5), samples)
+    }
+
+    #[test]
+    fn trace_source_matches_power_at_everywhere() {
+        let trace = ramp();
+        let mut source = TraceSource::new(trace.clone());
+        let mut time = -0.25;
+        while time < 6.5 {
+            let s = Seconds::new(time);
+            assert_eq!(source.power_at(s), trace.power_at(s), "at t={time}");
+            time += 0.003;
+        }
+        // Scrambled probes, including past-end, negative, and NaN.
+        for &time in &[3.1, 0.2, 4.9, 0.0, 7.5, -1.0, 2.6, 100.0, 1.1] {
+            let s = Seconds::new(time);
+            assert_eq!(source.power_at(s), trace.power_at(s), "at t={time}");
+        }
+        assert_eq!(source.power_at(Seconds::new(f64::NAN)), Watts::ZERO);
+    }
+
+    #[test]
+    fn trace_source_segments_cover_sample_windows() {
+        let trace = ramp();
+        let mut source = TraceSource::new(trace);
+        let seg = source.segment(Seconds::new(1.26));
+        assert!((seg.power.to_milli() - 2.0).abs() < 1e-12);
+        assert!((seg.end.get() - 1.5).abs() < 1e-12);
+        // Past the end: the infinite zero tail.
+        let seg = source.segment(Seconds::new(9.0));
+        assert_eq!(seg.power, Watts::ZERO);
+        assert_eq!(seg.end.get(), f64::INFINITY);
+        assert_eq!(source.duration(), Some(Seconds::new(5.0)));
+    }
+
+    #[test]
+    fn materialize_round_trips_a_trace() {
+        let trace = ramp();
+        let mut source = TraceSource::new(trace.clone());
+        let back = materialize(&mut source, "ramp", Seconds::new(0.5), Seconds::new(5.0));
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn boxed_sources_clone_and_forward() {
+        let mut boxed: Box<dyn PowerSource> = Box::new(TraceSource::new(ramp()));
+        let mut copy = boxed.clone();
+        let t = Seconds::new(2.6);
+        assert_eq!(boxed.power_at(t), copy.power_at(t));
+        assert_eq!(boxed.name(), "ramp");
+        assert_eq!(boxed.duration(), Some(Seconds::new(5.0)));
+    }
+}

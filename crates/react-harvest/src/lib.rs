@@ -10,8 +10,10 @@
 //! * [`Converter`] — RF rectifier, solar boost charger, or ideal
 //!   pass-through, each mapping *available* harvested power to power
 //!   actually delivered at the buffer rail.
-//! * [`PowerReplay`] — the record-and-replay frontend: trace in, buffer
-//!   input current out, with a charge-current limit like a real IC.
+//! * [`PowerReplay`] — the record-and-replay frontend: any streaming
+//!   [`PowerSource`] (a recorded trace or a generative `react-env`
+//!   environment) in, buffer input current out, with a charge-current
+//!   limit like a real IC.
 //! * [`SolarPanel`] / [`MpptTracker`] — irradiance-to-power conversion
 //!   and bq25570-style fractional-V_oc maximum-power-point tracking.
 //!
@@ -34,3 +36,6 @@ mod replay;
 pub use converter::{Converter, ConverterKind, EfficiencyCurve};
 pub use panel::{MpptTracker, SolarPanel};
 pub use replay::{PowerReplay, ReplayCursor};
+// Re-exported so downstream code can name the replay's source types
+// without a direct react-env dependency.
+pub use react_env::{PowerSource, Segment, TraceSource};

@@ -1,13 +1,15 @@
-//! Ekho-style record-and-replay power frontend (§4.3).
+//! Ekho-style record-and-replay power frontend (§4.3), generalized
+//! over streaming sources.
 
 use std::sync::Arc;
 
-use react_traces::{PowerCursor, PowerTrace};
+use react_env::{PowerSource, TraceSource};
+use react_traces::PowerTrace;
 use react_units::{Amps, Seconds, Volts, Watts};
 
 use crate::Converter;
 
-/// Replays a power trace into a buffer through a converter model.
+/// Replays a power source into a buffer through a converter model.
 ///
 /// The paper's frontend drives the energy buffer from a high-drive DAC,
 /// measuring load voltage and current and servoing the DAC to the
@@ -16,13 +18,15 @@ use crate::Converter;
 /// current at the present buffer voltage, limited to a realistic
 /// charge-current ceiling.
 ///
-/// The trace is held behind an [`Arc`] so parallel sweep/matrix runners
-/// can hand the same samples to many replays without cloning megabytes
-/// of data; `PowerReplay::new(trace, ..)` accepts either an owned
-/// [`PowerTrace`] or an `Arc<PowerTrace>`.
-#[derive(Clone, Debug, PartialEq)]
-pub struct PowerReplay {
-    trace: Arc<PowerTrace>,
+/// `PowerReplay` is generic over its [`PowerSource`]. The default is
+/// [`TraceSource`] — a recorded [`PowerTrace`] held behind an [`Arc`]
+/// so parallel sweep/matrix runners share samples without cloning —
+/// and `PowerReplay::new(trace, ..)` still builds exactly that. Any
+/// other source (the generative `react-env` models, unbounded and
+/// never materialized) goes through [`PowerReplay::from_source`].
+#[derive(Clone, Debug)]
+pub struct PowerReplay<S = TraceSource> {
+    source: S,
     converter: Converter,
     current_limit: Amps,
     /// Voltage floor used when converting power to current so a fully
@@ -30,11 +34,54 @@ pub struct PowerReplay {
     min_conversion_voltage: Volts,
 }
 
-impl PowerReplay {
-    /// Creates a replay frontend with a 50 mA charge-current limit.
+impl PowerReplay<TraceSource> {
+    /// Creates a trace-replay frontend with a 50 mA charge-current
+    /// limit (the recorded-trace path every paper experiment uses).
     pub fn new(trace: impl Into<Arc<PowerTrace>>, converter: Converter) -> Self {
+        Self::from_source(TraceSource::new(trace), converter)
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &PowerTrace {
+        self.source.trace()
+    }
+
+    /// A cheap handle on the shared trace (for parallel runners).
+    pub fn shared_trace(&self) -> Arc<PowerTrace> {
+        self.source.shared_trace()
+    }
+
+    /// Ambient power available at time `t` (before conversion).
+    pub fn available_power(&self, t: Seconds) -> Watts {
+        self.trace().power_at(t)
+    }
+
+    /// Rail power delivered at time `t` with the buffer at `v_buffer`.
+    pub fn rail_power(&self, t: Seconds, v_buffer: Volts) -> Watts {
+        self.rail_power_from(self.trace().power_at(t), v_buffer)
+    }
+
+    /// Charging current into the buffer at time `t`, `I = P_rail / V`,
+    /// clamped to the charge-current limit. A deeply discharged buffer is
+    /// charged at the current limit (constant-current region), as real
+    /// boost chargers do. Performs exactly one trace lookup and feeds
+    /// both the conversion and the current clamp from it.
+    pub fn input_current(&self, t: Seconds, v_buffer: Volts) -> Amps {
+        self.input_current_from(self.trace().power_at(t), v_buffer)
+    }
+
+    /// Duration of the underlying trace.
+    pub fn duration(&self) -> Seconds {
+        self.trace().duration()
+    }
+}
+
+impl<S: PowerSource + Clone> PowerReplay<S> {
+    /// Creates a replay frontend over any streaming source with a
+    /// 50 mA charge-current limit.
+    pub fn from_source(source: S, converter: Converter) -> Self {
         Self {
-            trace: trace.into(),
+            source,
             converter,
             current_limit: Amps::from_milli(50.0),
             min_conversion_voltage: Volts::new(0.3),
@@ -47,14 +94,9 @@ impl PowerReplay {
         self
     }
 
-    /// The trace being replayed.
-    pub fn trace(&self) -> &PowerTrace {
-        &self.trace
-    }
-
-    /// A cheap handle on the shared trace (for parallel runners).
-    pub fn shared_trace(&self) -> Arc<PowerTrace> {
-        Arc::clone(&self.trace)
+    /// The power source being replayed.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// The converter model in use.
@@ -62,23 +104,19 @@ impl PowerReplay {
         &self.converter
     }
 
-    /// Ambient power available at time `t` (before conversion).
-    pub fn available_power(&self, t: Seconds) -> Watts {
-        self.trace.power_at(t)
+    /// Bounded source duration, or `None` for unbounded streaming
+    /// environments (which need an explicit simulation horizon).
+    pub fn source_duration(&self) -> Option<Seconds> {
+        self.source.duration()
     }
 
     /// Rail power delivered for `available` ambient power with the
-    /// buffer at `v_buffer` — the conversion step with the trace lookup
+    /// buffer at `v_buffer` — the conversion step with the source lookup
     /// already done, so callers holding the available power (from a
     /// [`ReplayCursor`] or a previous query) don't pay it twice.
     #[inline]
     pub fn rail_power_from(&self, available: Watts, v_buffer: Volts) -> Watts {
         self.converter.output_power(available, v_buffer)
-    }
-
-    /// Rail power delivered at time `t` with the buffer at `v_buffer`.
-    pub fn rail_power(&self, t: Seconds, v_buffer: Volts) -> Watts {
-        self.rail_power_from(self.trace.power_at(t), v_buffer)
     }
 
     /// Converts already-looked-up available power into charging current
@@ -95,74 +133,65 @@ impl PowerReplay {
         (p / v).min(self.current_limit)
     }
 
-    /// Charging current into the buffer at time `t`, `I = P_rail / V`,
-    /// clamped to the charge-current limit. A deeply discharged buffer is
-    /// charged at the current limit (constant-current region), as real
-    /// boost chargers do. Performs exactly one trace lookup and feeds
-    /// both the conversion and the current clamp from it.
-    pub fn input_current(&self, t: Seconds, v_buffer: Volts) -> Amps {
-        self.input_current_from(self.trace.power_at(t), v_buffer)
-    }
-
-    /// Duration of the underlying trace.
-    pub fn duration(&self) -> Seconds {
-        self.trace.duration()
-    }
-
-    /// Starts a monotone cursor over the replay for simulation loops:
-    /// each step resolves available power through an amortized-O(1)
-    /// [`PowerCursor`] instead of a fresh `t/dt` division and bounds
-    /// check.
-    pub fn cursor(&self) -> ReplayCursor<'_> {
+    /// Starts a stepping cursor over the replay for simulation loops:
+    /// the cursor owns its own source clone (sources are stateful
+    /// segment walkers), so each run streams independently while the
+    /// replay itself stays shareable.
+    pub fn cursor(&self) -> ReplayCursor<'_, S> {
         ReplayCursor {
             replay: self,
-            cursor: PowerCursor::new(&self.trace),
+            source: self.source.clone(),
         }
     }
 }
 
-/// A stepping view over a [`PowerReplay`]: one shared trace lookup per
-/// query, amortized O(1) for the simulator's monotone access pattern.
+/// A stepping view over a [`PowerReplay`]: one shared source lookup per
+/// query, amortized O(1) for the simulator's monotone access pattern
+/// (and graceful on backward probes — sources rewind).
 #[derive(Clone, Debug)]
-pub struct ReplayCursor<'a> {
-    replay: &'a PowerReplay,
-    cursor: PowerCursor<'a>,
+pub struct ReplayCursor<'a, S = TraceSource> {
+    replay: &'a PowerReplay<S>,
+    source: S,
 }
 
-impl ReplayCursor<'_> {
+impl<S: PowerSource + Clone> ReplayCursor<'_, S> {
     /// Ambient power available at `t` (before conversion).
     #[inline]
     pub fn available_power(&mut self, t: Seconds) -> Watts {
-        self.cursor.power_at(t)
+        self.source.power_at(t)
     }
 
     /// Rail power delivered at `t` with the buffer at `v_buffer`.
     #[inline]
     pub fn rail_power(&mut self, t: Seconds, v_buffer: Volts) -> Watts {
-        let available = self.cursor.power_at(t);
+        let available = self.source.power_at(t);
         self.replay.rail_power_from(available, v_buffer)
     }
 
-    /// Charging current at `t` with the buffer at `v_buffer`; one trace
+    /// Charging current at `t` with the buffer at `v_buffer`; one source
     /// lookup shared by the conversion and the clamp.
     #[inline]
     pub fn input_current(&mut self, t: Seconds, v_buffer: Volts) -> Amps {
-        let available = self.cursor.power_at(t);
+        let available = self.source.power_at(t);
         self.replay.input_current_from(available, v_buffer)
     }
 
-    /// The zero-order-hold window covering `t`: available power plus the
-    /// time at which it next changes (`+inf` once past the trace). The
-    /// adaptive kernel integrates analytically across whole windows.
+    /// The piecewise-constant span covering `t`: available power plus
+    /// the time at which it next changes (`+inf` on a constant tail).
+    /// The adaptive kernel integrates analytically across whole spans —
+    /// this is the next-event hint that keeps closed-form idle advances
+    /// working over unbounded streaming horizons.
     #[inline]
     pub fn sample_window(&mut self, t: Seconds) -> (Watts, Seconds) {
-        self.cursor.sample_window(t)
+        let seg = self.source.segment(t);
+        (seg.power, seg.end)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use react_env::MarkovRf;
     use react_traces::PowerTrace;
 
     fn replay(power_mw: f64) -> PowerReplay {
@@ -225,5 +254,33 @@ mod tests {
         assert!((r.duration().get() - 100.0).abs() < 1e-9);
         assert_eq!(r.trace().name(), "const");
         assert_eq!(r.converter().kind(), crate::ConverterKind::Ideal);
+    }
+
+    #[test]
+    fn streaming_source_replay_has_no_bounded_duration() {
+        let field = MarkovRf::new(
+            "ge",
+            Watts::from_milli(5.0),
+            Watts::from_micro(20.0),
+            Seconds::new(5.0),
+            Seconds::new(30.0),
+            9,
+        );
+        let r = PowerReplay::from_source(field, Converter::ideal());
+        assert_eq!(r.source_duration(), None);
+        let mut cursor = r.cursor();
+        // The cursor streams segments with finite next-event hints.
+        let (p, end) = cursor.sample_window(Seconds::new(10.0));
+        assert!(p.get() >= 0.0);
+        assert!(end.get() > 10.0 && end.get().is_finite());
+        // Two cursors over the same replay see the same seeded stream.
+        let mut other = r.cursor();
+        for i in 0..500 {
+            let t = Seconds::new(i as f64 * 0.7);
+            assert_eq!(
+                cursor.rail_power(t, Volts::new(2.5)),
+                other.rail_power(t, Volts::new(2.5))
+            );
+        }
     }
 }

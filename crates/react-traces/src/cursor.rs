@@ -3,10 +3,14 @@
 //! The simulation kernel queries harvested power once per step, with
 //! times that almost always move forward by one timestep. Resolving each
 //! query through [`PowerTrace::power_at`]'s division-and-bounds-check is
-//! wasted work on that access pattern; [`PowerCursor`] instead caches the
+//! wasted work on that access pattern; [`WindowCache`] caches the
 //! current zero-order-hold window and answers in-window queries with two
-//! float compares, re-seeking (via the same authoritative index
-//! computation `power_at` uses) only when a query leaves the window.
+//! float compares, re-seeking (via the authoritative
+//! [`PowerTrace::window_at`] computation) only when a query leaves the
+//! window. [`PowerCursor`] is the borrowing front-end the simulator
+//! uses; owning adapters (react-env's `TraceSource`) embed the same
+//! [`WindowCache`], so the ulp-sensitive boundary logic lives in exactly
+//! one place.
 //!
 //! Out-of-order queries are always correct — they just pay the re-seek —
 //! so the cursor is a drop-in for `power_at` at every call site.
@@ -15,10 +19,11 @@ use react_units::{Seconds, Watts};
 
 use crate::PowerTrace;
 
-/// Nudges a positive finite float down by two ulps (identity at 0).
+/// Nudges a positive finite float down by two ulps (identity at 0 and
+/// `+inf`).
 #[inline]
 fn two_ulps_down(x: f64) -> f64 {
-    if x > 0.0 {
+    if x > 0.0 && x != f64::INFINITY {
         f64::from_bits(x.to_bits() - 2)
     } else {
         x
@@ -35,18 +40,21 @@ fn two_ulps_up(x: f64) -> f64 {
     }
 }
 
-/// A cached zero-order-hold window over a [`PowerTrace`].
+/// The cached zero-order-hold window shared by every trace cursor.
 ///
-/// `power_at` here returns *exactly* what [`PowerTrace::power_at`]
-/// returns for every `t` (including negative, boundary, and past-end
-/// times): the fast path only answers queries strictly inside the cached
-/// window shrunk by two ulps on each side, and everything else re-seeks
-/// through the same index computation the trace itself uses.
+/// `lookup` returns *exactly* what [`PowerTrace::power_at`] returns for
+/// every `t` (including negative, boundary, and past-end times): the
+/// fast path only answers queries strictly inside the cached window
+/// shrunk by two ulps on each side, and everything else re-seeks
+/// through [`PowerTrace::window_at`], the same computation `power_at`
+/// resolves through.
+///
+/// The cache is not bound to a trace — **every `lookup` call on one
+/// cache must pass the same trace** (as [`PowerCursor`] and owning
+/// adapters do by construction); switching traces mid-stream can
+/// answer from the previous trace's cached window.
 #[derive(Clone, Debug)]
-pub struct PowerCursor<'a> {
-    trace: &'a PowerTrace,
-    samples: &'a [f64],
-    dt: f64,
+pub struct WindowCache {
     /// Cached window sample value (0 past the end of the trace).
     power: f64,
     /// Conservative (shrunk) fast-path bounds of the cached window.
@@ -56,21 +64,64 @@ pub struct PowerCursor<'a> {
     window_end: f64,
 }
 
-impl<'a> PowerCursor<'a> {
-    /// Creates a cursor positioned on the first sample window.
-    pub fn new(trace: &'a PowerTrace) -> Self {
-        let (samples, dt) = trace.raw();
-        let mut cursor = Self {
-            trace,
-            samples,
-            dt,
+impl Default for WindowCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowCache {
+    /// An empty cache; the first lookup seeks.
+    pub fn new() -> Self {
+        Self {
             power: 0.0,
             fast_lo: f64::INFINITY,
             fast_hi: f64::NEG_INFINITY,
             window_end: 0.0,
-        };
-        cursor.seek(0.0);
-        cursor
+        }
+    }
+
+    /// Re-positions the cache on the window covering `t`, using the
+    /// authoritative [`PowerTrace::window_at`] computation.
+    fn seek(&mut self, trace: &PowerTrace, t: f64) {
+        let (power, start, end) = trace.window_at(Seconds::new(t));
+        self.power = power.get();
+        if end > start {
+            self.fast_lo = two_ulps_up(start.get());
+            self.fast_hi = two_ulps_down(end.get());
+        } else {
+            // Degenerate (negative/NaN) window: never cache it.
+            self.fast_lo = f64::INFINITY;
+            self.fast_hi = f64::NEG_INFINITY;
+        }
+        self.window_end = end.get();
+    }
+
+    /// Power and window end covering `t` — identical to
+    /// [`PowerTrace::power_at`] (and `window_at`'s end) for all inputs,
+    /// amortized O(1) for monotone queries.
+    #[inline]
+    pub fn lookup(&mut self, trace: &PowerTrace, t: f64) -> (f64, f64) {
+        if !(t > self.fast_lo && t < self.fast_hi) {
+            self.seek(trace, t);
+        }
+        (self.power, self.window_end)
+    }
+}
+
+/// A borrowing cursor over a [`PowerTrace`], built on [`WindowCache`].
+#[derive(Clone, Debug)]
+pub struct PowerCursor<'a> {
+    trace: &'a PowerTrace,
+    cache: WindowCache,
+}
+
+impl<'a> PowerCursor<'a> {
+    /// Creates a cursor positioned on the first sample window.
+    pub fn new(trace: &'a PowerTrace) -> Self {
+        let mut cache = WindowCache::new();
+        cache.lookup(trace, 0.0);
+        Self { trace, cache }
     }
 
     /// The trace being walked.
@@ -78,48 +129,15 @@ impl<'a> PowerCursor<'a> {
         self.trace
     }
 
-    /// Re-positions the cached window on the sample covering `t`, using
-    /// the authoritative [`PowerTrace::sample_index`] computation.
-    fn seek(&mut self, t: f64) {
-        match self.trace.sample_index(t) {
-            Some(idx) => {
-                let lo = idx as f64 * self.dt;
-                let hi = (idx + 1) as f64 * self.dt;
-                self.power = self.samples[idx];
-                self.fast_lo = two_ulps_up(lo);
-                self.fast_hi = two_ulps_down(hi);
-                self.window_end = hi;
-            }
-            None if t >= self.trace.duration().get() => {
-                // Past the end: a single infinite zero-power window.
-                self.power = 0.0;
-                self.fast_lo = two_ulps_up(self.trace.duration().get());
-                self.fast_hi = f64::INFINITY;
-                self.window_end = f64::INFINITY;
-            }
-            None => {
-                // Negative or NaN: answer zero without caching a window.
-                self.power = 0.0;
-                self.fast_lo = f64::INFINITY;
-                self.fast_hi = f64::NEG_INFINITY;
-                self.window_end = 0.0;
-            }
-        }
-    }
-
     /// Harvested power at `t`; identical to [`PowerTrace::power_at`] for
     /// all inputs, amortized O(1) for monotone queries. A query outside
     /// the (conservatively shrunk) cached window re-seeks through the
-    /// authoritative index computation, whose cached answer is then the
+    /// authoritative window computation, whose cached answer is then the
     /// exact result — including for boundary-ulp, negative, and
     /// past-end times.
     #[inline]
     pub fn power_at(&mut self, t: Seconds) -> Watts {
-        let tt = t.get();
-        if !(tt > self.fast_lo && tt < self.fast_hi) {
-            self.seek(tt);
-        }
-        Watts::new(self.power)
+        Watts::new(self.cache.lookup(self.trace, t.get()).0)
     }
 
     /// The zero-order-hold window covering `t`: its constant available
@@ -128,8 +146,8 @@ impl<'a> PowerCursor<'a> {
     /// need both.
     #[inline]
     pub fn sample_window(&mut self, t: Seconds) -> (Watts, Seconds) {
-        let p = self.power_at(t);
-        (p, Seconds::new(self.window_end))
+        let (p, end) = self.cache.lookup(self.trace, t.get());
+        (Watts::new(p), Seconds::new(end))
     }
 }
 

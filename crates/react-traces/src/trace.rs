@@ -86,12 +86,6 @@ impl PowerTrace {
         Some(idx as usize)
     }
 
-    /// Raw sample storage and interval, for the cursor in this crate.
-    #[inline]
-    pub(crate) fn raw(&self) -> (&[f64], f64) {
-        (&self.samples, self.dt)
-    }
-
     /// Harvested power at time `t` (zero-order hold). Returns zero beyond
     /// the end of the trace — the paper lets systems run on stored energy
     /// after the trace completes (§5) — and for negative or non-finite
@@ -100,6 +94,28 @@ impl PowerTrace {
         match self.sample_index(t.get()) {
             Some(idx) => Watts::new(self.samples[idx]),
             None => Watts::ZERO,
+        }
+    }
+
+    /// The zero-order-hold window covering `t`: `(power, start, end)`.
+    ///
+    /// Window semantics match [`PowerTrace::power_at`] exactly: inside
+    /// the trace the window is the covering sample's span; at or past
+    /// the end it is the infinite zero-power tail `[duration, +inf)`;
+    /// for negative or non-finite times it degenerates to `(0 W, 0, 0)`.
+    /// [`PowerCursor`](crate::PowerCursor) and streaming adapters build
+    /// their cached fast paths from this one computation.
+    pub fn window_at(&self, t: Seconds) -> (Watts, Seconds, Seconds) {
+        match self.sample_index(t.get()) {
+            Some(idx) => (
+                Watts::new(self.samples[idx]),
+                Seconds::new(idx as f64 * self.dt),
+                Seconds::new((idx + 1) as f64 * self.dt),
+            ),
+            None if t.get() >= self.duration().get() => {
+                (Watts::ZERO, self.duration(), Seconds::new(f64::INFINITY))
+            }
+            None => (Watts::ZERO, Seconds::ZERO, Seconds::ZERO),
         }
     }
 
@@ -206,6 +222,33 @@ mod tests {
         // Beyond the end and before the start: zero.
         assert_eq!(t.power_at(Seconds::new(5.1)), Watts::ZERO);
         assert_eq!(t.power_at(Seconds::new(-1.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn window_at_matches_power_at_semantics() {
+        let t = ramp();
+        // Interior point: window spans the covering sample.
+        let (p, start, end) = t.window_at(Seconds::new(0.6));
+        assert!((p.to_milli() - 1.0).abs() < 1e-12);
+        assert!((start.get() - 0.5).abs() < 1e-12);
+        assert!((end.get() - 1.0).abs() < 1e-12);
+        // Past the end: the infinite zero tail.
+        let (p, start, end) = t.window_at(Seconds::new(5.0));
+        assert_eq!(p, Watts::ZERO);
+        assert!((start.get() - 5.0).abs() < 1e-12);
+        assert_eq!(end.get(), f64::INFINITY);
+        // Negative and NaN: degenerate zero window.
+        for bad in [-1.0, f64::NAN] {
+            let (p, start, end) = t.window_at(Seconds::new(bad));
+            assert_eq!(p, Watts::ZERO);
+            assert_eq!(start, Seconds::ZERO);
+            assert_eq!(end, Seconds::ZERO);
+        }
+        // The reported power always agrees with power_at.
+        for time in [0.0, 0.49, 0.5, 2.3, 4.99, 5.0, 80.0] {
+            let s = Seconds::new(time);
+            assert_eq!(t.window_at(s).0, t.power_at(s), "at t={time}");
+        }
     }
 
     #[test]

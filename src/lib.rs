@@ -7,6 +7,9 @@
 //! * [`units`] — typed physical quantities.
 //! * [`circuit`] — capacitor / diode / switch / bank circuit models.
 //! * [`traces`] — power traces, statistics, and seeded synthesis.
+//! * [`env`](mod@env) — streaming stochastic environments (diurnal solar,
+//!   Gilbert–Elliott RF, mobility schedules, energy attacks) and
+//!   source combinators.
 //! * [`harvest`] — harvester converter models and Ekho-style replay.
 //! * [`mcu`] — MSP430-class MCU power model, gate, and peripherals.
 //! * [`workloads`] — the DE / SC / RT / PF benchmarks and their substrates.
@@ -29,6 +32,7 @@
 pub use react_buffers as buffers;
 pub use react_circuit as circuit;
 pub use react_core as core;
+pub use react_env as env;
 pub use react_harvest as harvest;
 pub use react_mcu as mcu;
 pub use react_traces as traces;
@@ -39,8 +43,10 @@ pub use react_workloads as workloads;
 pub mod prelude {
     pub use react_buffers::{BufferKind, EnergyBuffer};
     pub use react_core::{
-        calib, Experiment, ExperimentMatrix, RunMetrics, RunOutcome, Simulator, WorkloadKind,
+        calib, find_scenario, scenario_registry, Experiment, ExperimentMatrix, RunMetrics,
+        RunOutcome, Scenario, Simulator, WorkloadKind,
     };
+    pub use react_env::{PowerSource, TraceSource};
     pub use react_traces::{paper_trace, PaperTrace, PowerTrace, TraceStats};
     pub use react_units::prelude::*;
 }
