@@ -344,8 +344,11 @@ fn compare_then_bench(c: &mut Criterion) {
     let mat_workload = week
         .workload
         .build_streaming(week.horizon, week.workload_seed());
+    // Both arms must share the scenario's declared converter (the
+    // registry entry applies an RF rectifier), or the comparison runs
+    // two different physical systems.
     let materialized = Simulator::new(
-        PowerReplay::new(Arc::clone(&mat_trace), Converter::ideal()),
+        PowerReplay::new(Arc::clone(&mat_trace), week.converter.build()),
         week.buffer.build(),
         mat_workload,
     )

@@ -5,10 +5,14 @@
 //! Compares each baseline scenario's *speedup* (adaptive vs baseline
 //! kernel wall-clock, measured within one run on one machine — the only
 //! metric that transfers across CI runners) against the current
-//! `BENCH_engine.json`. Exits non-zero when any scenario's speedup
-//! falls more than `max-regression` (default 0.20 = 20 %) below its
-//! committed baseline, or when a baseline scenario is missing from the
-//! current report.
+//! `BENCH_engine.json`. Exits non-zero, naming every offending
+//! scenario, when any scenario's speedup drifts more than
+//! `max-regression` (default 0.20 = 20 %) from its committed baseline
+//! **in either direction** — below is a performance regression; above
+//! means the kernel got structurally faster and the committed baseline
+//! is stale, which would silently slacken the gate for every later
+//! change if left uncommitted. Also fails when a baseline scenario is
+//! missing from the current report.
 
 use std::process::ExitCode;
 
@@ -40,31 +44,47 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut failed = false;
+    let mut offenders: Vec<String> = Vec::new();
     println!(
-        "{:<24} {:>10} {:>10} {:>8}  verdict",
-        "scenario", "base", "current", "floor"
+        "{:<24} {:>10} {:>10} {:>8} {:>8}  verdict",
+        "scenario", "base", "current", "floor", "ceiling"
     );
     for base in &baseline.scenarios {
         let floor = base.speedup * (1.0 - max_regression);
+        let ceiling = base.speedup * (1.0 + max_regression);
         match current.scenario(&base.name) {
             Some(cur) => {
-                let ok = cur.speedup >= floor;
-                failed |= !ok;
+                let verdict = if cur.speedup < floor {
+                    offenders.push(format!(
+                        "{}: speedup {:.2}× fell below the {:.2}× floor (baseline {:.2}×) — \
+                         performance regression",
+                        base.name, cur.speedup, floor, base.speedup
+                    ));
+                    "REGRESSED"
+                } else if cur.speedup > ceiling {
+                    offenders.push(format!(
+                        "{}: speedup {:.2}× exceeds the {:.2}× ceiling (baseline {:.2}×) — \
+                         baseline is stale, refresh ci/bench-baseline.json from \
+                         BENCH_engine.json",
+                        base.name, cur.speedup, ceiling, base.speedup
+                    ));
+                    "STALE BASELINE"
+                } else {
+                    "ok"
+                };
                 println!(
-                    "{:<24} {:>9.2}× {:>9.2}× {:>7.2}×  {}",
-                    base.name,
-                    base.speedup,
-                    cur.speedup,
-                    floor,
-                    if ok { "ok" } else { "REGRESSED" }
+                    "{:<24} {:>9.2}× {:>9.2}× {:>7.2}× {:>7.2}×  {}",
+                    base.name, base.speedup, cur.speedup, floor, ceiling, verdict
                 );
             }
             None => {
-                failed = true;
+                offenders.push(format!(
+                    "{}: scenario missing from the current report",
+                    base.name
+                ));
                 println!(
-                    "{:<24} {:>9.2}× {:>10} {:>7.2}×  MISSING",
-                    base.name, base.speedup, "-", floor
+                    "{:<24} {:>9.2}× {:>10} {:>7.2}× {:>7.2}×  MISSING",
+                    base.name, base.speedup, "-", floor, ceiling
                 );
             }
         }
@@ -72,23 +92,27 @@ fn main() -> ExitCode {
     for cur in &current.scenarios {
         if baseline.scenario(&cur.name).is_none() {
             println!(
-                "{:<24} {:>10} {:>9.2}× {:>8}  new (no baseline)",
-                cur.name, "-", cur.speedup, "-"
+                "{:<24} {:>10} {:>9.2}× {:>8} {:>8}  new (no baseline)",
+                cur.name, "-", cur.speedup, "-", "-"
             );
         }
     }
 
-    if failed {
-        eprintln!(
-            "bench_gate: speedup regression >{:.0}% vs baseline",
-            max_regression * 100.0
-        );
-        ExitCode::FAILURE
-    } else {
+    if offenders.is_empty() {
         println!(
-            "bench_gate: all scenarios within {:.0}% of baseline",
+            "bench_gate: all scenarios within ±{:.0}% of baseline",
             max_regression * 100.0
         );
         ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: {} scenario(s) outside ±{:.0}% of baseline:",
+            offenders.len(),
+            max_regression * 100.0
+        );
+        for o in &offenders {
+            eprintln!("  {o}");
+        }
+        ExitCode::FAILURE
     }
 }

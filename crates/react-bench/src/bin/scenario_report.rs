@@ -1,0 +1,176 @@
+//! The scenario figure-of-merit report runner and CI conformance gate.
+//!
+//! ```text
+//! scenario_report                      # full matrix: print tables, write SCENARIO_report.json
+//! scenario_report --check <baseline.json> [tolerance-scale]
+//! scenario_report --write-baseline <path>
+//! scenario_report --quick              # horizons capped at 15 min (preview only)
+//! ```
+//!
+//! The default mode expands the deduplicated scenario registry into the
+//! full environment × buffer × seed matrix, runs it rayon-parallel
+//! through the adaptive kernel, prints the environment / cell /
+//! normalized tables, and writes the machine-readable report to
+//! `target/paper-artifacts/SCENARIO_report.json`.
+//!
+//! `--check` additionally diffs the fresh report against a committed
+//! baseline (`ci/scenario-baseline.json` in CI) under the default
+//! per-field tolerances — optionally scaled by `tolerance-scale` — and
+//! exits non-zero listing every out-of-tolerance cell. Because every
+//! scenario is seeded and deterministic, a violation means scenario
+//! *behavior* changed: either a regression, or an intentional change
+//! that must ship with a refreshed baseline (`--write-baseline`).
+//!
+//! `--quick` caps every horizon at 15 minutes for a fast local
+//! preview; its numbers are **not** comparable to the committed
+//! baseline, so it refuses to combine with `--check`.
+
+use std::process::ExitCode;
+
+use react_bench::save_named_artifact;
+use react_core::scenario_report::{REPORT_BUFFERS, REPORT_SEEDS};
+use react_core::{build_report, compare_reports, report_scenarios, ScenarioReport, Tolerances};
+use react_units::Seconds;
+
+/// Horizon cap for `--quick` previews.
+const QUICK_HORIZON: Seconds = Seconds::new(900.0);
+
+fn load(path: &str) -> Result<ScenarioReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned());
+    let tolerance_scale: f64 = match args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 2))
+    {
+        Some(raw) => match raw.parse() {
+            Ok(scale) => scale,
+            Err(_) => {
+                eprintln!("scenario_report: tolerance-scale {raw:?} is not a number");
+                return ExitCode::from(2);
+            }
+        },
+        None => 1.0,
+    };
+    let write_baseline = args
+        .iter()
+        .position(|a| a == "--write-baseline")
+        .map(|i| args.get(i + 1).cloned());
+
+    if quick && (check.is_some() || write_baseline.is_some()) {
+        // Preview horizons produce cells under the same ids as the
+        // full matrix; letting them near a baseline would poison the
+        // gate (or compare against one run's preview numbers).
+        eprintln!("scenario_report: --quick output is not comparable to a committed baseline");
+        return ExitCode::from(2);
+    }
+    if let Some(None) = check {
+        eprintln!("usage: scenario_report --check <baseline.json> [tolerance-scale]");
+        return ExitCode::from(2);
+    }
+    if let Some(None) = write_baseline {
+        eprintln!("usage: scenario_report --write-baseline <path>");
+        return ExitCode::from(2);
+    }
+
+    let mut scenarios = report_scenarios();
+    if quick {
+        for s in &mut scenarios {
+            s.horizon = s.horizon.min(QUICK_HORIZON);
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let report = build_report(&scenarios, &REPORT_BUFFERS, &REPORT_SEEDS, true);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    print!("{}", report.render_environments().render());
+    println!();
+    print!("{}", report.render_cells().render());
+    println!();
+    print!("{}", report.render_normalized().render());
+    println!(
+        "\n{} cells over {} environments in {:.1} s{}",
+        report.cells.len(),
+        report.environments.len(),
+        elapsed,
+        if quick { "  (--quick preview)" } else { "" }
+    );
+
+    let json = match serde_json::to_string(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("scenario_report: serialize: {e:?}");
+            return ExitCode::from(2);
+        }
+    };
+    match save_named_artifact("SCENARIO_report.json", &json) {
+        Ok(path) => println!("report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("scenario_report: write report: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Load the check baseline *before* any baseline write, so
+    // `--check X --write-baseline X` gates against the committed file
+    // rather than the bytes we just produced.
+    let check_baseline = match check {
+        Some(Some(ref path)) => match load(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("scenario_report: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
+    };
+
+    if let Some(Some(path)) = write_baseline {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("scenario_report: write baseline {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {path}");
+    }
+
+    if let (Some(Some(path)), Some(baseline)) = (check, check_baseline) {
+        let tol = Tolerances::default().scaled(tolerance_scale);
+        let violations = compare_reports(&baseline, &report, &tol);
+        let new_cells = report
+            .cells
+            .iter()
+            .filter(|c| baseline.cell(&c.id()).is_none())
+            .count();
+        if new_cells > 0 {
+            println!("{new_cells} cell(s) have no baseline yet (new scenarios)");
+        }
+        if violations.is_empty() {
+            println!(
+                "scenario gate: all {} baseline cells conformant (tolerance ×{tolerance_scale})",
+                baseline.cells.len()
+            );
+        } else {
+            eprintln!(
+                "scenario gate: {} violation(s) vs {path} (tolerance ×{tolerance_scale}):",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!("if the change is intentional, refresh the baseline with --write-baseline");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -112,6 +112,17 @@ pub fn save_bench_report(name: &str, report: &BenchReport) {
     }
 }
 
+/// Writes `contents` verbatim as `target/paper-artifacts/<file_name>`
+/// under the workspace root, returning the written path (the scenario
+/// report uses it for `SCENARIO_report.json`).
+pub fn save_named_artifact(file_name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(file_name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 /// The five evaluation traces (re-exported for benches).
 pub fn evaluation_traces() -> [PaperTrace; 5] {
     PaperTrace::EVALUATION

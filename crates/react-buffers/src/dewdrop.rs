@@ -90,6 +90,24 @@ impl EnergyBuffer for DewdropBuffer {
         self.inner.step(input, load, dt, mcu_running);
     }
 
+    /// Dewdrop is electrically a static capacitor — its MCU-off charge
+    /// phases integrate in the same closed form, so it inherits the
+    /// inner buffer's idle fast path unchanged (the adaptive *enable
+    /// voltage* only moves the `v_stop` the kernel passes in).
+    fn supports_idle_fast_path(&self) -> bool {
+        self.inner.supports_idle_fast_path()
+    }
+
+    fn idle_advance(
+        &mut self,
+        input: Watts,
+        duration: Seconds,
+        v_stop: Volts,
+        fine_dt: Seconds,
+    ) -> Seconds {
+        self.inner.idle_advance(input, duration, v_stop, fine_dt)
+    }
+
     fn ledger(&self) -> &EnergyLedger {
         self.inner.ledger()
     }

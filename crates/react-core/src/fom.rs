@@ -5,6 +5,7 @@
 //! buffer's performance normalized to REACT, averaged across traces.
 
 use react_buffers::BufferKind;
+use react_units::Seconds;
 
 use crate::experiment::{ExperimentMatrix, WorkloadKind};
 use crate::metrics::RunMetrics;
@@ -19,6 +20,17 @@ pub fn figure_of_merit(workload: WorkloadKind, metrics: &RunMetrics) -> f64 {
         // Table 5).
         WorkloadKind::PacketForward => (metrics.aux_completed + metrics.ops_completed) as f64,
     }
+}
+
+/// The figure of merit as a rate per deployed hour, so cells with
+/// hour-, day-, and week-long horizons land on one comparable scale
+/// (the drain tail past the horizon still counts toward the FoM but
+/// not toward the denominator — it is part of the same deployment).
+pub fn fom_per_hour(workload: WorkloadKind, metrics: &RunMetrics, horizon: Seconds) -> f64 {
+    if horizon.get() <= 0.0 {
+        return 0.0;
+    }
+    figure_of_merit(workload, metrics) / (horizon.get() / 3600.0)
 }
 
 /// One buffer's normalized score for a benchmark.
@@ -137,6 +149,20 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(figure_of_merit(WorkloadKind::DataEncryption, &m), 7.0);
+    }
+
+    #[test]
+    fn fom_rate_scales_by_horizon() {
+        let m = RunMetrics {
+            ops_completed: 120,
+            ..Default::default()
+        };
+        let rate = fom_per_hour(WorkloadKind::SenseCompute, &m, Seconds::new(2.0 * 3600.0));
+        assert!((rate - 60.0).abs() < 1e-12);
+        assert_eq!(
+            fom_per_hour(WorkloadKind::SenseCompute, &m, Seconds::ZERO),
+            0.0
+        );
     }
 
     #[test]

@@ -42,11 +42,16 @@ pub mod fom;
 mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod scenario_report;
 mod sim;
 pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
 pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
 pub use scenario::{find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario};
+pub use scenario_report::{
+    build_full_report, build_report, compare_reports, report_scenarios, ScenarioCell,
+    ScenarioReport, Tolerances,
+};
 pub use sim::{ConstantLoad, KernelMode, Simulator};
 pub use sweep::SweepOptions;

@@ -28,6 +28,11 @@ pub struct RunMetrics {
     pub mean_on_period: Seconds,
     /// Longest uninterrupted on-period.
     pub max_on_period: Seconds,
+    /// Longest outage *survived*: the longest span the gate stayed open
+    /// that still ended in a reboot (includes the cold start; excludes
+    /// the trailing drain-out the system never returns from). The
+    /// scenario report's persistence column.
+    pub max_off_period: Seconds,
     /// Kernel iterations the engine executed: fine steps plus coarse
     /// idle strides. The adaptive/fixed ratio of this count is the
     /// structural speedup of a run (see the `engine` bench).

@@ -18,7 +18,7 @@
 use rayon::prelude::*;
 use react_buffers::BufferKind;
 use react_env::{Diurnal, EnergyAttack, MarkovRf, Mobility, PowerSource, TraceSource};
-use react_harvest::{Converter, PowerReplay};
+use react_harvest::{ConverterKind, PowerReplay};
 use react_traces::{paper_trace, PaperTrace};
 use react_units::{Seconds, Watts};
 
@@ -34,6 +34,15 @@ pub const DAY: Seconds = Seconds::new(86_400.0);
 
 /// Seed base for registry environments (each model offsets it).
 const ENV_SEED: u64 = 0xE57_2026_0000;
+
+/// Folds the report matrix's seed salt into a base seed. Salt 0 is the
+/// identity, preserving every canonical registry stream. All salted
+/// seeds — environment models and workload event streams alike — go
+/// through this one mix, so the seed axis can never half-apply.
+#[inline]
+fn salt_seed(base: u64, salt: u64) -> u64 {
+    base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// The registry's named environment classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,23 +89,36 @@ impl EnvKind {
     /// returns an identical stream (fixed seeds), so scenario runs are
     /// reproducible end to end.
     pub fn build(self) -> Box<dyn PowerSource> {
+        self.build_salted(0)
+    }
+
+    /// Whether this environment's stream actually changes under a
+    /// seed salt. Deterministic environments — mobility schedules and
+    /// recorded traces — ignore the salt entirely, so re-salting them
+    /// replays the identical stream.
+    pub fn salt_sensitive(self) -> bool {
+        !matches!(self, EnvKind::MobilityCommuter | EnvKind::Paper(_))
+    }
+
+    /// Builds this environment with its base seed perturbed by `salt` —
+    /// the report matrix's seed axis. Salt 0 is exactly [`EnvKind::build`]
+    /// (the stream every pre-existing test and baseline pins down);
+    /// other salts re-seed the stochastic models while deterministic
+    /// environments (mobility schedules, recorded traces) ignore the
+    /// salt entirely.
+    pub fn build_salted(self, salt: u64) -> Box<dyn PowerSource> {
+        let seed = |base: u64| salt_seed(base, salt);
         match self {
             EnvKind::DiurnalClear => Box::new(
-                Diurnal::new(self.label(), Watts::from_milli(20.0), ENV_SEED + 1).with_clouds(
-                    Seconds::new(1800.0),
-                    Seconds::new(240.0),
-                    0.25,
-                ),
+                Diurnal::new(self.label(), Watts::from_milli(20.0), seed(ENV_SEED + 1))
+                    .with_clouds(Seconds::new(1800.0), Seconds::new(240.0), 0.25),
             ),
             EnvKind::DiurnalStormy => Box::new(
-                Diurnal::new(self.label(), Watts::from_milli(12.0), ENV_SEED + 2).with_clouds(
-                    Seconds::new(400.0),
-                    Seconds::new(900.0),
-                    0.08,
-                ),
+                Diurnal::new(self.label(), Watts::from_milli(12.0), seed(ENV_SEED + 2))
+                    .with_clouds(Seconds::new(400.0), Seconds::new(900.0), 0.08),
             ),
             EnvKind::RfGilbertElliott | EnvKind::RfSparse => {
-                Box::new(rf_field(self).expect("RF env"))
+                Box::new(rf_field_salted(self, salt).expect("RF env"))
             }
             EnvKind::MobilityCommuter => Box::new(Mobility::cyclic(
                 self.label(),
@@ -119,7 +141,7 @@ impl EnvKind {
                 DAY,
             )),
             EnvKind::AttackBlackout => {
-                let inner = rf_field(EnvKind::RfGilbertElliott).expect("RF env");
+                let inner = rf_field_salted(EnvKind::RfGilbertElliott, salt).expect("RF env");
                 Box::new(EnergyAttack::new(inner).with_blackout(
                     Seconds::new(3600.0),
                     Seconds::new(600.0),
@@ -127,7 +149,7 @@ impl EnvKind {
                 ))
             }
             EnvKind::AttackSpoof => {
-                let inner = rf_field(EnvKind::RfSparse).expect("RF env");
+                let inner = rf_field_salted(EnvKind::RfSparse, salt).expect("RF env");
                 Box::new(
                     EnergyAttack::new(inner)
                         .with_spoof(
@@ -145,8 +167,10 @@ impl EnvKind {
 }
 
 /// Builds an RF env as its concrete model (attack wrappers need the
-/// sized inner type, not a box).
-fn rf_field(kind: EnvKind) -> Option<MarkovRf> {
+/// sized inner type, not a box), with the report matrix's seed salt
+/// folded into the base seed (salt 0 = the canonical stream).
+fn rf_field_salted(kind: EnvKind, salt: u64) -> Option<MarkovRf> {
+    let seed = |base: u64| salt_seed(base, salt);
     match kind {
         EnvKind::RfGilbertElliott => Some(
             MarkovRf::new(
@@ -155,7 +179,7 @@ fn rf_field(kind: EnvKind) -> Option<MarkovRf> {
                 Watts::from_micro(30.0),
                 Seconds::new(8.0),
                 Seconds::new(45.0),
-                ENV_SEED + 3,
+                seed(ENV_SEED + 3),
             )
             .with_jitter(0.3),
         ),
@@ -166,7 +190,7 @@ fn rf_field(kind: EnvKind) -> Option<MarkovRf> {
                 Watts::from_micro(5.0),
                 Seconds::new(2.0),
                 Seconds::new(180.0),
-                ENV_SEED + 4,
+                seed(ENV_SEED + 4),
             )
             .with_jitter(0.2),
         ),
@@ -187,29 +211,63 @@ pub struct Scenario {
     pub buffer: BufferKind,
     /// Benchmark application.
     pub workload: WorkloadKind,
+    /// Harvester converter between the environment and the buffer.
+    /// RF/attack scenarios declare the rectifier model, diurnal/solar
+    /// the boost charger; `Ideal` keeps the paper's
+    /// power-already-at-the-rail semantics.
+    pub converter: ConverterKind,
     /// Harvest horizon (how long the environment streams).
     pub horizon: Seconds,
     /// Fine-step size while the MCU runs.
     pub dt: Seconds,
+    /// Seed perturbation for the report matrix's seed axis: 0 is the
+    /// canonical registry stream, other values re-seed the stochastic
+    /// environment and workload models.
+    pub seed_salt: u64,
 }
 
 impl Scenario {
     /// Builds this scenario's (seeded, fresh) environment source.
     pub fn source(&self) -> Box<dyn PowerSource> {
-        self.env.build()
+        self.env.build_salted(self.seed_salt)
+    }
+
+    /// This scenario with a different buffer design (the report
+    /// matrix's buffer axis).
+    pub fn with_buffer(mut self, buffer: BufferKind) -> Self {
+        self.buffer = buffer;
+        self
+    }
+
+    /// This scenario re-seeded (the report matrix's seed axis).
+    pub fn with_seed_salt(mut self, salt: u64) -> Self {
+        self.seed_salt = salt;
+        self
+    }
+
+    /// Whether a non-zero seed salt changes this scenario's run at
+    /// all: either the environment is stochastic, or the workload
+    /// draws on its event-stream seed (only packet forwarding does).
+    /// Fully deterministic cells replay bit-identically under every
+    /// salt, so the report skips their replicates.
+    pub fn seed_salt_matters(&self) -> bool {
+        self.env.salt_sensitive() || self.workload == WorkloadKind::PacketForward
     }
 
     /// Deterministic per-scenario seed for workload event streams
     /// (public so baselines can rebuild the identical workload).
     /// FNV-1a over the scenario name — a stable algorithm, unlike the
     /// standard library's `DefaultHasher`, so seeds (and therefore PF
-    /// arrival streams) survive toolchain upgrades.
+    /// arrival streams) survive toolchain upgrades. The seed salt folds
+    /// in on top (salt 0 leaves the canonical seed untouched).
     pub fn workload_seed(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        self.name
+        let base = self
+            .name
             .bytes()
-            .fold(FNV_OFFSET, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+            .fold(FNV_OFFSET, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME));
+        salt_seed(base, self.seed_salt)
     }
 
     /// Runs the scenario with the default adaptive kernel.
@@ -221,7 +279,7 @@ impl Scenario {
     /// reference exists for validation; week-scale scenarios are only
     /// practical under the adaptive kernel).
     pub fn run_with_kernel(&self, kernel: KernelMode) -> RunOutcome {
-        let replay = PowerReplay::from_source(self.source(), Converter::ideal());
+        let replay = PowerReplay::from_source(self.source(), self.converter.build());
         let workload = self
             .workload
             .build_streaming(self.horizon, self.workload_seed());
@@ -247,8 +305,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::RfSparse,
         buffer: BufferKind::Static770uF,
         workload: WorkloadKind::SenseCompute,
+        converter: ConverterKind::RfRectifier,
         horizon: WEEK,
         dt: DT_LONG,
+        seed_salt: 0,
     },
     Scenario {
         name: "mobility-week-pf",
@@ -256,8 +316,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::MobilityCommuter,
         buffer: BufferKind::React,
         workload: WorkloadKind::PacketForward,
+        converter: ConverterKind::Ideal,
         horizon: WEEK,
         dt: DT_LONG,
+        seed_salt: 0,
     },
     Scenario {
         name: "diurnal-day-react-sc",
@@ -265,8 +327,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::DiurnalClear,
         buffer: BufferKind::React,
         workload: WorkloadKind::SenseCompute,
+        converter: ConverterKind::BoostCharger,
         horizon: DAY,
         dt: DT_LONG,
+        seed_salt: 0,
     },
     Scenario {
         name: "stormy-day-morphy-de",
@@ -274,8 +338,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::DiurnalStormy,
         buffer: BufferKind::Morphy,
         workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::BoostCharger,
         horizon: DAY,
         dt: DT_LONG,
+        seed_salt: 0,
     },
     Scenario {
         name: "rf-ge-hour-react-de",
@@ -283,8 +349,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::RfGilbertElliott,
         buffer: BufferKind::React,
         workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
+        seed_salt: 0,
     },
     Scenario {
         name: "rf-ge-hour-10mf-de",
@@ -292,8 +360,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::RfGilbertElliott,
         buffer: BufferKind::Static10mF,
         workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
+        seed_salt: 0,
     },
     Scenario {
         name: "mobility-day-10mf-sc",
@@ -301,8 +371,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::MobilityCommuter,
         buffer: BufferKind::Static10mF,
         workload: WorkloadKind::SenseCompute,
+        converter: ConverterKind::Ideal,
         horizon: DAY,
         dt: DT_LONG,
+        seed_salt: 0,
     },
     Scenario {
         name: "attack-blackout-hour-react-rt",
@@ -310,8 +382,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::AttackBlackout,
         buffer: BufferKind::React,
         workload: WorkloadKind::RadioTransmit,
+        converter: ConverterKind::RfRectifier,
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
+        seed_salt: 0,
     },
     Scenario {
         name: "attack-spoof-hour-react-de",
@@ -319,8 +393,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::AttackSpoof,
         buffer: BufferKind::React,
         workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
+        seed_salt: 0,
     },
     Scenario {
         name: "paper-rfcart-de",
@@ -328,8 +404,10 @@ pub const SCENARIOS: [Scenario; 10] = [
         env: EnvKind::Paper(PaperTrace::RfCart),
         buffer: BufferKind::Static770uF,
         workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::Ideal,
         horizon: Seconds::new(313.0),
         dt: DT_FINE,
+        seed_salt: 0,
     },
 ];
 

@@ -1,0 +1,634 @@
+//! The scenario figure-of-merit report — "the Table 2 of environments".
+//!
+//! The paper's Table 2 / Fig. 7 quantify each buffer design over a
+//! fixed matrix of *recorded traces*. This module asks the same
+//! question over the streaming scenario registry: for every named
+//! environment, how much useful work does each buffer design get done
+//! (the figure of merit), how responsive is it (on-time fraction,
+//! longest outage survived), and how persistent (boots, controller
+//! reconfigurations)? The registry expands into a full
+//! environment × buffer × seed matrix, runs rayon-parallel through the
+//! adaptive kernel, and reduces every cell to a [`ScenarioCell`].
+//!
+//! Because every scenario is seeded and deterministic, the rendered
+//! report is a *committable baseline*: CI regenerates it and diffs the
+//! FoM / on-time / reconfiguration fields against
+//! `ci/scenario-baseline.json` under explicit tolerances
+//! ([`Tolerances`]), turning scenario behavior itself into a
+//! regression gate the same way `ci/bench-baseline.json` gates engine
+//! performance. Tolerances absorb the only legitimate cross-machine
+//! variation (libm differences shifting a boot across a threshold);
+//! anything larger is a semantic change that must ship with a baseline
+//! refresh.
+
+use rayon::prelude::*;
+use react_buffers::BufferKind;
+use react_env::dark_stats;
+use react_units::Watts;
+use serde::{Deserialize, Serialize};
+
+use crate::fom::{figure_of_merit, fom_per_hour};
+use crate::report::TextTable;
+use crate::scenario::{scenario_registry, Scenario};
+
+/// The report's buffer axis: the paper's reactive designs plus the
+/// static and adaptive-enable baselines.
+pub const REPORT_BUFFERS: [BufferKind; 4] = [
+    BufferKind::Static770uF,
+    BufferKind::React,
+    BufferKind::Morphy,
+    BufferKind::Dewdrop,
+];
+
+/// The report's seed axis: the canonical registry streams (salt 0)
+/// plus one re-seeded replicate of every stochastic environment.
+pub const REPORT_SEEDS: [u64; 2] = [0, 1];
+
+/// Power floor below which the environment counts as dark (outage) for
+/// the environment-side statistics.
+pub const DARK_FLOOR: Watts = Watts::new(10e-6);
+
+/// One (environment, buffer, seed) cell of the report matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCell {
+    /// Registry scenario the cell derives from.
+    pub scenario: String,
+    /// Environment label.
+    pub environment: String,
+    /// Buffer design label.
+    pub buffer: String,
+    /// Workload label.
+    pub workload: String,
+    /// Converter model label.
+    pub converter: String,
+    /// Seed salt (0 = the canonical registry stream).
+    pub seed: u64,
+    /// The paper's figure of merit (ops, or rx+tx for PF).
+    pub fom: f64,
+    /// FoM per deployed hour (comparable across horizons).
+    pub fom_per_hour: f64,
+    /// Fraction of the deployment the system was on (responsiveness).
+    pub on_time_fraction: f64,
+    /// Longest outage survived, in seconds (responsiveness under
+    /// starvation; includes the cold start, excludes the final
+    /// drain-out).
+    pub longest_outage_survived_s: f64,
+    /// Completed power cycles — every one is a checkpoint/restore in a
+    /// transiently-powered system (persistence).
+    pub boots: u64,
+    /// Buffer-controller reconfigurations (persistence overhead).
+    pub reconfigurations: u64,
+    /// Kernel iterations the engine spent on the cell (not gated:
+    /// performance is `bench_gate`'s job; kept for the fast-path
+    /// collapse column).
+    pub engine_steps: u64,
+    /// `horizon / dt` — what the fixed-`dt` reference kernel would
+    /// have paid; `fixed_dt_steps / engine_steps` is the collapse
+    /// factor the adaptive kernel achieved on this cell.
+    pub fixed_dt_steps: u64,
+}
+
+impl ScenarioCell {
+    /// Stable identity within a report (`scenario/buffer/s<seed>`).
+    pub fn id(&self) -> String {
+        format!("{}/{}/s{}", self.scenario, self.buffer, self.seed)
+    }
+
+    /// The adaptive kernel's step-collapse factor on this cell.
+    pub fn step_collapse(&self) -> f64 {
+        if self.engine_steps == 0 {
+            0.0
+        } else {
+            self.fixed_dt_steps as f64 / self.engine_steps as f64
+        }
+    }
+}
+
+/// Environment-side summary for one (scenario, seed): what the
+/// environment *presented*, independent of any buffer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnvSummary {
+    /// Registry scenario.
+    pub scenario: String,
+    /// Environment label.
+    pub environment: String,
+    /// Converter model label.
+    pub converter: String,
+    /// Seed salt.
+    pub seed: u64,
+    /// Harvest horizon in seconds.
+    pub horizon_s: f64,
+    /// Native piecewise-constant segments over the horizon.
+    pub segments: u64,
+    /// Fraction of the horizon below the dark floor.
+    pub dark_fraction: f64,
+    /// Longest contiguous dark span the environment presented, in
+    /// seconds (the outage a persistent buffer must survive).
+    pub longest_dark_s: f64,
+}
+
+/// The full scenario report: environment summaries plus the
+/// environment × buffer × seed cell matrix.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Per-(scenario, seed) environment statistics.
+    pub environments: Vec<EnvSummary>,
+    /// The cell matrix, in deterministic expansion order
+    /// (scenario-major, then buffer, then seed).
+    pub cells: Vec<ScenarioCell>,
+}
+
+impl ScenarioReport {
+    /// Looks up a cell by its [`ScenarioCell::id`].
+    pub fn cell(&self, id: &str) -> Option<&ScenarioCell> {
+        self.cells.iter().find(|c| c.id() == id)
+    }
+
+    /// Mean REACT-normalized FoM per buffer across all (environment,
+    /// seed) rows where REACT did any work — Fig. 7's bars, taken over
+    /// environments instead of recorded traces.
+    pub fn react_normalized(&self) -> Vec<(String, f64)> {
+        let buffers: Vec<String> = dedup_keys(self.cells.iter().map(|c| c.buffer.clone()));
+        buffers
+            .into_iter()
+            .map(|buffer| {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for react in self
+                    .cells
+                    .iter()
+                    .filter(|c| c.buffer == BufferKind::React.label() && c.fom > 0.0)
+                {
+                    if let Some(this) = self.cells.iter().find(|c| {
+                        c.buffer == buffer && c.scenario == react.scenario && c.seed == react.seed
+                    }) {
+                        sum += this.fom / react.fom;
+                        n += 1;
+                    }
+                }
+                (buffer, if n > 0 { sum / n as f64 } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// Renders the cell matrix as an aligned text table.
+    pub fn render_cells(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Scenario figure-of-merit report (the Table 2 of environments)",
+            &[
+                "scenario",
+                "buffer",
+                "seed",
+                "FoM",
+                "FoM/h",
+                "on %",
+                "outage (s)",
+                "boots",
+                "reconf",
+                "collapse",
+            ],
+        );
+        for c in &self.cells {
+            table.push_row(&[
+                c.scenario.clone(),
+                c.buffer.clone(),
+                c.seed.to_string(),
+                format!("{:.0}", c.fom),
+                format!("{:.1}", c.fom_per_hour),
+                format!("{:.1}", 100.0 * c.on_time_fraction),
+                format!("{:.0}", c.longest_outage_survived_s),
+                c.boots.to_string(),
+                c.reconfigurations.to_string(),
+                format!("{:.0}×", c.step_collapse()),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the environment summaries as an aligned text table.
+    pub fn render_environments(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Environments",
+            &[
+                "scenario",
+                "environment",
+                "converter",
+                "seed",
+                "horizon (h)",
+                "segments",
+                "dark %",
+                "longest dark (s)",
+            ],
+        );
+        for e in &self.environments {
+            table.push_row(&[
+                e.scenario.clone(),
+                e.environment.clone(),
+                e.converter.clone(),
+                e.seed.to_string(),
+                format!("{:.1}", e.horizon_s / 3600.0),
+                e.segments.to_string(),
+                format!("{:.1}", 100.0 * e.dark_fraction),
+                format!("{:.0}", e.longest_dark_s),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the Fig. 7-style REACT-normalized summary.
+    pub fn render_normalized(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Mean FoM normalized to REACT (across environments × seeds)",
+            &["buffer", "score"],
+        );
+        for (buffer, score) in self.react_normalized() {
+            table.push_row(&[buffer, format!("{score:.3}")]);
+        }
+        table
+    }
+}
+
+/// First-occurrence dedup preserving order.
+fn dedup_keys(keys: impl Iterator<Item = String>) -> Vec<String> {
+    let mut seen = Vec::new();
+    for k in keys {
+        if !seen.contains(&k) {
+            seen.push(k);
+        }
+    }
+    seen
+}
+
+/// The report's environment rows: the registry deduplicated by
+/// (environment, workload, horizon, converter) — two registry entries
+/// that differ only in their declared buffer collapse into one row,
+/// because the report supplies the buffer axis itself.
+pub fn report_scenarios() -> Vec<Scenario> {
+    let mut rows: Vec<Scenario> = Vec::new();
+    for s in scenario_registry() {
+        let duplicate = rows.iter().any(|r| {
+            r.env.label() == s.env.label()
+                && r.workload == s.workload
+                && r.horizon == s.horizon
+                && r.converter == s.converter
+        });
+        if !duplicate {
+            rows.push(*s);
+        }
+    }
+    rows
+}
+
+/// Builds the report over the given environment rows × buffers × seed
+/// salts. Cells run through the default adaptive kernel, fanned out
+/// over worker threads exactly like the experiment matrix; results
+/// come back in deterministic expansion order regardless of
+/// parallelism.
+pub fn build_report(
+    scenarios: &[Scenario],
+    buffers: &[BufferKind],
+    seeds: &[u64],
+    parallel: bool,
+) -> ScenarioReport {
+    let mut runs: Vec<Scenario> = Vec::with_capacity(scenarios.len() * buffers.len() * seeds.len());
+    for s in scenarios {
+        for &buffer in buffers {
+            for &seed in seeds {
+                // Fully deterministic cells replay bit-identically
+                // under every salt — rerunning them would only pad the
+                // matrix with duplicates masquerading as replicates.
+                if seed != 0 && !s.seed_salt_matters() {
+                    continue;
+                }
+                runs.push(s.with_buffer(buffer).with_seed_salt(seed));
+            }
+        }
+    }
+
+    let cell = |s: &Scenario| -> ScenarioCell {
+        let out = s.run();
+        let m = &out.metrics;
+        ScenarioCell {
+            scenario: s.name.to_string(),
+            environment: s.env.label().to_string(),
+            buffer: s.buffer.label().to_string(),
+            workload: s.workload.label().to_string(),
+            converter: s.converter.label().to_string(),
+            seed: s.seed_salt,
+            fom: figure_of_merit(s.workload, m),
+            fom_per_hour: fom_per_hour(s.workload, m, s.horizon),
+            on_time_fraction: m.duty_cycle(),
+            longest_outage_survived_s: m.max_off_period.get(),
+            boots: m.boots,
+            reconfigurations: m.reconfigurations,
+            engine_steps: m.engine_steps,
+            fixed_dt_steps: (s.horizon.get() / s.dt.get()).round() as u64,
+        }
+    };
+    let cells: Vec<ScenarioCell> = if parallel {
+        runs.par_iter().map(cell).collect()
+    } else {
+        runs.iter().map(cell).collect()
+    };
+
+    // Environment summaries dedup on the environment's own salt
+    // sensitivity (a deterministic environment presents the same dark
+    // spans under every salt, even when its workload is seeded).
+    let env_rows: Vec<Scenario> = scenarios
+        .iter()
+        .flat_map(|s| {
+            seeds
+                .iter()
+                .filter(|&&seed| seed == 0 || s.env.salt_sensitive())
+                .map(|&seed| s.with_seed_salt(seed))
+        })
+        .collect();
+    let summary = |s: &Scenario| -> EnvSummary {
+        let mut source = s.source();
+        let stats = dark_stats(source.as_mut(), s.horizon, DARK_FLOOR);
+        EnvSummary {
+            scenario: s.name.to_string(),
+            environment: s.env.label().to_string(),
+            converter: s.converter.label().to_string(),
+            seed: s.seed_salt,
+            horizon_s: s.horizon.get(),
+            segments: stats.segments,
+            dark_fraction: stats.dark_fraction,
+            longest_dark_s: stats.longest_dark_s,
+        }
+    };
+    let environments: Vec<EnvSummary> = if parallel {
+        env_rows.par_iter().map(summary).collect()
+    } else {
+        env_rows.iter().map(summary).collect()
+    };
+
+    ScenarioReport {
+        environments,
+        cells,
+    }
+}
+
+/// Builds the full default report: every deduplicated registry
+/// environment × [`REPORT_BUFFERS`] × [`REPORT_SEEDS`].
+pub fn build_full_report(parallel: bool) -> ScenarioReport {
+    build_report(
+        &report_scenarios(),
+        &REPORT_BUFFERS,
+        &REPORT_SEEDS,
+        parallel,
+    )
+}
+
+/// Per-field tolerances for the CI conformance gate. Defaults absorb
+/// cross-platform libm drift (a boot sliding across a threshold, a few
+/// operations gained or lost at a segment edge) without letting real
+/// behavioral changes through.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Relative tolerance on the figure of merit.
+    pub fom_rel: f64,
+    /// Absolute slack on the figure of merit (for near-zero cells).
+    pub fom_abs: f64,
+    /// Absolute tolerance on the on-time fraction.
+    pub on_time_abs: f64,
+    /// Relative tolerance on counters (boots, reconfigurations).
+    pub count_rel: f64,
+    /// Absolute slack on counters.
+    pub count_abs: f64,
+    /// Relative tolerance on the longest outage survived.
+    pub outage_rel: f64,
+    /// Absolute slack on the longest outage survived, in seconds.
+    pub outage_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            fom_rel: 0.05,
+            fom_abs: 3.0,
+            on_time_abs: 0.02,
+            count_rel: 0.05,
+            count_abs: 2.0,
+            outage_rel: 0.05,
+            outage_abs: 2.0,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Every tolerance scaled by `factor` (the gate's CLI knob).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            fom_rel: self.fom_rel * factor,
+            fom_abs: self.fom_abs * factor,
+            on_time_abs: self.on_time_abs * factor,
+            count_rel: self.count_rel * factor,
+            count_abs: self.count_abs * factor,
+            outage_rel: self.outage_rel * factor,
+            outage_abs: self.outage_abs * factor,
+        }
+    }
+}
+
+fn within(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    (a - b).abs() <= rel * a.abs().max(b.abs()) + abs
+}
+
+/// Diffs `current` against `baseline` under `tol`, returning one
+/// human-readable violation per out-of-tolerance field or missing
+/// cell (empty = conformant). Cells present only in `current` are new
+/// scenarios, not violations — they flow into the next committed
+/// baseline.
+pub fn compare_reports(
+    baseline: &ScenarioReport,
+    current: &ScenarioReport,
+    tol: &Tolerances,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in &baseline.cells {
+        let id = base.id();
+        let Some(cur) = current.cell(&id) else {
+            violations.push(format!("{id}: cell missing from current report"));
+            continue;
+        };
+        if !within(cur.fom, base.fom, tol.fom_rel, tol.fom_abs) {
+            violations.push(format!(
+                "{id}: FoM {:.1} vs baseline {:.1} (±{:.0}% + {:.0})",
+                cur.fom,
+                base.fom,
+                100.0 * tol.fom_rel,
+                tol.fom_abs
+            ));
+        }
+        if !within(
+            cur.on_time_fraction,
+            base.on_time_fraction,
+            0.0,
+            tol.on_time_abs,
+        ) {
+            violations.push(format!(
+                "{id}: on-time {:.3} vs baseline {:.3} (±{:.3})",
+                cur.on_time_fraction, base.on_time_fraction, tol.on_time_abs
+            ));
+        }
+        for (field, cur_n, base_n) in [
+            ("boots", cur.boots, base.boots),
+            (
+                "reconfigurations",
+                cur.reconfigurations,
+                base.reconfigurations,
+            ),
+        ] {
+            if !within(cur_n as f64, base_n as f64, tol.count_rel, tol.count_abs) {
+                violations.push(format!(
+                    "{id}: {field} {cur_n} vs baseline {base_n} (±{:.0}% + {:.0})",
+                    100.0 * tol.count_rel,
+                    tol.count_abs
+                ));
+            }
+        }
+        if !within(
+            cur.longest_outage_survived_s,
+            base.longest_outage_survived_s,
+            tol.outage_rel,
+            tol.outage_abs,
+        ) {
+            violations.push(format!(
+                "{id}: longest outage {:.1} s vs baseline {:.1} s (±{:.0}% + {:.0} s)",
+                cur.longest_outage_survived_s,
+                base.longest_outage_survived_s,
+                100.0 * tol.outage_rel,
+                tol.outage_abs
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::find_scenario;
+    use react_units::Seconds;
+
+    fn tiny_report() -> ScenarioReport {
+        // One short scenario, two buffers, one seed: fast enough for a
+        // unit test while exercising the whole reduction path.
+        let mut s = *find_scenario("rf-ge-hour-10mf-de").expect("registered");
+        s.horizon = Seconds::new(240.0);
+        build_report(
+            &[s],
+            &[BufferKind::Static10mF, BufferKind::React],
+            &[0],
+            false,
+        )
+    }
+
+    #[test]
+    fn report_reduces_cells_and_environments() {
+        let r = tiny_report();
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.environments.len(), 1);
+        for c in &r.cells {
+            assert!(c.fom >= 0.0);
+            assert!((0.0..=1.0).contains(&c.on_time_fraction));
+            assert!(c.fixed_dt_steps > 0);
+        }
+        assert!(r.environments[0].segments > 0);
+        assert!(r.cell(&r.cells[0].id()).is_some());
+        assert!(r.cell("no/such/cell").is_none());
+    }
+
+    #[test]
+    fn report_is_deterministic_and_parallel_invariant() {
+        let mut s = *find_scenario("rf-ge-hour-10mf-de").expect("registered");
+        s.horizon = Seconds::new(240.0);
+        let serial = build_report(&[s], &[BufferKind::Static10mF], &[0, 1], false);
+        let parallel = build_report(&[s], &[BufferKind::Static10mF], &[0, 1], true);
+        assert_eq!(serial, parallel);
+        // Different seeds genuinely re-seed the stochastic field.
+        assert_ne!(serial.cells[0].fom, serial.cells[1].fom);
+    }
+
+    #[test]
+    fn self_comparison_is_conformant_and_drift_is_caught() {
+        let r = tiny_report();
+        assert!(compare_reports(&r, &r, &Tolerances::default()).is_empty());
+
+        let mut drifted = r.clone();
+        drifted.cells[0].fom *= 1.5;
+        drifted.cells[0].fom += 50.0;
+        drifted.cells[1].on_time_fraction += 0.5;
+        let violations = compare_reports(&r, &drifted, &Tolerances::default());
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("FoM"), "{violations:?}");
+        assert!(violations[1].contains("on-time"), "{violations:?}");
+        // A looser gate lets the on-time drift through but not the FoM.
+        let loose = compare_reports(&r, &drifted, &Tolerances::default().scaled(30.0));
+        assert!(loose.len() < violations.len(), "{loose:?}");
+
+        let mut missing = r.clone();
+        missing.cells.remove(0);
+        let violations = compare_reports(&r, &missing, &Tolerances::default());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"), "{violations:?}");
+    }
+
+    #[test]
+    fn report_rows_dedup_buffer_only_registry_twins() {
+        let rows = report_scenarios();
+        // The two rf-ge-hour entries differ only in buffer: one row.
+        assert_eq!(
+            rows.iter()
+                .filter(|s| s.name.starts_with("rf-ge-hour"))
+                .count(),
+            1
+        );
+        // Same environment with a different workload/horizon stays.
+        assert_eq!(
+            rows.iter()
+                .filter(|s| s.env.label() == "mobility/commuter")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn deterministic_cells_skip_salt_replicates() {
+        // Paper trace + DE: neither environment nor workload draws on
+        // the salt — one cell and one env row despite two seeds.
+        let paper = *find_scenario("paper-rfcart-de").expect("registered");
+        assert!(!paper.seed_salt_matters());
+        let r = build_report(&[paper], &[BufferKind::Static770uF], &[0, 1], false);
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.environments.len(), 1);
+        // Mobility + PF: the environment is deterministic but the
+        // packet arrivals are seeded — cells replicate, env rows don't.
+        let mut commute = *find_scenario("mobility-week-pf").expect("registered");
+        commute.horizon = Seconds::new(600.0);
+        assert!(commute.seed_salt_matters());
+        let r = build_report(&[commute], &[BufferKind::Static770uF], &[0, 1], false);
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.environments.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = tiny_report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn react_normalization_over_environments() {
+        let r = tiny_report();
+        let scores = r.react_normalized();
+        let react = scores
+            .iter()
+            .find(|(b, _)| b == BufferKind::React.label())
+            .expect("REACT scored");
+        assert!((react.1 - 1.0).abs() < 1e-12, "{scores:?}");
+    }
+}

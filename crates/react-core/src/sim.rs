@@ -194,6 +194,11 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         let mut t = Seconds::ZERO;
         let mut probe_acc = Seconds::ZERO;
         let mut on_since: Option<Seconds> = None;
+        // Outages *survived*: dark spans that ended in a reboot. The
+        // run starts in one (cold start), and the trailing drain-out is
+        // deliberately excluded — the system never came back from it.
+        let mut off_since: Option<Seconds> = Some(Seconds::ZERO);
+        let mut off_max = 0.0_f64;
         let mut cycle_sum = 0.0_f64;
         let mut cycle_max = 0.0_f64;
         let mut cycles = 0u64;
@@ -213,10 +218,14 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                 // disconnected: the drain phase runs on stored energy
                 // alone, matching bounded-trace semantics (power_at is
                 // zero past the end) for streaming sources too.
-                let (p_avail, window_end) = if t >= trace_end {
+                // The converter-composed segment: rail power is constant
+                // over the whole span (static efficiency curve, OVP above
+                // the rail clamp), so one conversion at the stride's
+                // entry voltage covers the closed-form integration.
+                let (p_rail, window_end) = if t >= trace_end {
                     (react_units::Watts::ZERO, hard_end)
                 } else {
-                    let (p, end) = cursor.sample_window(t);
+                    let (p, end) = cursor.rail_window(t, buffer.input_voltage());
                     (p, end.min(trace_end))
                 };
                 let mut stride_end = window_end.min(hard_end);
@@ -226,7 +235,6 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                 }
                 let stride = stride_end - t;
                 if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
-                    let p_rail = replay.rail_power_from(p_avail, buffer.input_voltage());
                     let advanced = buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
                     if advanced.get() > 0.0 {
                         engine_steps += 1;
@@ -266,6 +274,9 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                         metrics.first_on_latency = Some(t);
                     }
                     on_since = Some(t);
+                    if let Some(start) = off_since.take() {
+                        off_max = off_max.max((t - start).get());
+                    }
                 } else {
                     mcu.power_off();
                     workload.on_power_down(t);
@@ -275,6 +286,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                         cycle_max = cycle_max.max(len);
                         cycles += 1;
                     }
+                    off_since = Some(t);
                 }
             }
 
@@ -385,6 +397,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             Seconds::ZERO
         };
         metrics.max_on_period = Seconds::new(cycle_max);
+        metrics.max_off_period = Seconds::new(off_max);
         // Controller accounting comes from the buffer itself, which
         // tracks it through both fine steps and coarse idle strides, so
         // the two kernels agree on it (asserted by the equivalence

@@ -149,7 +149,9 @@ impl<S: PowerSource + Clone + 'static> PowerSource for EnergyAttack<S> {
         }
         Segment {
             power: Watts::new(power),
-            end: Seconds::new(end),
+            // Attack-window edges are `cycle_base + offset` sums that
+            // can round back onto `t`; keep the walker advancing.
+            end: Seconds::new(crate::source::end_after(tt, end)),
         }
     }
 

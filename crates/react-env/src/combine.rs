@@ -212,8 +212,10 @@ where
             let seg = self.b.segment(Seconds::new(tt - self.at));
             Segment {
                 power: seg.power,
-                // `+inf + at` stays `+inf`, so constant tails survive.
-                end: Seconds::new(seg.end.get() + self.at),
+                // `+inf + at` stays `+inf`, so constant tails survive;
+                // the rebase sum can also round back onto `t`, so the
+                // end is clamped strictly past the query.
+                end: Seconds::new(crate::source::end_after(tt, seg.end.get() + self.at)),
             }
         }
     }

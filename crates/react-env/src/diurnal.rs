@@ -200,13 +200,13 @@ impl PowerSource for Diurnal {
             // is one segment (the stride that lets week-long runs cross
             // outages in a handful of steps). The cloud walker catches
             // up lazily at the next daylight query.
-            return Segment::dark(Seconds::new(env_end));
+            return Segment::dark(Seconds::new(crate::source::end_after(tt, env_end)));
         }
         self.cloud_covers(tt);
         let factor = if self.cloudy { self.attenuation } else { 1.0 };
         Segment {
             power: Watts::new(envelope * factor),
-            end: Seconds::new(env_end.min(self.cloud_end)),
+            end: Seconds::new(crate::source::end_after(tt, env_end.min(self.cloud_end))),
         }
     }
 

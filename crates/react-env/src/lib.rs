@@ -51,4 +51,4 @@ pub use combine::{Cap, Mix, Scale, Splice};
 pub use diurnal::Diurnal;
 pub use markov::MarkovRf;
 pub use mobility::Mobility;
-pub use source::{materialize, PowerSource, Segment, TraceSource};
+pub use source::{dark_stats, materialize, DarkStats, PowerSource, Segment, TraceSource};

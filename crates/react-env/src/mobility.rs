@@ -107,7 +107,10 @@ impl PowerSource for Mobility {
         let (power, local_end) = self.interval(phase);
         Segment {
             power: Watts::new(power),
-            end: Seconds::new(base + local_end),
+            // `base + breakpoint` can round back onto `t` when the
+            // breakpoint is not exactly representable; end_after keeps
+            // the walker-advancement contract.
+            end: Seconds::new(crate::source::end_after(tt, base + local_end)),
         }
     }
 

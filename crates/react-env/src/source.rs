@@ -110,6 +110,26 @@ impl Clone for Box<dyn PowerSource> {
     }
 }
 
+/// Clamps a computed segment end to land strictly after the query
+/// time `t` (which must be finite and non-negative — models
+/// early-return degenerate segments before reaching their end
+/// arithmetic otherwise). Base-plus-offset boundary arithmetic can
+/// round an end back onto `t` itself — `floor(t/period)·period +
+/// breakpoint` with an inexact breakpoint, or `(idx+1)·dt` on a
+/// quantized grid — which would hand segment walkers a non-advancing
+/// window and hang them. Every model routes its final end through
+/// here, so the `end > t` trait contract holds at every representable
+/// time; the claimed constant span in the degenerate case is one ulp
+/// (trivially true), which the kernel treats as a fine step anyway.
+#[inline]
+pub(crate) fn end_after(t: f64, end: f64) -> f64 {
+    if end > t {
+        end
+    } else {
+        f64::from_bits(t.to_bits() + 1)
+    }
+}
+
 /// Splits `t ≥ 0` into `(cycle_base, phase)` for a periodic signal:
 /// `cycle_base = floor(t/period)·period`, phase clamped non-negative.
 /// The quotient can round *up* exactly at a cycle boundary, which would
@@ -166,6 +186,15 @@ impl PowerSource for TraceSource {
 
     fn segment(&mut self, t: Seconds) -> Segment {
         let (power, end) = self.cache.lookup(&self.trace, t.get());
+        // A query can land exactly on its window's float-degenerate
+        // upper boundary (`(idx+1)·dt` rounds to `t` itself); the
+        // power value stays `power_at(t)` bit-for-bit and the end is
+        // nudged one ulp so walkers always advance.
+        let end = if t.get() >= 0.0 && t.get().is_finite() {
+            end_after(t.get(), end)
+        } else {
+            end
+        };
         Segment {
             power: Watts::new(power),
             end: Seconds::new(end),
@@ -210,6 +239,62 @@ pub fn materialize(
         .map(|i| source.power_at(Seconds::new(i as f64 * dt.get())))
         .collect();
     PowerTrace::new(name, dt, samples)
+}
+
+/// Environment-side outage statistics over a bounded window, computed
+/// by walking native segments (the signal is never materialized).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DarkStats {
+    /// Longest contiguous span at or below the dark floor, in seconds
+    /// (adjacent dark segments are merged).
+    pub longest_dark_s: f64,
+    /// Fraction of the window spent at or below the dark floor.
+    pub dark_fraction: f64,
+    /// Native piecewise-constant segments the window decomposes into —
+    /// the work the adaptive kernel actually pays for the environment.
+    pub segments: u64,
+}
+
+/// Walks `source` segment by segment over `[0, horizon)` and reduces it
+/// to [`DarkStats`] against a `floor` power threshold. This is the
+/// environment half of the scenario report's responsiveness story: the
+/// longest outage an environment *presents* is what a buffer's longest
+/// outage *survived* is judged against.
+pub fn dark_stats(source: &mut dyn PowerSource, horizon: Seconds, floor: Watts) -> DarkStats {
+    assert!(
+        horizon.get() > 0.0 && horizon.get().is_finite(),
+        "dark_stats needs a bounded positive window"
+    );
+    let mut stats = DarkStats::default();
+    let mut dark_run = 0.0_f64;
+    let mut dark_total = 0.0_f64;
+    let mut t = 0.0;
+    while t < horizon.get() {
+        let seg = source.segment(Seconds::new(t));
+        let end = seg.end.get().min(horizon.get());
+        let span = (end - t).max(0.0);
+        stats.segments += 1;
+        if seg.power <= floor {
+            dark_run += span;
+            dark_total += span;
+            stats.longest_dark_s = stats.longest_dark_s.max(dark_run);
+        } else {
+            dark_run = 0.0;
+        }
+        if seg.end.get() >= horizon.get() {
+            break;
+        }
+        // Defense in depth: a source that ever hands back a
+        // non-advancing segment (contract violation) must not hang the
+        // walk — step one ulp and keep going.
+        t = if seg.end.get() > t {
+            seg.end.get()
+        } else {
+            f64::from_bits(t.to_bits() + 1)
+        };
+    }
+    stats.dark_fraction = dark_total / horizon.get();
+    stats
 }
 
 #[cfg(test)]
@@ -260,6 +345,93 @@ mod tests {
         let mut source = TraceSource::new(trace.clone());
         let back = materialize(&mut source, "ramp", Seconds::new(0.5), Seconds::new(5.0));
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn segment_walk_advances_across_degenerate_dt_boundaries() {
+        // 0.1 s is inexact in binary: for some k, `k·0.1` rounds to a
+        // double whose quotient by 0.1 floors back to `k − 1`, so a
+        // walker standing exactly on that boundary used to get a
+        // window ending at its own query time and spin forever (seen
+        // at t = 43·0.1 on the RF Cart paper trace). The source must
+        // uphold the `end > t` contract at every representable time.
+        let trace = PowerTrace::constant(
+            "w",
+            Watts::from_milli(1.0),
+            Seconds::new(100.0),
+            Seconds::new(0.1),
+        );
+        let mut source = TraceSource::new(trace);
+        let mut t = 0.0;
+        let mut n = 0u64;
+        while t < 100.0 {
+            let seg = source.segment(Seconds::new(t));
+            assert!(seg.end.get() > t, "non-advancing segment at t={t}");
+            n += 1;
+            assert!(n < 1_100, "walk did not terminate");
+            t = seg.end.get();
+        }
+    }
+
+    #[test]
+    fn periodic_models_advance_across_inexact_breakpoints() {
+        // `floor(t/period)·period + breakpoint` with an inexact 0.1 s
+        // breakpoint rounds an interval end back onto the query time a
+        // few cycles in (verified numerically: a Mobility walker used
+        // to stall on the third segment with period 0.7). Every
+        // periodic model must keep `end > t` anyway.
+        let mut m = crate::Mobility::cyclic(
+            "m",
+            vec![
+                (Seconds::new(0.0), Watts::from_milli(1.0)),
+                (Seconds::new(0.1), Watts::from_milli(2.0)),
+            ],
+            Seconds::new(0.7),
+        );
+        let mut t = 0.0;
+        for _ in 0..64 {
+            let seg = m.segment(Seconds::new(t));
+            assert!(seg.end.get() > t, "mobility stalled at t={t:.17}");
+            t = seg.end.get();
+        }
+        // Same base-plus-offset arithmetic under an attack wrapper.
+        let mut a = crate::EnergyAttack::new(m).with_blackout(
+            Seconds::new(0.7),
+            Seconds::new(0.1),
+            Seconds::new(0.3),
+        );
+        let mut t = 0.0;
+        for _ in 0..64 {
+            let seg = a.segment(Seconds::new(t));
+            assert!(seg.end.get() > t, "attack stalled at t={t:.17}");
+            t = seg.end.get();
+        }
+    }
+
+    #[test]
+    fn dark_stats_merge_adjacent_dark_segments() {
+        // 0-2 s dark, 2-3 s lit, 3-5 s dark (two 1 s samples merge).
+        let samples = vec![
+            Watts::ZERO,
+            Watts::ZERO,
+            Watts::from_milli(5.0),
+            Watts::ZERO,
+            Watts::ZERO,
+        ];
+        let trace = PowerTrace::new("d", Seconds::new(1.0), samples);
+        let mut source = TraceSource::new(trace);
+        let stats = dark_stats(&mut source, Seconds::new(5.0), Watts::from_micro(1.0));
+        assert!((stats.longest_dark_s - 2.0).abs() < 1e-9, "{stats:?}");
+        assert!((stats.dark_fraction - 0.8).abs() < 1e-9, "{stats:?}");
+        assert!(stats.segments >= 4);
+        // The window clamps: only the first dark second counts.
+        let mut source = TraceSource::new(PowerTrace::new(
+            "d2",
+            Seconds::new(1.0),
+            vec![Watts::ZERO, Watts::from_milli(1.0)],
+        ));
+        let stats = dark_stats(&mut source, Seconds::new(1.5), Watts::from_micro(1.0));
+        assert!((stats.longest_dark_s - 1.0).abs() < 1e-9, "{stats:?}");
     }
 
     #[test]

@@ -65,6 +65,28 @@ pub enum ConverterKind {
     BoostCharger,
 }
 
+impl ConverterKind {
+    /// Table-style display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConverterKind::Ideal => "ideal",
+            ConverterKind::RfRectifier => "rf-rectifier",
+            ConverterKind::BoostCharger => "boost-charger",
+        }
+    }
+
+    /// Builds the converter model of this kind — the dispatch scenario
+    /// declarations use, so a `ConverterKind` is a complete, copyable
+    /// converter description.
+    pub fn build(self) -> Converter {
+        match self {
+            ConverterKind::Ideal => Converter::ideal(),
+            ConverterKind::RfRectifier => Converter::rf_rectifier(),
+            ConverterKind::BoostCharger => Converter::boost_charger(),
+        }
+    }
+}
+
 /// A harvester power converter: available ambient power in, rail power
 /// out, with load-dependent efficiency (§4.3).
 #[derive(Clone, Debug, PartialEq)]
@@ -223,5 +245,37 @@ mod tests {
             Converter::boost_charger().kind(),
             ConverterKind::BoostCharger
         );
+    }
+
+    #[test]
+    fn kind_build_round_trips() {
+        for kind in [
+            ConverterKind::Ideal,
+            ConverterKind::RfRectifier,
+            ConverterKind::BoostCharger,
+        ] {
+            assert_eq!(kind.build().kind(), kind);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn output_is_constant_in_voltage_below_ovp() {
+        // The fast-path contract: over a piecewise-constant available
+        // power segment, the rail power must not depend on the buffer
+        // voltage anywhere below the OVP point — so a whole segment can
+        // be integrated in closed form with one conversion.
+        for kind in [ConverterKind::RfRectifier, ConverterKind::BoostCharger] {
+            let c = kind.build();
+            let p = Watts::from_milli(2.5);
+            let at_low = c.output_power(p, Volts::new(0.5));
+            for v in [1.0, 1.8, 2.7, 3.3, 3.6] {
+                assert_eq!(
+                    c.output_power(p, Volts::new(v)),
+                    at_low,
+                    "{kind:?} varies with voltage at {v} V"
+                );
+            }
+        }
     }
 }

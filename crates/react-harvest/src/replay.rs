@@ -186,6 +186,20 @@ impl<S: PowerSource + Clone> ReplayCursor<'_, S> {
         let seg = self.source.segment(t);
         (seg.power, seg.end)
     }
+
+    /// The piecewise-constant span covering `t` *after conversion*: the
+    /// rail power the buffer charges from over the span, plus the
+    /// next-event hint. Because the converter's efficiency curve is a
+    /// static function of available power (and its OVP cutoff sits above
+    /// every buffer's rail clamp), a piecewise-constant source stays
+    /// piecewise-constant through it — one conversion covers the whole
+    /// segment, so the closed-form idle fast path survives non-ideal
+    /// converters unchanged.
+    #[inline]
+    pub fn rail_window(&mut self, t: Seconds, v_buffer: Volts) -> (Watts, Seconds) {
+        let seg = self.source.segment(t);
+        (self.replay.rail_power_from(seg.power, v_buffer), seg.end)
+    }
 }
 
 #[cfg(test)]

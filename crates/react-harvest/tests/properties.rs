@@ -1,7 +1,8 @@
 //! Property-based tests for the harvester frontend.
 
 use proptest::prelude::*;
-use react_harvest::{Converter, MpptTracker, PowerReplay, SolarPanel};
+use react_env::MarkovRf;
+use react_harvest::{Converter, MpptTracker, PowerReplay, PowerSource, SolarPanel};
 use react_traces::PowerTrace;
 use react_units::{Seconds, Volts, Watts};
 
@@ -80,5 +81,40 @@ proptest! {
         let out = m.extracted_power(mpp, Seconds::new(t));
         prop_assert!(out <= mpp + Watts::new(1e-15));
         prop_assert!(m.average_efficiency() <= 1.0);
+    }
+
+    /// The ideal converter through the streaming replay path is
+    /// *bit-identical* to the bare source: for any seeded generative
+    /// field and any probe time, the rail power IS the available power
+    /// (the pre-converter engine fed `power_at` straight to the
+    /// buffer, and scenario runs with `ConverterKind::Ideal` must
+    /// reproduce that history exactly).
+    #[test]
+    fn ideal_streaming_replay_is_bit_identical(
+        seed in 0u64..1_000_000,
+        probes in prop::collection::vec(0.0..5_000.0f64, 1..32),
+        v in 0.1..3.6f64,
+    ) {
+        let field = MarkovRf::new(
+            "prop-field",
+            Watts::from_milli(6.0),
+            Watts::from_micro(25.0),
+            Seconds::new(5.0),
+            Seconds::new(60.0),
+            seed,
+        );
+        let mut raw: Box<dyn PowerSource> = Box::new(field.clone());
+        let replay = PowerReplay::from_source(field, Converter::ideal());
+        let mut cursor = replay.cursor();
+        for &t in &probes {
+            let t = Seconds::new(t);
+            let available = raw.power_at(t);
+            let rail = cursor.rail_power(t, Volts::new(v));
+            prop_assert_eq!(available.get().to_bits(), rail.get().to_bits());
+            let (win_p, win_end) = cursor.rail_window(t, Volts::new(v));
+            let seg = raw.segment(t);
+            prop_assert_eq!(win_p.get().to_bits(), seg.power.get().to_bits());
+            prop_assert_eq!(win_end.get().to_bits(), seg.end.get().to_bits());
+        }
     }
 }

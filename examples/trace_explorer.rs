@@ -6,15 +6,20 @@
 //! cargo run --release --example trace_explorer [output-dir]
 //! cargo run --release --example trace_explorer env
 //! cargo run --release --example trace_explorer env <scenario> [horizon-s]
+//! cargo run --release --example trace_explorer report [scenario] [horizon-s]
 //! ```
 //!
 //! Trace mode writes each trace as `time_s,power_w` CSV for plotting.
 //! `env` alone lists every registry scenario; with a scenario name it
 //! materializes that scenario's environment at a coarse 1 s grid over
 //! the requested horizon (default: the scenario's own, capped at one
-//! week) and prints summary statistics.
+//! week) and prints summary statistics. `report` runs the scenario
+//! figure-of-merit matrix (environment × buffer × seed) and prints the
+//! same tables the `scenario_report` binary gates CI with — filtered to
+//! one scenario and/or a truncated horizon if asked, full otherwise.
 
-use react_repro::core::{find_scenario, scenario_registry};
+use react_repro::core::scenario_report::{REPORT_BUFFERS, REPORT_SEEDS};
+use react_repro::core::{build_report, find_scenario, report_scenarios, scenario_registry};
 use react_repro::env::materialize;
 use react_repro::prelude::*;
 use react_repro::traces::{write_csv, SynthKind, TraceSynthesizer};
@@ -23,8 +28,37 @@ fn main() {
     let mut args = std::env::args().skip(1);
     match args.next() {
         Some(mode) if mode == "env" => env_mode(args.next(), args.next()),
+        Some(mode) if mode == "report" => report_mode(args.next(), args.next()),
         out_dir => trace_mode(out_dir.unwrap_or_else(|| "target/traces".into())),
     }
+}
+
+/// Runs the scenario figure-of-merit report — the whole registry
+/// matrix, or one scenario (optionally horizon-truncated) for a quick
+/// interactive look.
+fn report_mode(scenario: Option<String>, horizon: Option<String>) {
+    let mut rows = match &scenario {
+        None => report_scenarios(),
+        Some(name) => match find_scenario(name) {
+            Some(s) => vec![*s],
+            None => {
+                eprintln!("unknown scenario {name:?}; run `trace_explorer env` for the list");
+                std::process::exit(1);
+            }
+        },
+    };
+    if let Some(h) = horizon {
+        let h = Seconds::new(h.parse::<f64>().expect("horizon must be seconds"));
+        for s in &mut rows {
+            s.horizon = s.horizon.min(h);
+        }
+    }
+    let report = build_report(&rows, &REPORT_BUFFERS, &REPORT_SEEDS, true);
+    print!("{}", report.render_environments().render());
+    println!();
+    print!("{}", report.render_cells().render());
+    println!();
+    print!("{}", report.render_normalized().render());
 }
 
 /// Lists registry scenarios, or materializes one environment and
