@@ -382,6 +382,67 @@ fn compare_then_bench(c: &mut Criterion) {
         steps_per_sec: streamed.engine_steps as f64 / t_stream.max(1e-9),
     });
 
+    // 6. Mobility-week sleep fast path: the commuter-week cell whose
+    // LPM3 stretches dominated the scenario-report matrix (~55 M fine
+    // steps: the MCU stays lit, responsively asleep, for most of the
+    // week). Baseline is the NoFastPath legacy kernel (no idle *or*
+    // sleep closed forms — every powered millisecond fine-steps); fast
+    // is the adaptive kernel striding to each workload wake-up. Both
+    // serial, Dewdrop cell (static-class physics + its adaptive enable
+    // gate, exactly as the report runs it).
+    let mob = find_scenario("mobility-week-pf")
+        .expect("registry scenario")
+        .with_buffer(react_buffers::BufferKind::Dewdrop);
+    let mob_cell = |fast: bool| -> (RunMetrics, f64) {
+        let replay = react_harvest::PowerReplay::from_source(mob.source(), mob.converter.build());
+        let workload = mob
+            .workload
+            .build_streaming(mob.horizon, mob.workload_seed());
+        let start = Instant::now();
+        let metrics = if fast {
+            Simulator::new(replay, mob.buffer.build(), workload)
+                .with_timestep(mob.dt)
+                .with_horizon(mob.horizon)
+                .with_gate(mob.gate())
+                .run()
+                .metrics
+        } else {
+            Simulator::new(replay, NoFastPath(mob.buffer.build()), workload)
+                .with_timestep(mob.dt)
+                .with_horizon(mob.horizon)
+                .with_gate(mob.gate())
+                .run()
+                .metrics
+        };
+        (metrics, start.elapsed().as_secs_f64())
+    };
+    let (legacy_m, t_mob_legacy) = mob_cell(false);
+    let (fast_m, t_mob_fast) = mob_cell(true);
+    let mob_speedup = t_mob_legacy / t_mob_fast.max(1e-9);
+    let mob_collapse = legacy_m.engine_steps as f64 / fast_m.engine_steps.max(1) as f64;
+    let mob_agree = {
+        let (a, b) = (fast_m.ops_completed as f64, legacy_m.ops_completed as f64);
+        (a - b).abs() <= 0.02 * a.max(b) + 2.0
+    };
+    report.push_str(&format!(
+        "\nmobility-week sleep fast path (commuter week × PF × Dewdrop)\n\
+         \x20 NoFastPath legacy (fine-steps all on-time): {:>8.1} ms ({} steps)\n\
+         \x20 sleep fast path (wake-hint strides)        : {:>8.1} ms ({} steps)\n\
+         \x20 sleep speedup: {mob_speedup:.1}× wall-clock, {mob_collapse:.0}× fewer steps  \
+         (results agree: {mob_agree})\n",
+        t_mob_legacy * 1e3,
+        legacy_m.engine_steps,
+        t_mob_fast * 1e3,
+        fast_m.engine_steps,
+    ));
+    perf.scenarios.push(BenchScenario {
+        name: "mobility_week_sleep".into(),
+        wall_ms_baseline: t_mob_legacy * 1e3,
+        wall_ms_fast: t_mob_fast * 1e3,
+        speedup: mob_speedup,
+        steps_per_sec: fast_m.engine_steps as f64 / t_mob_fast.max(1e-9),
+    });
+
     println!("{report}");
     save_artifact("engine", &report, None);
     save_bench_report("engine", &perf);

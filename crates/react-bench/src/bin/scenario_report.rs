@@ -99,10 +99,12 @@ fn main() -> ExitCode {
     println!();
     print!("{}", report.render_normalized().render());
     println!(
-        "\n{} cells over {} environments in {:.1} s{}",
+        "\n{} cells over {} environments in {:.1} s wall-clock \
+         ({:.1} s total cell runtime, single-core equivalent){}",
         report.cells.len(),
         report.environments.len(),
         elapsed,
+        report.total_cell_seconds(),
         if quick { "  (--quick preview)" } else { "" }
     );
 

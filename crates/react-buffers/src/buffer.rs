@@ -126,6 +126,57 @@ pub trait EnergyBuffer {
         reference_idle_advance(self, input, duration, v_stop, fine_dt)
     }
 
+    /// `true` if this buffer's MCU-**on** sleep physics are
+    /// coarse-integrable: [`powered_advance`](Self::powered_advance)
+    /// collapses workload-idle LPM3 stretches in closed form. The
+    /// adaptive kernel's sleep fast path only engages on buffers that
+    /// report `true`.
+    fn supports_powered_fast_path(&self) -> bool {
+        false
+    }
+
+    /// Advances the buffer through an MCU-on, workload-asleep stretch:
+    /// constant rail `input` power and a constant `load` current (the
+    /// MCU's sleep draw plus any peripheral held through the sleep, per
+    /// `LoadDemand::sleep_with`), for up to `duration`, stopping early —
+    /// quantized *up* onto the `fine_dt` grid — once the rail falls to
+    /// `v_stop` (the power gate's brown-out voltage) or rises to
+    /// `v_wake` (the predicted crossing of the sleeping workload's
+    /// §3.4.1 energy threshold, from
+    /// [`rail_voltage_for_usable`](Self::rail_voltage_for_usable)).
+    /// Returns the simulated time actually advanced, or `None` when the
+    /// buffer's present state has no closed form (the kernel falls back
+    /// to fine stepping; controller buffers use this for e.g.
+    /// un-equalized bank states). Controller buffers must keep their
+    /// poll/reconfiguration bookkeeping step-identical to the fine-step
+    /// reference.
+    fn powered_advance(
+        &mut self,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        let _ = (input, load, duration, v_stop, v_wake, fine_dt);
+        None
+    }
+
+    /// The rail voltage at which
+    /// [`usable_energy_above(v_floor)`](Self::usable_energy_above)
+    /// first reaches `energy`, under the buffer's *present*
+    /// configuration (bank/ladder topology frozen) — how the kernel
+    /// turns a workload's `WakeHint::WhenEnergy` threshold into the
+    /// `powered_advance` stop voltage. `None` when the relation has no
+    /// simple inverse; the result may exceed the rail clamp (the wait
+    /// is then unreachable in this configuration and the stride runs to
+    /// its other bounds).
+    fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
+        let _ = (energy, v_floor);
+        None
+    }
+
     /// Energy accounting so far.
     fn ledger(&self) -> &EnergyLedger;
 }
@@ -220,6 +271,26 @@ impl<T: EnergyBuffer + ?Sized> EnergyBuffer for Box<T> {
         fine_dt: Seconds,
     ) -> Seconds {
         (**self).idle_advance(input, duration, v_stop, fine_dt)
+    }
+
+    fn supports_powered_fast_path(&self) -> bool {
+        (**self).supports_powered_fast_path()
+    }
+
+    fn powered_advance(
+        &mut self,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        (**self).powered_advance(input, load, duration, v_stop, v_wake, fine_dt)
+    }
+
+    fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
+        (**self).rail_voltage_for_usable(energy, v_floor)
     }
 
     fn ledger(&self) -> &EnergyLedger {

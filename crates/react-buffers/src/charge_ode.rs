@@ -440,6 +440,462 @@ pub fn integrate_quantized(
     Some((t_adv, fin))
 }
 
+/// One powered-sleep integration problem: the idle ODE plus a constant
+/// *current* load at the rail — the LPM3 MCU draw and any peripheral the
+/// workload holds through the sleep stretch. The governing equation is
+///
+/// ```text
+/// C·dv/dt = i_in(v) − G·v − I_load − [v > V_d]·P_d/v
+/// ```
+///
+/// Multiplying by `v` puts every regime in one quadratic normal form,
+/// `C·v·dv/dt = q(v) = γ + β·v − G·v²` (constant-current input folds
+/// into `β`, power-limited input and the management drain into `γ`), so
+/// `t(v)`, `∫v dt`, and — via the energy identity `∫q dt = ΔE` — every
+/// ledger flow have exact log/atan primitives. Unlike the MCU-off
+/// solver, the mixed constant-current-plus-constant-power case is *not*
+/// a fallback here: the quadratic form covers it.
+#[derive(Clone, Copy, Debug)]
+pub struct PoweredOde {
+    /// Equivalent capacitance at the rail (F).
+    pub c: f64,
+    /// Leakage conductance, `I_leak(v) = g·v` (S).
+    pub g: f64,
+    /// Overvoltage clamp (V).
+    pub v_max: f64,
+    /// Input power offered at the rail (W, ≥ 0).
+    pub p_in: f64,
+    /// Constant-current load at the rail (A, ≥ 0): MCU sleep current
+    /// plus any peripheral held through the stretch.
+    pub i_load: f64,
+    /// Constant management power drawn while `v > v_drain_min` (W).
+    pub p_drain: f64,
+    /// Voltage above which `p_drain` is active.
+    pub v_drain_min: f64,
+}
+
+/// Result of one closed-form powered integration, with every ledger
+/// flow closed so `delivered − leaked − drained − load_consumed −
+/// clipped == ΔE` to machine precision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoweredSolution {
+    /// Time integrated (≤ the requested horizon; shorter only when the
+    /// stop voltage was reached first).
+    pub elapsed: f64,
+    /// Terminal voltage.
+    pub v_final: f64,
+    /// Energy the harvester delivered into storage (incl. clipped).
+    pub delivered: f64,
+    /// Energy lost to leakage, `∫ G·v² dt`.
+    pub leaked: f64,
+    /// Energy consumed by the management drain.
+    pub drained: f64,
+    /// Energy consumed by the constant-current load, `I·∫v dt`.
+    pub load_consumed: f64,
+    /// Energy burned by the overvoltage clamp.
+    pub clipped: f64,
+}
+
+/// Antiderivative bundle for `q(v) = a·v² + b·v + c`: `i1 = ∫ v/q dv`
+/// gives crossing times (`t = C·Δi1`), `i2 = ∫ v²/q dv` gives the load
+/// integral (`∫v dt = C·Δi2`). Only evaluated on root-free intervals —
+/// the walker confines each segment between its regime boundaries and
+/// the nearest equilibrium, where `q` keeps one sign.
+#[derive(Clone, Copy, Debug)]
+struct Quad {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl Quad {
+    #[inline]
+    fn q(&self, v: f64) -> f64 {
+        (self.a * v + self.b) * v + self.c
+    }
+
+    /// Antiderivative of `1/q`.
+    fn i0(&self, v: f64) -> f64 {
+        let Quad { a, b, c } = *self;
+        if a == 0.0 {
+            if b == 0.0 {
+                return v / c;
+            }
+            return (b * v + c).abs().ln() / b;
+        }
+        let disc = b * b - 4.0 * a * c;
+        if disc > 0.0 {
+            let sq = disc.sqrt();
+            let r1 = (-b - sq) / (2.0 * a);
+            let r2 = (-b + sq) / (2.0 * a);
+            ((v - r2) / (v - r1)).abs().ln() / (a * (r2 - r1))
+        } else if disc == 0.0 {
+            let r = -b / (2.0 * a);
+            -1.0 / (a * (v - r))
+        } else {
+            let sq = (-disc).sqrt();
+            2.0 / sq * ((2.0 * a * v + b) / sq).atan()
+        }
+    }
+
+    /// Antiderivative of `v/q`.
+    fn i1(&self, v: f64) -> f64 {
+        let Quad { a, b, c } = *self;
+        if a == 0.0 {
+            if b == 0.0 {
+                return v * v / (2.0 * c);
+            }
+            return v / b - (c / b) * self.i0(v);
+        }
+        self.q(v).abs().ln() / (2.0 * a) - (b / (2.0 * a)) * self.i0(v)
+    }
+
+    /// Antiderivative of `v²/q`.
+    fn i2(&self, v: f64) -> f64 {
+        let Quad { a, b, c } = *self;
+        if a == 0.0 {
+            if b == 0.0 {
+                return v * v * v / (3.0 * c);
+            }
+            return v * v / (2.0 * b) - (c / b) * self.i1(v);
+        }
+        v / a - (b / a) * self.i1(v) - (c / a) * self.i0(v)
+    }
+
+    /// Real roots in ascending order.
+    fn roots(&self) -> (Option<f64>, Option<f64>) {
+        let Quad { a, b, c } = *self;
+        if a == 0.0 {
+            if b == 0.0 {
+                return (None, None);
+            }
+            return (Some(-c / b), None);
+        }
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return (None, None);
+        }
+        let sq = disc.sqrt();
+        let r1 = (-b - sq) / (2.0 * a);
+        let r2 = (-b + sq) / (2.0 * a);
+        if r1 <= r2 {
+            (Some(r1), Some(r2))
+        } else {
+            (Some(r2), Some(r1))
+        }
+    }
+
+    /// Inverts `t(v) = target` on the monotone stretch from `v0`
+    /// toward `v_lim` (`v_lim` may be an equilibrium root, where
+    /// `t → ∞`; it is never evaluated itself). Newton with a bisection
+    /// safeguard: `dt/dv = C·v/q(v)` is exact, so from the Euler
+    /// initial guess the solve usually lands in two or three
+    /// iterations — this runs once per poll segment on the controller
+    /// buffers' sleep strides, so it is hot.
+    fn invert(&self, cc: f64, v0: f64, v_lim: f64, target: f64) -> f64 {
+        let base = self.i1(v0);
+        let rising = v0 <= v_lim;
+        let (mut lo, mut hi) = if rising { (v0, v_lim) } else { (v_lim, v0) };
+        let mut v = v0 + self.q(v0) / (cc * v0) * target;
+        if !(v > lo && v < hi) {
+            v = 0.5 * (lo + hi);
+        }
+        for _ in 0..60 {
+            let t = cc * (self.i1(v) - base);
+            let err = t - target;
+            // Tighten the bracket (t grows along the trajectory: with
+            // v0 on the `lo` side when rising, the `hi` side when not).
+            if (err < 0.0) == rising {
+                lo = v;
+            } else {
+                hi = v;
+            }
+            if err.abs() <= 1e-12 * target.abs() {
+                break;
+            }
+            let q = self.q(v);
+            let mut next = if q != 0.0 {
+                v - err * q / (cc * v)
+            } else {
+                0.5 * (lo + hi)
+            };
+            if !(next > lo && next < hi) {
+                next = 0.5 * (lo + hi);
+            }
+            if next == v || lo >= hi {
+                break;
+            }
+            v = next;
+        }
+        v
+    }
+}
+
+/// Integrates the powered ODE from `v_start` for up to `horizon`
+/// seconds, stopping early once the voltage *falls to* `v_stop` (the
+/// power gate's brown-out threshold) or — when `v_wake` is given —
+/// *rises to* it (the predicted crossing of a sleeping workload's
+/// §3.4.1 energy threshold). Rising trajectories otherwise hold at the
+/// overvoltage clamp. Returns `None` only for malformed inputs; every
+/// regime has a closed form.
+pub fn integrate_powered(
+    ode: &PoweredOde,
+    v_start: f64,
+    horizon: f64,
+    v_stop: f64,
+    v_wake: Option<f64>,
+) -> Option<PoweredSolution> {
+    const V_FLOOR: f64 = CONVERSION_FLOOR.get();
+    const I_LIMIT: f64 = CHARGE_CURRENT_LIMIT.get();
+    let PoweredOde {
+        c,
+        g,
+        v_max,
+        p_in: p,
+        i_load,
+        p_drain,
+        v_drain_min,
+    } = *ode;
+    // A powered stretch starts above the brown-out voltage; an empty
+    // rail (or malformed problem) is the fine-step loop's business.
+    let well_formed = c > 0.0 && horizon.is_finite() && v_start > 0.0;
+    if !well_formed {
+        return None;
+    }
+
+    let mut v = v_start.min(v_max);
+    let mut remaining = horizon;
+    let mut sol = PoweredSolution {
+        v_final: v,
+        ..PoweredSolution::default()
+    };
+
+    // Books one integrated segment, closing the leakage flow against
+    // the energy identity so the ledger balances exactly.
+    let book = |sol: &mut PoweredSolution,
+                quad: &Quad,
+                v0: f64,
+                v1: f64,
+                t: f64,
+                i_const: Option<f64>,
+                drain_on: bool| {
+        let int_v = c * (quad.i2(v1) - quad.i2(v0));
+        let delivered = match i_const {
+            Some(i) => i * int_v,
+            None => p * t,
+        };
+        let load = i_load * int_v;
+        let drained = if drain_on { p_drain * t } else { 0.0 };
+        let de = 0.5 * c * (v1 * v1 - v0 * v0);
+        // ∫q dt = ΔE ⇒ leaked = delivered − drained − load − ΔE exactly;
+        // clamp the g = 0 case's rounding dust at zero and re-close.
+        let leaked = (delivered - drained - load - de).max(0.0);
+        sol.delivered += de + leaked + drained + load;
+        sol.leaked += leaked;
+        sol.drained += drained;
+        sol.load_consumed += load;
+        sol.elapsed += t;
+        sol.v_final = v1;
+    };
+
+    for _ in 0..64 {
+        if remaining <= 0.0 || v <= v_stop {
+            break;
+        }
+        if let Some(vw) = v_wake {
+            if v >= vw {
+                break;
+            }
+        }
+
+        // Overvoltage clamp hold: net inflow at the clamp burns in the
+        // protection circuit while the rail sits pinned.
+        if v >= v_max - 1e-12 {
+            let i_in = if p > 0.0 {
+                (p / v_max.max(V_FLOOR)).min(I_LIMIT)
+            } else {
+                0.0
+            };
+            let p_d = if p_drain > 0.0 && v_max > v_drain_min {
+                p_drain
+            } else {
+                0.0
+            };
+            let inflow = i_in * v_max;
+            let outflow = g * v_max * v_max + i_load * v_max + p_d;
+            if inflow >= outflow {
+                sol.delivered += inflow * remaining;
+                sol.leaked += g * v_max * v_max * remaining;
+                sol.drained += p_d * remaining;
+                sol.load_consumed += i_load * v_max * remaining;
+                sol.clipped += (inflow - outflow) * remaining;
+                sol.elapsed += remaining;
+                sol.v_final = v_max;
+                return Some(sol);
+            }
+            // Outflow outruns the clamp input: decays below via the
+            // ordinary regimes.
+        }
+
+        let drain_on = p_drain > 0.0 && v > v_drain_min;
+
+        // Input regime at v: constant current (dark / cold-start floor /
+        // current-limited) or power-limited, with its v-interval.
+        let (i_const, regime_lo, regime_hi) = if p <= 0.0 {
+            (Some(0.0), 0.0, f64::INFINITY)
+        } else if v < V_FLOOR {
+            (Some((p / V_FLOOR).min(I_LIMIT)), 0.0, V_FLOOR)
+        } else if p / v >= I_LIMIT {
+            (Some(I_LIMIT), V_FLOOR, p / I_LIMIT)
+        } else {
+            (None, (p / I_LIMIT).max(V_FLOOR), f64::INFINITY)
+        };
+
+        let gamma = match i_const {
+            Some(_) => 0.0,
+            None => p,
+        } - if drain_on { p_drain } else { 0.0 };
+        let beta = i_const.unwrap_or(0.0) - i_load;
+        let quad = Quad {
+            a: -g,
+            b: beta,
+            c: gamma,
+        };
+
+        let q0 = quad.q(v);
+        if q0 == 0.0 {
+            // Equilibrium: inflow exactly balances outflow; the rail
+            // holds for the rest of the horizon.
+            let delivered = match i_const {
+                Some(i) => i * v,
+                None => p,
+            };
+            sol.delivered += delivered * remaining;
+            sol.leaked += g * v * v * remaining;
+            sol.drained += if drain_on { p_drain * remaining } else { 0.0 };
+            sol.load_consumed += i_load * v * remaining;
+            sol.elapsed += remaining;
+            sol.v_final = v;
+            return Some(sol);
+        }
+
+        // Regime boundary in the direction of motion (the drain
+        // threshold toggles the ODE, so it bounds like the rest).
+        let rising = q0 > 0.0;
+        let vb = if rising {
+            let mut vb = regime_hi.min(v_max);
+            if let Some(vw) = v_wake {
+                vb = vb.min(vw);
+            }
+            if p_drain > 0.0 && !drain_on && v < v_drain_min {
+                vb = vb.min(v_drain_min);
+            }
+            vb
+        } else {
+            let mut vb = regime_lo.max(v_stop).max(0.0);
+            if drain_on && v_drain_min > vb {
+                vb = v_drain_min;
+            }
+            vb
+        };
+
+        // Equilibrium root strictly between v and the boundary makes the
+        // boundary unreachable: integrate out the horizon toward it.
+        let (r_lo, r_hi) = quad.roots();
+        let blocking = if rising {
+            [r_lo, r_hi]
+                .into_iter()
+                .flatten()
+                .filter(|&r| r > v && r <= vb)
+                .fold(None::<f64>, |m, r| Some(m.map_or(r, |m| m.min(r))))
+        } else {
+            [r_lo, r_hi]
+                .into_iter()
+                .flatten()
+                .filter(|&r| r < v && r >= vb)
+                .fold(None::<f64>, |m, r| Some(m.map_or(r, |m| m.max(r))))
+        };
+
+        if let Some(r) = blocking {
+            let v_end = quad.invert(c, v, r, remaining);
+            book(&mut sol, &quad, v, v_end, remaining, i_const, drain_on);
+            return Some(sol);
+        }
+
+        let t_hit = c * (quad.i1(vb) - quad.i1(v));
+        if !t_hit.is_finite() || t_hit >= remaining {
+            let v_end = quad.invert(c, v, vb, remaining);
+            book(&mut sol, &quad, v, v_end, remaining, i_const, drain_on);
+            return Some(sol);
+        }
+        book(&mut sol, &quad, v, vb, t_hit, i_const, drain_on);
+        remaining -= t_hit;
+        // Land an ulp past the boundary so the next iteration
+        // classifies into the adjacent regime (never above the clamp,
+        // never below an empty rail).
+        if !rising && vb <= 0.0 {
+            break;
+        }
+        v = if rising {
+            f64::from_bits(vb.to_bits() + 1).min(v_max)
+        } else {
+            f64::from_bits(vb.to_bits() - 1)
+        };
+        sol.v_final = v;
+    }
+
+    Some(sol)
+}
+
+/// Two-pass quantized powered integration, mirroring
+/// [`integrate_quantized`]: pass 1 finds the brown-out (or wake-energy)
+/// crossing, if any; the crossing time is rounded *up* onto the
+/// `fine_dt` grid so the power gate — and the sleeping workload's
+/// per-step energy check — observe it at the same timestep quantization
+/// as the fixed-dt reference; pass 2 integrates exactly that long for
+/// the energy books. Returns the advanced time and the matching
+/// solution.
+pub fn integrate_powered_quantized(
+    ode: &PoweredOde,
+    v_start: f64,
+    duration: f64,
+    v_stop: f64,
+    v_wake: Option<f64>,
+    fine_dt: f64,
+) -> Option<(f64, PoweredSolution)> {
+    assert!(fine_dt > 0.0, "fine timestep must be positive");
+    let woken = |v: f64| v_wake.is_some_and(|vw| v >= vw);
+    if v_start <= v_stop || woken(v_start) || duration <= 0.0 {
+        return Some((
+            0.0,
+            PoweredSolution {
+                v_final: v_start,
+                ..PoweredSolution::default()
+            },
+        ));
+    }
+    let probe = integrate_powered(ode, v_start, duration, v_stop, v_wake)?;
+    if probe.elapsed >= duration {
+        return Some((duration, probe));
+    }
+    if probe.v_final > v_stop && !woken(probe.v_final) {
+        // Regime-walker exhaustion (pathological chatter): commit the
+        // whole-step prefix and let the caller fine-step the rest.
+        let t_adv = (probe.elapsed / fine_dt).floor() * fine_dt;
+        if t_adv < fine_dt {
+            return None;
+        }
+        let fin = integrate_powered(ode, v_start, t_adv, f64::NEG_INFINITY, None)?;
+        return Some((t_adv, fin));
+    }
+    // Crossed a stop early: quantize the crossing up to the grid.
+    let t_adv = ((probe.elapsed / fine_dt).ceil() * fine_dt)
+        .max(fine_dt)
+        .min(duration);
+    let fin = integrate_powered(ode, v_start, t_adv, f64::NEG_INFINITY, None)?;
+    Some((t_adv, fin))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +1014,145 @@ mod tests {
         let steps = t_adv / 1e-3;
         assert!((steps - steps.round()).abs() < 1e-6, "steps {steps}");
         assert!(sol.v_final >= 3.3 - 1e-6);
+    }
+
+    fn powered(p_in: f64, i_load: f64, p_drain: f64) -> PoweredOde {
+        PoweredOde {
+            c: 10e-3,
+            g: 0.3e-6 / 5.5,
+            v_max: 3.6,
+            p_in,
+            i_load,
+            p_drain,
+            v_drain_min: 0.5,
+        }
+    }
+
+    /// Dense Euler reference of the same continuous powered ODE.
+    fn euler_powered(ode: &PoweredOde, v0: f64, horizon: f64, v_stop: f64) -> (f64, f64) {
+        const V_FLOOR: f64 = CONVERSION_FLOOR.get();
+        const I_LIMIT: f64 = CHARGE_CURRENT_LIMIT.get();
+        let dt = 1e-4;
+        let mut v = v0;
+        let mut t = 0.0;
+        while t < horizon {
+            if v <= v_stop {
+                break;
+            }
+            let i_in = if ode.p_in > 0.0 {
+                (ode.p_in / v.max(V_FLOOR)).min(I_LIMIT)
+            } else {
+                0.0
+            };
+            let p_d = if ode.p_drain > 0.0 && v > ode.v_drain_min {
+                ode.p_drain / v
+            } else {
+                0.0
+            };
+            let dv = (i_in - ode.g * v - ode.i_load - p_d) * dt / ode.c;
+            v = (v + dv).min(ode.v_max).max(0.0);
+            t += dt;
+        }
+        (t, v)
+    }
+
+    #[test]
+    fn powered_dark_drain_matches_euler_and_crosses_brownout() {
+        // 200 µA LPM3+radio draw, no input: C·ΔV/I ≈ 75 s to brown-out.
+        let o = powered(0.0, 200e-6, 0.0);
+        let sol = integrate_powered(&o, 3.3, 600.0, 1.8, None).unwrap();
+        let (t_ref, _) = euler_powered(&o, 3.3, 600.0, 1.8);
+        assert!(
+            (sol.elapsed - t_ref).abs() < 0.01 * t_ref,
+            "crossing {} vs euler {}",
+            sol.elapsed,
+            t_ref
+        );
+        assert!((sol.v_final - 1.8).abs() < 1e-6);
+        assert!(sol.load_consumed > 0.0 && sol.delivered == 0.0);
+    }
+
+    #[test]
+    fn powered_charge_rises_and_holds_at_clamp() {
+        let o = powered(5e-3, 100e-6, 0.0);
+        let sol = integrate_powered(&o, 2.0, 400.0, 1.8, None).unwrap();
+        let (_, v_ref) = euler_powered(&o, 2.0, 400.0, 1.8);
+        assert!((sol.elapsed - 400.0).abs() < 1e-9);
+        assert!(
+            (sol.v_final - v_ref).abs() < 0.01 * v_ref,
+            "v {} vs euler {v_ref}",
+            sol.v_final
+        );
+        assert!((sol.v_final - 3.6).abs() < 1e-9, "must reach the clamp");
+        assert!(sol.clipped > 0.0);
+    }
+
+    #[test]
+    fn powered_equilibrium_is_asymptotic() {
+        // 2.5 mW input vs 1 mA load: equilibrium just under 2.5 V.
+        let o = powered(2.5e-3, 1e-3, 0.0);
+        let sol = integrate_powered(&o, 2.0, 2000.0, 0.5, None).unwrap();
+        let (_, v_ref) = euler_powered(&o, 2.0, 2000.0, 0.5);
+        assert!((sol.elapsed - 2000.0).abs() < 1e-9);
+        assert!(
+            (sol.v_final - v_ref).abs() < 0.005,
+            "v {} vs euler {v_ref}",
+            sol.v_final
+        );
+        assert!((sol.v_final - 2.5).abs() < 0.01, "v {}", sol.v_final);
+    }
+
+    #[test]
+    fn powered_mixed_drain_and_load_matches_euler() {
+        // The case the MCU-off solver refuses (constant current +
+        // constant power): the quadratic form handles it exactly.
+        let o = powered(1e-3, 150e-6, 60e-6);
+        for v0 in [3.3, 2.2, 1.9] {
+            let sol = integrate_powered(&o, v0, 300.0, 1.8, None).unwrap();
+            let (t_ref, v_ref) = euler_powered(&o, v0, 300.0, 1.8);
+            assert!(
+                (sol.elapsed - t_ref).abs() < 0.01 * t_ref.max(1.0),
+                "v0={v0}: t {} vs euler {t_ref}",
+                sol.elapsed
+            );
+            assert!(
+                (sol.v_final - v_ref).abs() < 0.01 * v_ref.max(0.1),
+                "v0={v0}: v {} vs euler {v_ref}",
+                sol.v_final
+            );
+            assert!(sol.drained > 0.0);
+        }
+    }
+
+    #[test]
+    fn powered_books_balance_exactly() {
+        for (p, i, d, v0) in [
+            (0.0, 2e-6, 0.0, 3.3),
+            (2e-3, 150e-6, 0.0, 2.0),
+            (5e-3, 1e-3, 60e-6, 1.9),
+            (20e-3, 100e-6, 0.0, 3.55),
+            (0.0, 5e-3, 20e-6, 3.0),
+        ] {
+            let o = powered(p, i, d);
+            let sol = integrate_powered(&o, v0, 250.0, 0.4, None).unwrap();
+            let de = 0.5 * o.c * (sol.v_final * sol.v_final - v0 * v0);
+            let resid =
+                sol.delivered - sol.leaked - sol.drained - sol.load_consumed - sol.clipped - de;
+            assert!(
+                resid.abs() < 1e-9 * sol.delivered.max(sol.load_consumed).max(1e-6),
+                "p={p} i={i} d={d}: residual {resid}"
+            );
+        }
+    }
+
+    #[test]
+    fn powered_quantized_crossing_lands_on_grid() {
+        let o = powered(0.0, 500e-6, 0.0);
+        let (t_adv, sol) = integrate_powered_quantized(&o, 3.3, 600.0, 1.8, None, 1e-3).unwrap();
+        let steps = t_adv / 1e-3;
+        assert!((steps - steps.round()).abs() < 1e-6, "steps {steps}");
+        assert!(sol.v_final <= 1.8 + 1e-9, "v {}", sol.v_final);
+        assert!(t_adv < 600.0);
     }
 
     #[test]

@@ -108,6 +108,30 @@ impl EnergyBuffer for DewdropBuffer {
         self.inner.idle_advance(input, duration, v_stop, fine_dt)
     }
 
+    /// The MCU-on sleep fast path forwards the same way: the adaptive
+    /// enable voltage changes when the gate closes, not the physics of
+    /// a powered stretch.
+    fn supports_powered_fast_path(&self) -> bool {
+        self.inner.supports_powered_fast_path()
+    }
+
+    fn powered_advance(
+        &mut self,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        self.inner
+            .powered_advance(input, load, duration, v_stop, v_wake, fine_dt)
+    }
+
+    fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
+        self.inner.rail_voltage_for_usable(energy, v_floor)
+    }
+
     fn ledger(&self) -> &EnergyLedger {
         self.inner.ledger()
     }

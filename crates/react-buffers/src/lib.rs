@@ -40,6 +40,45 @@ pub use buffer::{
     power_intake, reference_idle_advance, BufferKind, EnergyBuffer, CHARGE_CURRENT_LIMIT,
     CONVERSION_FLOOR,
 };
+
+/// Replays a poll accumulator (`acc += dt` per step, reset to exactly
+/// `0.0` on `acc ≥ period`) over `steps` uniform steps in O(steps per
+/// window) instead of O(steps): after the first reset the pattern is
+/// periodic *bit-exactly*, because every window re-accumulates the
+/// same `dt` sequence from the same exact zero. The controller
+/// buffers' dead-band bulk strides use this so week-long sleeps don't
+/// pay a per-step bookkeeping loop.
+pub(crate) fn bulk_poll_acc(acc0: f64, steps: u64, dt: f64, period: f64) -> f64 {
+    let mut acc = acc0;
+    let mut used = 0u64;
+    while used < steps {
+        acc += dt;
+        used += 1;
+        if acc >= period {
+            acc = 0.0;
+            break;
+        }
+    }
+    if used == steps {
+        return acc;
+    }
+    // Steps per window from an exact-zero start (constant thereafter).
+    let mut n_pp = 0u64;
+    let mut probe = 0.0;
+    loop {
+        probe += dt;
+        n_pp += 1;
+        if probe >= period {
+            break;
+        }
+    }
+    let rem = (steps - used) % n_pp;
+    let mut acc = 0.0;
+    for _ in 0..rem {
+        acc += dt;
+    }
+    acc
+}
 pub use capybara::CapybaraBuffer;
 pub use dewdrop::DewdropBuffer;
 pub use morphy::{transition_path as morphy_transition_path, MorphyBuffer};

@@ -363,6 +363,220 @@ impl EnergyBuffer for MorphyBuffer {
         Seconds::new(elapsed)
     }
 
+    fn supports_powered_fast_path(&self) -> bool {
+        true
+    }
+
+    /// Controller-aware closed-form *powered* integration (MCU on,
+    /// workload asleep): identical poll-to-poll segment walk to
+    /// [`idle_advance`](EnergyBuffer::idle_advance) — the externally
+    /// powered controller does not care whether the target sleeps —
+    /// with the LPM3 sleep load folded into the quadratic solver as a
+    /// constant rail current and the early exit flipped to the
+    /// brown-out crossing (quantized up onto the fine grid). Forced
+    /// un-equalized chain states have no closed form (`None`).
+    fn powered_advance(
+        &mut self,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        let vs = v_stop.get();
+        let vw = v_wake.map(Volts::get);
+        let total = duration.get();
+        let dt = fine_dt.get();
+        assert!(dt > 0.0, "fine timestep must be positive");
+        if total <= 0.0 {
+            return Some(Seconds::ZERO);
+        }
+
+        // Sleep-phase invariant: chains equalized at one terminal
+        // voltage (the continuous equalization of the fine-step loop).
+        {
+            let chain_vs = self.network.chain_voltages();
+            let (lo, hi) = chain_vs.iter().fold((f64::MAX, f64::MIN), |(lo, hi), v| {
+                (lo.min(v.get()), hi.max(v.get()))
+            });
+            if hi - lo > 1e-9 * hi.abs().max(1.0) {
+                return None;
+            }
+        }
+
+        let unit = *self.network.unit_spec();
+        let k = charge_ode::leakage_conductance(&unit.leakage) / unit.capacitance.get();
+        let p_in = input.get().max(0.0);
+        let i_load = load.get().max(0.0);
+
+        // Books one integrated span: terminal + within-chain imbalance
+        // decay, ledger closed against the committed energies, dwell.
+        macro_rules! commit_span {
+            ($sol:expr, $t_adv:expr) => {{
+                let sol = $sol;
+                let t_adv = $t_adv;
+                let e_before = self.network.stored_energy();
+                let imbalance = self.network.chain_imbalance();
+                let decay = (-k * t_adv).exp();
+                self.network
+                    .apply_idle_solution(Volts::new(sol.v_final), decay);
+                let e_after = self.network.stored_energy();
+                let leaked =
+                    sol.leaked + 0.5 * unit.capacitance.get() * imbalance * (1.0 - decay * decay);
+                let delivered_gross =
+                    ((e_after.get() - e_before.get()) + leaked + sol.load_consumed + sol.clipped)
+                        .max(0.0);
+                self.ledger.leaked += Joules::new(leaked);
+                self.ledger.load_consumed += Joules::new(sol.load_consumed);
+                self.ledger.clipped += Joules::new(sol.clipped);
+                self.ledger.delivered += Joules::new(delivered_gross - sol.clipped);
+                self.ledger.harvested += Joules::new(delivered_gross);
+                self.note_dwell(t_adv);
+            }};
+        }
+
+        let period = self.poll_period.get();
+        let mut elapsed = 0.0_f64;
+        while elapsed < total {
+            let v_now = self.rail_voltage().get();
+            if v_now <= vs || vw.is_some_and(|vw| v_now >= vw) {
+                break;
+            }
+
+            // 0. Comparator dead band, in bulk: while the terminal sits
+            // strictly inside (v_low, v_high) with a guard margin, the
+            // 10 Hz poller reads "Ok" and the cooldown/accumulator are
+            // the only state that moves — whole spans integrate in one
+            // solve, with the accumulator replayed in closed form and
+            // the cooldown drained by the elapsed time.
+            const BAND_GUARD: f64 = 0.02;
+            let band_lo = (self.v_low.get() + BAND_GUARD).max(vs);
+            let band_hi = self.v_high.get() - BAND_GUARD;
+            let band_stop_up = vw.map_or(band_hi, |vw| vw.min(band_hi));
+            let whole = (((total - elapsed) / dt).floor() * dt).max(0.0);
+            if v_now > band_lo && v_now < band_stop_up && whole > 3.0 * period {
+                let c_eq = self.network.terminal_capacitance().get();
+                let ode = charge_ode::PoweredOde {
+                    c: c_eq,
+                    g: c_eq * k,
+                    v_max: self.rail_clamp.get(),
+                    p_in,
+                    i_load,
+                    p_drain: 0.0,
+                    v_drain_min: f64::INFINITY,
+                };
+                if let Some((t_adv, sol)) = charge_ode::integrate_powered_quantized(
+                    &ode,
+                    v_now,
+                    whole,
+                    band_lo,
+                    Some(band_stop_up),
+                    dt,
+                ) {
+                    if t_adv > 2.0 * period {
+                        commit_span!(sol, t_adv);
+                        let steps = (t_adv / dt).round() as u64;
+                        self.poll_acc = Seconds::new(crate::bulk_poll_acc(
+                            self.poll_acc.get(),
+                            steps,
+                            dt,
+                            period,
+                        ));
+                        self.cooldown_left =
+                            (self.cooldown_left - Seconds::new(t_adv)).max(Seconds::ZERO);
+                        elapsed += t_adv;
+                        continue;
+                    }
+                }
+            }
+
+            // 1. Fine steps until the next poll fires (replayed so poll
+            // times stay step-identical to the reference).
+            let mut acc = self.poll_acc.get();
+            let mut sim_elapsed = elapsed;
+            let mut seg_steps = 0usize;
+            while sim_elapsed < total {
+                let h = dt.min(total - sim_elapsed);
+                sim_elapsed += h;
+                acc += h;
+                seg_steps += 1;
+                if acc >= self.poll_period.get() {
+                    break;
+                }
+            }
+            let seg_horizon = sim_elapsed - elapsed;
+
+            // 2. Closed-form integration of the inter-poll segment.
+            let c_eq = self.network.terminal_capacitance().get();
+            let ode = charge_ode::PoweredOde {
+                c: c_eq,
+                g: c_eq * k,
+                v_max: self.rail_clamp.get(),
+                p_in,
+                i_load,
+                p_drain: 0.0,
+                v_drain_min: f64::INFINITY,
+            };
+            let v0 = self.network.terminal_voltage().get();
+            let Some((t_adv, sol)) =
+                charge_ode::integrate_powered_quantized(&ode, v0, seg_horizon, vs, vw, dt)
+            else {
+                break; // hand the rest back to the fine-step loop
+            };
+            if t_adv <= 0.0 {
+                break;
+            }
+            let (steps_taken, finished_segment) = if t_adv >= seg_horizon - 1e-15 {
+                (seg_steps, true)
+            } else {
+                ((t_adv / dt).round().max(1.0) as usize, false)
+            };
+
+            // 3. Commit network state and energy books (the within-chain
+            // imbalance decay mirrors the idle path).
+            commit_span!(sol, t_adv);
+
+            // 4. Controller bookkeeping; a poll lands only on the
+            // segment's last step.
+            let mut fire = false;
+            for _ in 0..steps_taken {
+                let h = dt.min(total - elapsed);
+                elapsed += h;
+                self.cooldown_left = (self.cooldown_left - Seconds::new(h)).max(Seconds::ZERO);
+                self.poll_acc += Seconds::new(h);
+                if self.poll_acc >= self.poll_period {
+                    self.poll_acc = Seconds::ZERO;
+                    fire = true;
+                }
+            }
+            if fire && finished_segment && self.cooldown_left.get() <= 0.0 {
+                let before = self.reconfigurations;
+                self.poll_controller();
+                if self.reconfigurations != before {
+                    // A ladder move changed the effective capacitance,
+                    // so the kernel's precomputed wake voltage (and the
+                    // workload's usable-energy picture) are stale: hand
+                    // control back so the next stride re-derives them.
+                    break;
+                }
+            }
+        }
+        Some(Seconds::new(elapsed))
+    }
+
+    /// In the present ladder configuration the network is one terminal
+    /// capacitor, so the §3.4.1 wait inverts like a static buffer's.
+    /// (Ladder moves change `C_eq`; the kernel re-derives the crossing
+    /// after every stride, so the frozen-topology assumption holds.)
+    fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
+        let c = self.network.terminal_capacitance().get();
+        let vf = v_floor.get().max(0.0);
+        Some(Volts::new(
+            (vf * vf + 2.0 * energy.get().max(0.0) / c).sqrt(),
+        ))
+    }
+
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, _mcu_running: bool) {
         // Dwell accounting uses the level at the top of the step, before
         // the controller acts — both kernels share this convention.

@@ -440,6 +440,323 @@ impl EnergyBuffer for ReactBuffer {
         Seconds::new(t_adv)
     }
 
+    fn supports_powered_fast_path(&self) -> bool {
+        true
+    }
+
+    /// Controller-aware closed-form *powered* integration: MCU on,
+    /// workload asleep in LPM3. Unlike the dark phase, the 10 Hz
+    /// software poller is alive, so the stride walks poll-to-poll
+    /// segments exactly like [`MorphyBuffer`](crate::MorphyBuffer)'s
+    /// idle path: between polls the LLB and every output-diode-coupled
+    /// bank move as **one combined capacitor** (connected banks sit
+    /// pinned at the LLB voltage — the equalized steady state
+    /// `drain_banks_into_llb` maintains each fine step, whose continuum
+    /// limit has zero diode loss), with the comparator/instrumentation
+    /// draw (plus the per-connected-bank overhead) as a constant-power
+    /// drain and the sleep load as a constant current. At each poll
+    /// boundary the threshold handler runs (replayed step-for-step so
+    /// poll times stay identical to the reference); a reconfiguration
+    /// changes the bank topology, so the stride ends there and the
+    /// kernel re-strides from the new state. Un-equalized connected
+    /// banks (a bank charging up from below the LLB, forced test
+    /// states) have no closed form — `None` falls back to fine steps.
+    fn powered_advance(
+        &mut self,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        let vs = v_stop.get();
+        let vw = v_wake.map(Volts::get);
+        let total = duration.get();
+        let dt = fine_dt.get();
+        assert!(dt > 0.0, "fine timestep must be positive");
+        if total <= 0.0 {
+            return Some(Seconds::ZERO);
+        }
+
+        // Diode-coupled steady state: the fine-step loop's per-step
+        // interleaving (load draw → bank equalization → deposit into
+        // the lowest element) keeps every connected bank within one
+        // step's deposit of the LLB. Anything further out — a freshly
+        // connected drained bank still charging up to the rail — is a
+        // genuinely decoupled state with no closed form.
+        let llb_v = self.llb.voltage().get();
+        let connected: Vec<usize> = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.mode() != BankMode::Disconnected)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &connected {
+            let vt = self.banks[i].terminal_voltage().get();
+            if (vt - llb_v).abs() > 0.01 * llb_v.abs().max(1.0) {
+                return None;
+            }
+        }
+
+        // Enter the stride from the charge-weighted combined voltage
+        // (what continuous diode conduction converges to). Nothing is
+        // committed yet — the guard-band fallback below must leave the
+        // buffer untouched so the fine steps it hands back to really
+        // are the reference microdynamics. The first committed span
+        // lands everything on its `v_final`, and the second-order
+        // equalization loss folds into that commit's energy closure.
+        let mut v_cur = if connected.is_empty() {
+            llb_v
+        } else {
+            let mut num = self.llb.capacitance().get() * llb_v;
+            let mut den = self.llb.capacitance().get();
+            for &i in &connected {
+                let c = self.banks[i].terminal_capacitance().get();
+                num += c * self.banks[i].terminal_voltage().get();
+                den += c;
+            }
+            num / den
+        };
+
+        // The powered stride only runs while the MCU is on; keep the
+        // normally-open-switch bookkeeping consistent for the next
+        // MCU-off transition (a fine step would set the same flag).
+        self.mcu_was_running = true;
+
+        let p_in = input.get().max(0.0);
+        let i_load = load.get().max(0.0);
+        let llb_spec = *self.llb.spec();
+        let mut c_eq = llb_spec.capacitance.get();
+        let mut g_eq = charge_ode::leakage_conductance(&llb_spec.leakage);
+        for &i in &connected {
+            // A bank's terminal decays at its unit's g/C rate in both
+            // modes, so its terminal conductance is k·C_terminal.
+            let unit = self.banks[i].spec().unit;
+            let k = charge_ode::leakage_conductance(&unit.leakage) / unit.capacitance.get();
+            let c_term = self.banks[i].terminal_capacitance().get();
+            c_eq += c_term;
+            g_eq += k * c_term;
+        }
+        let overhead = self.config.instrumentation_overhead.get()
+            + self.config.overhead_per_bank.get() * connected.len() as f64;
+
+        // Books one integrated span: commits the combined capacitor,
+        // closes the ledger against the actual committed energies,
+        // decays disconnected banks, and accrues dwell.
+        macro_rules! commit_span {
+            ($fin:expr, $t_adv:expr) => {{
+                let fin = $fin;
+                let t_adv = $t_adv;
+                let bank_energy = |banks: &[react_circuit::SeriesParallelBank]| -> Joules {
+                    connected.iter().map(|&i| banks[i].stored_energy()).sum()
+                };
+                let e_before = self.llb.energy() + bank_energy(&self.banks);
+                self.llb.set_voltage(Volts::new(fin.v_final));
+                for &i in &connected {
+                    let bank = &mut self.banks[i];
+                    let unit_v = match bank.mode() {
+                        BankMode::Series => fin.v_final / bank.spec().count as f64,
+                        BankMode::Parallel => fin.v_final,
+                        BankMode::Disconnected => unreachable!("connected banks only"),
+                    };
+                    bank.set_unit_voltage(Volts::new(unit_v));
+                }
+                let e_after = self.llb.energy() + bank_energy(&self.banks);
+                let delta_e = (e_after - e_before).get();
+                let delivered_gross =
+                    (delta_e + fin.leaked + fin.load_consumed + fin.drained + fin.clipped).max(0.0);
+                self.ledger.leaked += Joules::new(fin.leaked);
+                self.ledger.load_consumed += Joules::new(fin.load_consumed);
+                self.ledger.overhead_consumed += Joules::new(fin.drained);
+                self.ledger.clipped += Joules::new(fin.clipped);
+                self.ledger.delivered += Joules::new(delivered_gross - fin.clipped);
+                self.ledger.harvested += Joules::new(delivered_gross);
+                for (i, bank) in self.banks.iter_mut().enumerate() {
+                    if connected.contains(&i) {
+                        continue;
+                    }
+                    let unit = bank.spec().unit;
+                    let k = charge_ode::leakage_conductance(&unit.leakage) / unit.capacitance.get();
+                    if k > 0.0 && bank.unit_voltage().get() > 0.0 {
+                        let e_before = bank.stored_energy();
+                        let v_unit = bank.unit_voltage().get() * (-k * t_adv).exp();
+                        bank.set_unit_voltage(Volts::new(v_unit));
+                        self.ledger.leaked += e_before - bank.stored_energy();
+                    }
+                }
+                self.note_dwell(t_adv);
+                v_cur = fin.v_final;
+            }};
+        }
+
+        let period = self.config.poll_period.get();
+        let mut elapsed = 0.0_f64;
+        while elapsed < total {
+            let v_now = v_cur;
+            if v_now <= vs || vw.is_some_and(|vw| v_now >= vw) {
+                break;
+            }
+
+            // 0. Comparator dead band, in bulk: while the rail sits
+            // strictly inside (v_low, v_high) — with the same guard
+            // margin the per-poll path uses — every poll reads "Ok"
+            // and fires nothing, so whole spans of the sleep integrate
+            // in ONE solve instead of poll-by-poll, with the poll
+            // accumulator replayed in closed form. The stride stops at
+            // the band edges (quantized onto the step grid); threshold
+            // approaches then fall to the per-poll walk below.
+            const BAND_GUARD: f64 = 0.02;
+            let band_lo = (self.config.v_low.get() + BAND_GUARD).max(vs);
+            let band_hi = self.config.v_high.get() - BAND_GUARD;
+            let band_stop_up = vw.map_or(band_hi, |vw| vw.min(band_hi));
+            let whole = (((total - elapsed) / dt).floor() * dt).max(0.0);
+            if v_now > band_lo && v_now < band_stop_up && whole > 3.0 * period {
+                let ode = charge_ode::PoweredOde {
+                    c: c_eq,
+                    g: g_eq,
+                    v_max: llb_spec.max_voltage.get(),
+                    p_in,
+                    i_load,
+                    p_drain: overhead,
+                    v_drain_min: INSTRUMENTATION_FLOOR,
+                };
+                if let Some((t_adv, fin)) = charge_ode::integrate_powered_quantized(
+                    &ode,
+                    v_now,
+                    whole,
+                    band_lo,
+                    Some(band_stop_up),
+                    dt,
+                ) {
+                    if t_adv > 2.0 * period {
+                        commit_span!(fin, t_adv);
+                        let steps = (t_adv / dt).round() as u64;
+                        self.poll_acc = Seconds::new(crate::bulk_poll_acc(
+                            self.poll_acc.get(),
+                            steps,
+                            dt,
+                            period,
+                        ));
+                        elapsed += t_adv;
+                        continue;
+                    }
+                }
+            }
+
+            // 1. Replay the controller's per-step bookkeeping to find
+            // how many fine steps remain until the next poll fires.
+            let mut acc = self.poll_acc.get();
+            let mut sim_elapsed = elapsed;
+            let mut seg_steps = 0usize;
+            while sim_elapsed < total {
+                let h = dt.min(total - sim_elapsed);
+                sim_elapsed += h;
+                acc += h;
+                seg_steps += 1;
+                if acc >= self.config.poll_period.get() {
+                    break;
+                }
+            }
+            let seg_polls = acc >= self.config.poll_period.get();
+            let seg_horizon = sim_elapsed - elapsed;
+
+            // 2. Closed-form integration of the inter-poll segment.
+            let ode = charge_ode::PoweredOde {
+                c: c_eq,
+                g: g_eq,
+                v_max: llb_spec.max_voltage.get(),
+                p_in,
+                i_load,
+                p_drain: overhead,
+                v_drain_min: INSTRUMENTATION_FLOOR,
+            };
+            let Some((t_adv, fin)) =
+                charge_ode::integrate_powered_quantized(&ode, v_now, seg_horizon, vs, vw, dt)
+            else {
+                break; // hand the rest back to the fine-step loop
+            };
+            if t_adv <= 0.0 {
+                break;
+            }
+            let (steps_taken, finished_segment) = if t_adv >= seg_horizon - 1e-15 {
+                (seg_steps, true)
+            } else {
+                ((t_adv / dt).round().max(1.0) as usize, false)
+            };
+
+            // Comparator guard band: with banks connected, the combined
+            // capacitor reproduces the *pack average*, but the 10 Hz
+            // poll reads the LLB specifically — which sits within one
+            // step-deposit (a few mV) of the average in the fine-step
+            // loop's churn. That bias is invisible except exactly at
+            // the comparator thresholds, where it can flip a
+            // reconfiguration decision, so a poll landing inside the
+            // band runs on fine steps (which *are* the reference
+            // microdynamics) instead.
+            const THRESHOLD_GUARD: f64 = 0.02;
+            if seg_polls
+                && finished_segment
+                && !connected.is_empty()
+                && ((fin.v_final - self.config.v_high.get()).abs() < THRESHOLD_GUARD
+                    || (fin.v_final - self.config.v_low.get()).abs() < THRESHOLD_GUARD)
+            {
+                if elapsed == 0.0 {
+                    return None;
+                }
+                break;
+            }
+
+            // 3. Commit the combined capacitor and the energy books.
+            commit_span!(fin, t_adv);
+
+            // 4. Controller bookkeeping for the steps taken; a poll can
+            // only land on the segment's last step.
+            let mut fire = false;
+            for _ in 0..steps_taken {
+                let h = dt.min(total - elapsed);
+                elapsed += h;
+                self.poll_acc += Seconds::new(h);
+                if self.poll_acc >= self.config.poll_period {
+                    self.poll_acc = Seconds::ZERO;
+                    fire = true;
+                }
+            }
+            if fire && finished_segment {
+                let before = self.reconfigurations;
+                self.poll_controller();
+                if self.reconfigurations != before {
+                    self.drain_banks_into_llb();
+                    // Bank topology changed: the combined capacitor is
+                    // stale, so hand control back to the kernel.
+                    break;
+                }
+            }
+        }
+        Some(Seconds::new(elapsed))
+    }
+
+    /// With the LLB and every connected bank riding at one rail voltage
+    /// (the equalized sleep-stride invariant), the usable pool is
+    /// `½·C_active·(v² − v_floor²)` for `C_active` = LLB + connected
+    /// terminals — the same inverse as a static buffer of that size.
+    /// Disconnected banks are not promised to the application (§3.4.1),
+    /// so they do not move the crossing.
+    fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
+        let c_active = self.llb.capacitance()
+            + self
+                .banks
+                .iter()
+                .filter(|b| b.mode() != BankMode::Disconnected)
+                .map(|b| b.terminal_capacitance())
+                .sum::<Farads>();
+        let vf = v_floor.get().max(0.0);
+        Some(Volts::new(
+            (vf * vf + 2.0 * energy.get().max(0.0) / c_active.get()).sqrt(),
+        ))
+    }
+
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, mcu_running: bool) {
         // Dwell accounting uses the level at the top of the step, before
         // any controller action — both kernels share this convention.

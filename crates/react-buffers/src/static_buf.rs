@@ -131,6 +131,76 @@ impl EnergyBuffer for StaticBuffer {
         true
     }
 
+    fn supports_powered_fast_path(&self) -> bool {
+        true
+    }
+
+    /// Closed-form powered-sleep integration: MCU-on, workload-idle
+    /// stretches (the dominant simulated regime of responsive-sleep
+    /// deployments, §2.1) collapse the same way charge phases do. The
+    /// constant-current sleep load folds into the quadratic normal form
+    /// of [`charge_ode::integrate_powered`]; any brown-out crossing is
+    /// rounded *up* onto the fine-step grid so the power gate observes
+    /// it at the reference kernel's quantization.
+    fn powered_advance(
+        &mut self,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        let v0 = self.cap.voltage().get();
+        if v0 <= v_stop.get() || duration.get() <= 0.0 {
+            return Some(Seconds::ZERO);
+        }
+        let spec = *self.cap.spec();
+        let ode = charge_ode::PoweredOde {
+            c: spec.capacitance.get(),
+            g: charge_ode::leakage_conductance(&spec.leakage),
+            v_max: spec.max_voltage.get(),
+            p_in: input.get().max(0.0),
+            i_load: load.get().max(0.0),
+            p_drain: 0.0,
+            v_drain_min: f64::INFINITY,
+        };
+        let (t_adv, fin) = charge_ode::integrate_powered_quantized(
+            &ode,
+            v0,
+            duration.get(),
+            v_stop.get(),
+            v_wake.map(Volts::get),
+            fine_dt.get(),
+        )?;
+        if t_adv <= 0.0 {
+            return Some(Seconds::ZERO);
+        }
+        let e0 = self.cap.energy();
+        self.cap.set_voltage(Volts::new(fin.v_final));
+        let delta_e = self.cap.energy() - e0;
+        // delivered := ΔE + losses keeps the ledger residual exactly
+        // zero against the committed (re-rounded) stored energy.
+        let delivered =
+            Joules::new((delta_e.get() + fin.leaked + fin.load_consumed + fin.clipped).max(0.0));
+        self.ledger.leaked += Joules::new(fin.leaked);
+        self.ledger.load_consumed += Joules::new(fin.load_consumed);
+        self.ledger.clipped += Joules::new(fin.clipped);
+        self.ledger.delivered += delivered - Joules::new(fin.clipped);
+        self.ledger.harvested += delivered;
+        Some(Seconds::new(t_adv))
+    }
+
+    /// `usable = ½C(v² − v_floor²)` inverts to
+    /// `v = √(v_floor² + 2E/C)`.
+    fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
+        let c = self.cap.capacitance().get();
+        let vf = v_floor.get().max(0.0);
+        Some(Volts::new(
+            (vf * vf + 2.0 * energy.get().max(0.0) / c).sqrt(),
+        ))
+    }
+
     fn step(&mut self, input: Watts, load: Amps, dt: Seconds, _mcu_running: bool) {
         // Leakage.
         self.ledger.leaked += self.cap.leak(dt);

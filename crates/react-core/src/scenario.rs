@@ -275,6 +275,22 @@ impl Scenario {
         self.run_with_kernel(KernelMode::Adaptive)
     }
 
+    /// The power gate this scenario runs under: the paper's fixed
+    /// 3.3 V / 1.8 V testbed gate for every buffer except Dewdrop,
+    /// whose runtime computes its *adaptive* enable voltage — the
+    /// lowest voltage holding one task quantum above brown-out
+    /// (`≈2.56 V` for the reference configuration). Scenario runs used
+    /// to hard-code the fixed gate for Dewdrop too, measuring a
+    /// strictly handicapped version of the design.
+    pub fn gate(&self) -> react_mcu::PowerGate {
+        if self.buffer == BufferKind::Dewdrop {
+            let enable = react_buffers::DewdropBuffer::reference().adaptive_enable_voltage();
+            react_mcu::PowerGate::new(enable, crate::calib::BROWNOUT_VOLTAGE)
+        } else {
+            react_mcu::PowerGate::new(crate::calib::ENABLE_VOLTAGE, crate::calib::BROWNOUT_VOLTAGE)
+        }
+    }
+
     /// Runs the scenario under an explicit kernel (the fixed-`dt`
     /// reference exists for validation; week-scale scenarios are only
     /// practical under the adaptive kernel).
@@ -287,6 +303,7 @@ impl Scenario {
             .with_timestep(self.dt)
             .with_horizon(self.horizon)
             .with_kernel(kernel)
+            .with_gate(self.gate())
             .run()
     }
 }

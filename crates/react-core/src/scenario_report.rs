@@ -49,7 +49,7 @@ pub const REPORT_SEEDS: [u64; 2] = [0, 1];
 pub const DARK_FLOOR: Watts = Watts::new(10e-6);
 
 /// One (environment, buffer, seed) cell of the report matrix.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScenarioCell {
     /// Registry scenario the cell derives from.
     pub scenario: String,
@@ -86,6 +86,33 @@ pub struct ScenarioCell {
     /// have paid; `fixed_dt_steps / engine_steps` is the collapse
     /// factor the adaptive kernel achieved on this cell.
     pub fixed_dt_steps: u64,
+    /// Wall-clock seconds this cell took to simulate. Diagnostic only:
+    /// excluded from equality and from the conformance gate (absolute
+    /// wall-clock does not transfer across runners — perf is
+    /// `bench_gate`'s job), but printed per cell so matrix-dominating
+    /// cells are visible in CI logs.
+    pub elapsed_s: f64,
+}
+
+/// Equality ignores `elapsed_s`: two runs of the same deterministic
+/// matrix are the same report no matter how long the cells took.
+impl PartialEq for ScenarioCell {
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario == other.scenario
+            && self.environment == other.environment
+            && self.buffer == other.buffer
+            && self.workload == other.workload
+            && self.converter == other.converter
+            && self.seed == other.seed
+            && self.fom == other.fom
+            && self.fom_per_hour == other.fom_per_hour
+            && self.on_time_fraction == other.on_time_fraction
+            && self.longest_outage_survived_s == other.longest_outage_survived_s
+            && self.boots == other.boots
+            && self.reconfigurations == other.reconfigurations
+            && self.engine_steps == other.engine_steps
+            && self.fixed_dt_steps == other.fixed_dt_steps
+    }
 }
 
 impl ScenarioCell {
@@ -186,6 +213,7 @@ impl ScenarioReport {
                 "boots",
                 "reconf",
                 "collapse",
+                "wall (s)",
             ],
         );
         for c in &self.cells {
@@ -200,9 +228,17 @@ impl ScenarioReport {
                 c.boots.to_string(),
                 c.reconfigurations.to_string(),
                 format!("{:.0}×", c.step_collapse()),
+                format!("{:.2}", c.elapsed_s),
             ]);
         }
         table
+    }
+
+    /// Sum of per-cell wall-clock — the single-core-equivalent cost of
+    /// the matrix (the parallel build finishes faster; this is the
+    /// number future perf work on the matrix moves).
+    pub fn total_cell_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.elapsed_s).sum()
     }
 
     /// Renders the environment summaries as an aligned text table.
@@ -306,7 +342,9 @@ pub fn build_report(
     }
 
     let cell = |s: &Scenario| -> ScenarioCell {
+        let started = std::time::Instant::now();
         let out = s.run();
+        let elapsed_s = started.elapsed().as_secs_f64();
         let m = &out.metrics;
         ScenarioCell {
             scenario: s.name.to_string(),
@@ -323,6 +361,7 @@ pub fn build_report(
             reconfigurations: m.reconfigurations,
             engine_steps: m.engine_steps,
             fixed_dt_steps: (s.horizon.get() / s.dt.get()).round() as u64,
+            elapsed_s,
         }
     };
     let cells: Vec<ScenarioCell> = if parallel {

@@ -24,9 +24,9 @@
 
 use react_buffers::EnergyBuffer;
 use react_harvest::{PowerReplay, PowerSource, TraceSource};
-use react_mcu::{Mcu, McuSpec, PowerGate};
+use react_mcu::{Mcu, McuSpec, PowerGate, PowerMode};
 use react_units::{Amps, Seconds};
-use react_workloads::{LoadDemand, Workload, WorkloadEnv};
+use react_workloads::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 use crate::calib;
 use crate::metrics::{RunMetrics, RunOutcome, VoltageSample};
@@ -191,6 +191,15 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         // MCU-off physics integrate in closed form; everything else
         // fine-steps through the main loop, keeping step counts honest.
         let fast_path = kernel == KernelMode::Adaptive && buffer.supports_idle_fast_path();
+        // The sleep fast path is its mirror image for MCU-**on**,
+        // workload-idle LPM3 stretches (§2.1: responsive sleep is where
+        // batteryless nodes spend almost all of their on-time).
+        let sleep_fast = kernel == KernelMode::Adaptive && buffer.supports_powered_fast_path();
+        // Peripheral current of the most recent sleep demand — what the
+        // workload holds powered through the stretch (mic bias, wake-up
+        // receiver). Valid whenever the MCU sits in `Sleep`, which only
+        // a workload step can request.
+        let mut sleep_peripheral = Amps::ZERO;
         let mut t = Seconds::ZERO;
         let mut probe_acc = Seconds::ZERO;
         let mut on_since: Option<Seconds> = None;
@@ -205,6 +214,59 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         let mut poll_debt = 0.0_f64;
         let mut engine_steps = 0u64;
 
+        // Coarse-stride machinery shared by the idle (MCU-off) and
+        // sleep (MCU-on) fast paths. `stride_window!` fetches one
+        // converter-composed source window — the environment is
+        // disconnected past the harvest horizon, so the drain phase
+        // runs on stored energy alone, matching bounded-trace
+        // semantics (power_at is zero past the end) for streaming
+        // sources too; rail power is constant over the whole span
+        // (static efficiency curve, OVP above the rail clamp), so one
+        // conversion at the stride's entry voltage covers the
+        // closed-form integration. `commit_stride!` books an advanced
+        // stride and re-enters the loop: probe samples are stamped one
+        // step back, where the reference kernel records them.
+        macro_rules! stride_window {
+            () => {{
+                let (p_rail, window_end) = if t >= trace_end {
+                    (react_units::Watts::ZERO, hard_end)
+                } else {
+                    let (p, end) = cursor.rail_window(t, buffer.input_voltage());
+                    (p, end.min(trace_end))
+                };
+                (p_rail, window_end.min(hard_end))
+            }};
+        }
+        macro_rules! commit_stride {
+            ($advanced:expr, $on:expr) => {{
+                let advanced = $advanced;
+                engine_steps += 1;
+                t += advanced;
+                if $on {
+                    metrics.on_time += advanced;
+                }
+                if let Some(interval) = probe_interval {
+                    probe_acc += advanced;
+                    if probe_acc >= interval {
+                        probe_acc = Seconds::ZERO;
+                        series.push(VoltageSample {
+                            time_s: (t - dt).max(Seconds::ZERO).get(),
+                            voltage_v: buffer.rail_voltage().get(),
+                            on: $on,
+                            capacitance_f: buffer.equivalent_capacitance().get(),
+                        });
+                    }
+                }
+                if t >= trace_end && !gate.is_closed() {
+                    break;
+                }
+                if t >= hard_end {
+                    break;
+                }
+                continue;
+            }};
+        }
+
         loop {
             let v = buffer.rail_voltage();
 
@@ -214,21 +276,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             // piecewise-constant input, which `idle_advance` integrates
             // in one stride.
             if fast_path && !gate.is_closed() && !mcu.is_powered() && v < gate.enable_voltage() {
-                // Past the harvest horizon the environment is
-                // disconnected: the drain phase runs on stored energy
-                // alone, matching bounded-trace semantics (power_at is
-                // zero past the end) for streaming sources too.
-                // The converter-composed segment: rail power is constant
-                // over the whole span (static efficiency curve, OVP above
-                // the rail clamp), so one conversion at the stride's
-                // entry voltage covers the closed-form integration.
-                let (p_rail, window_end) = if t >= trace_end {
-                    (react_units::Watts::ZERO, hard_end)
-                } else {
-                    let (p, end) = cursor.rail_window(t, buffer.input_voltage());
-                    (p, end.min(trace_end))
-                };
-                let mut stride_end = window_end.min(hard_end);
+                let (p_rail, window_end) = stride_window!();
+                let mut stride_end = window_end;
                 if let Some(interval) = probe_interval {
                     // Never integrate across a probe boundary.
                     stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
@@ -237,29 +286,82 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                 if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
                     let advanced = buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
                     if advanced.get() > 0.0 {
-                        engine_steps += 1;
-                        t += advanced;
-                        if let Some(interval) = probe_interval {
-                            probe_acc += advanced;
-                            if probe_acc >= interval {
-                                probe_acc = Seconds::ZERO;
-                                series.push(VoltageSample {
-                                    // Stamped one step back, where the
-                                    // reference kernel records it.
-                                    time_s: (t - dt).max(Seconds::ZERO).get(),
-                                    voltage_v: buffer.rail_voltage().get(),
-                                    on: false,
-                                    capacitance_f: buffer.equivalent_capacitance().get(),
-                                });
-                            }
+                        commit_stride!(advanced, false);
+                    }
+                }
+            }
+
+            // Adaptive sleep fast path: gate closed, MCU asleep in LPM3
+            // on a quiet workload — the only dynamics are buffer physics
+            // under the standing sleep draw (MCU sleep current plus the
+            // held peripheral), which `powered_advance` integrates in
+            // closed form up to the workload's next wake-up, the end of
+            // the converter-composed source segment, or the predicted
+            // brown-out crossing (quantized onto the `dt` grid). A
+            // pending poll-service debt keeps the stretch on fine steps
+            // (the serviced step runs the CPU active).
+            if sleep_fast
+                && gate.is_closed()
+                && mcu.is_running()
+                && mcu.mode() == PowerMode::Sleep
+                && poll_debt < dt.get()
+                && v > gate.brownout_voltage()
+            {
+                let env = WorkloadEnv {
+                    now: t,
+                    dt,
+                    rail_voltage: v,
+                    usable_energy: buffer.usable_energy_above(gate.brownout_voltage()),
+                    supports_longevity: buffer.supports_longevity(),
+                };
+                // Resolve the hint to a wake *time* plus, for §3.4.1
+                // energy waits, a wake *voltage* — the rail level at
+                // which the buffer's usable pool first covers the
+                // workload's threshold, where the stride must stop so
+                // the per-step energy check observes the crossing.
+                let far = Seconds::new(f64::INFINITY);
+                let wake = match workload.next_wake(&env) {
+                    WakeHint::Immediate => None,
+                    // A stale hint (at or behind the clock) gets the
+                    // fine-step treatment rather than a zero stride.
+                    WakeHint::At(tw) if tw > t => Some((tw, None)),
+                    WakeHint::At(_) => None,
+                    WakeHint::WhenEnergy { energy, deadline } => {
+                        if env.usable_energy >= energy || deadline.is_some_and(|d| d <= t) {
+                            // Already awake (or an event is due): the
+                            // wake-up itself runs on fine steps.
+                            None
+                        } else {
+                            buffer
+                                .rail_voltage_for_usable(energy, gate.brownout_voltage())
+                                .map(|v_wake| (deadline.unwrap_or(far), Some(v_wake)))
                         }
-                        if t >= trace_end && !gate.is_closed() {
-                            break;
+                    }
+                    WakeHint::Never => Some((far, None)),
+                };
+                if let Some((wake, v_wake)) = wake {
+                    let (p_rail, window_end) = stride_window!();
+                    let mut stride_end = window_end.min(wake);
+                    if let Some(interval) = probe_interval {
+                        // Never integrate across a probe boundary.
+                        stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
+                    }
+                    let stride = stride_end - t;
+                    if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
+                        let i_sleep = mcu.running_current() + sleep_peripheral;
+                        let advanced = buffer
+                            .powered_advance(
+                                p_rail,
+                                i_sleep,
+                                stride,
+                                gate.brownout_voltage(),
+                                v_wake,
+                                dt,
+                            )
+                            .unwrap_or(Seconds::ZERO);
+                        if advanced.get() > 0.0 {
+                            commit_stride!(advanced, true);
                         }
-                        if t >= hard_end {
-                            break;
-                        }
-                        continue;
                     }
                 }
             }
@@ -316,6 +418,9 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                         } = workload.step(&env);
                         mcu.set_mode(mode);
                         peripheral = peripheral_current;
+                        if mode == react_mcu::PowerMode::Sleep {
+                            sleep_peripheral = peripheral_current;
+                        }
                         // Poll overhead accrues against active cycles
                         // only; a sleeping CPU wakes for ~100 µs per
                         // poll, which is already inside the LPM3 budget.

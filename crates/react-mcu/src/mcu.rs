@@ -137,6 +137,22 @@ impl Mcu {
         }
     }
 
+    /// Supply current the MCU draws in its present state, without
+    /// advancing time: zero while unpowered, active current while
+    /// booting, otherwise the present mode's current. This is what a
+    /// coarse sleep stride integrates — [`step`](Self::step) returns
+    /// the same value but also advances the boot sequence, so the
+    /// adaptive kernel's closed-form paths must read it from here.
+    pub fn running_current(&self) -> Amps {
+        if !self.powered {
+            return Amps::ZERO;
+        }
+        if self.boot_remaining.get() > 0.0 {
+            return self.spec.active_current;
+        }
+        self.spec.current(self.mode)
+    }
+
     /// Advances time; returns the supply current drawn over the step.
     pub fn step(&mut self, dt: Seconds) -> Amps {
         if !self.powered {
@@ -206,6 +222,23 @@ mod tests {
         m.set_mode(PowerMode::DeepSleep);
         let i = m.step(Seconds::from_milli(1.0));
         assert!((i.to_micro() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_current_reads_without_stepping() {
+        let mut m = Mcu::new(McuSpec::msp430fr5994());
+        assert_eq!(m.running_current(), Amps::ZERO);
+        m.power_on();
+        // Booting: active current, and reading does not advance boot.
+        assert!((m.running_current().to_milli() - 1.5).abs() < 1e-12);
+        assert!(!m.is_running());
+        for _ in 0..6 {
+            m.step(Seconds::from_milli(1.0));
+        }
+        m.set_mode(PowerMode::Sleep);
+        // The sleep stride integrates exactly this 2 µA LPM3 draw.
+        assert!((m.running_current().to_micro() - 2.0).abs() < 1e-12);
+        assert_eq!(m.running_current(), m.step(Seconds::from_milli(1.0)));
     }
 
     #[test]

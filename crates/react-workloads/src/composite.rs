@@ -17,7 +17,7 @@ use crate::costs;
 use crate::events::EventSchedule;
 use crate::fir::FirFilter;
 use crate::mic::Microphone;
-use crate::{LoadDemand, Workload, WorkloadEnv};
+use crate::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Phase {
@@ -171,6 +171,29 @@ impl Workload for SenseAndSend {
                 }
                 LoadDemand::active_with(self.radio.rated_current())
             }
+        }
+    }
+
+    /// Idle with no batch pending sleeps until the next sensing
+    /// deadline; with a full batch buffered (a longevity buffer
+    /// charging toward the upload) the wait ends at the TX energy
+    /// threshold or the next deadline, whichever comes first.
+    fn next_wake(&self, env: &WorkloadEnv) -> WakeHint {
+        if self.phase != Phase::Idle {
+            return WakeHint::Immediate;
+        }
+        if self.buffered >= self.batch {
+            if !env.supports_longevity {
+                return WakeHint::Immediate;
+            }
+            return WakeHint::WhenEnergy {
+                energy: self.tx_energy,
+                deadline: self.deadlines.peek(),
+            };
+        }
+        match self.deadlines.peek() {
+            Some(t) => WakeHint::At(t),
+            None => WakeHint::Never,
         }
     }
 

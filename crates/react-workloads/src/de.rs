@@ -8,7 +8,7 @@ use react_units::Seconds;
 
 use crate::aes::Aes128;
 use crate::costs;
-use crate::{LoadDemand, Workload, WorkloadEnv};
+use crate::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 /// The Data Encryption workload.
 #[derive(Clone, Debug)]
@@ -84,6 +84,11 @@ impl Workload for DataEncryption {
             self.op_remaining = None;
         }
         LoadDemand::active()
+    }
+
+    /// DE never sleeps — the CPU encrypts continuously.
+    fn next_wake(&self, _env: &WorkloadEnv) -> WakeHint {
+        WakeHint::Immediate
     }
 
     fn finalize(&mut self, _now: Seconds) {}

@@ -34,4 +34,4 @@ pub use events::EventSchedule;
 pub use pf::PacketForward;
 pub use rt::RadioTransmit;
 pub use sc::SenseCompute;
-pub use workload::{LoadDemand, Workload, WorkloadEnv};
+pub use workload::{LoadDemand, WakeHint, Workload, WorkloadEnv};

@@ -16,7 +16,7 @@ use react_units::{Joules, Seconds};
 use crate::costs;
 use crate::events::EventSchedule;
 use crate::radio::Packet;
-use crate::{LoadDemand, Workload, WorkloadEnv};
+use crate::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 #[derive(Clone, Debug, PartialEq)]
 enum State {
@@ -204,6 +204,30 @@ impl Workload for PacketForward {
                 // Deep listen, wake-up receiver on.
                 LoadDemand::sleep_with(self.wurx.rated_current())
             }
+        }
+    }
+
+    /// Deep listen with an empty queue sleeps until the next packet
+    /// arrival — the wake-up receiver's whole point. With packets
+    /// queued (a longevity buffer charging toward a forward), the wait
+    /// ends at the TX energy threshold or the next arrival, whichever
+    /// comes first — §5.4.1's fungibility story.
+    fn next_wake(&self, env: &WorkloadEnv) -> WakeHint {
+        if !matches!(self.state, State::Listening) {
+            return WakeHint::Immediate;
+        }
+        if !self.queue.is_empty() {
+            if !env.supports_longevity {
+                return WakeHint::Immediate;
+            }
+            return WakeHint::WhenEnergy {
+                energy: self.tx_energy,
+                deadline: self.arrivals.peek(),
+            };
+        }
+        match self.arrivals.peek() {
+            Some(t) => WakeHint::At(t),
+            None => WakeHint::Never,
         }
     }
 

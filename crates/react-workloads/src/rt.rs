@@ -14,7 +14,7 @@ use react_units::{Joules, Seconds};
 
 use crate::costs;
 use crate::radio::Packet;
-use crate::{LoadDemand, Workload, WorkloadEnv};
+use crate::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 /// The Radio Transmission workload.
 #[derive(Clone, Debug)]
@@ -113,6 +113,19 @@ impl Workload for RadioTransmit {
         }
         self.op_remaining = Some(self.burst);
         LoadDemand::active_with(self.radio.rated_current())
+    }
+
+    /// RT's only sleep is the §3.4.1 longevity wait: charge until the
+    /// buffer guarantees a full burst. The kernel strides to the
+    /// predicted energy crossing.
+    fn next_wake(&self, env: &WorkloadEnv) -> WakeHint {
+        if self.op_remaining.is_some() || !env.supports_longevity {
+            return WakeHint::Immediate;
+        }
+        WakeHint::WhenEnergy {
+            energy: self.energy_needed,
+            deadline: None,
+        }
     }
 
     fn finalize(&mut self, _now: Seconds) {}

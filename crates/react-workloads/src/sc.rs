@@ -11,7 +11,7 @@ use crate::costs;
 use crate::events::EventSchedule;
 use crate::fir::FirFilter;
 use crate::mic::Microphone;
-use crate::{LoadDemand, Workload, WorkloadEnv};
+use crate::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Phase {
@@ -119,6 +119,18 @@ impl Workload for SenseCompute {
                 }
                 LoadDemand::active()
             }
+        }
+    }
+
+    /// Between deadlines the demand is the fixed mic-bias sleep — the
+    /// archetypal duty-cycled LPM3 wait the sleep fast path collapses.
+    fn next_wake(&self, _env: &WorkloadEnv) -> WakeHint {
+        if self.phase != Phase::Idle {
+            return WakeHint::Immediate;
+        }
+        match self.deadlines.peek() {
+            Some(t) => WakeHint::At(t),
+            None => WakeHint::Never,
         }
     }
 

@@ -57,6 +57,46 @@ impl LoadDemand {
     }
 }
 
+/// When a sleeping workload next needs the CPU — the contract behind
+/// the adaptive kernel's MCU-on sleep fast path.
+///
+/// A workload that just demanded [`PowerMode::Sleep`] may be asked
+/// where its next wake-up lies. Returning [`WakeHint::At`] promises:
+/// fine-stepping any time strictly before the hint would return the
+/// **same** `Sleep` demand (mode *and* peripheral current) and mutate
+/// no observable state, *regardless of how `rail_voltage` or
+/// `usable_energy` evolve over the stretch* — the kernel freezes the
+/// workload while buffer physics advance in closed form. A demand that
+/// reads the energy budget each step (the §3.4.1 longevity waits)
+/// answers [`WakeHint::WhenEnergy`] instead, with the same promise
+/// weakened to hold only while `usable_energy` stays *below* the
+/// threshold (the kernel stops the stride at the predicted crossing).
+/// At the hinted wake-up the demand differs or a timer/event fires
+/// (the wake-hint property suite enforces this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WakeHint {
+    /// No coarse stride may be taken: the workload is active, about to
+    /// act, or its sleep demand depends on state the kernel cannot
+    /// reduce to a wake condition.
+    Immediate,
+    /// Asleep until the given absolute time.
+    At(Seconds),
+    /// A §3.4.1 longevity wait: asleep until `usable_energy` first
+    /// reaches `energy` — or `deadline` arrives (the next timer/event
+    /// the sleeping workload still reacts to), whichever is earlier.
+    /// The kernel turns the energy threshold into a predicted
+    /// rail-voltage crossing and stops the stride there.
+    WhenEnergy {
+        /// Usable energy (above the brown-out floor) that ends the wait.
+        energy: Joules,
+        /// Earlier timer wake-up, if one is pending.
+        deadline: Option<Seconds>,
+    },
+    /// Asleep with no pending timer: only external power events end
+    /// the wait.
+    Never,
+}
+
 /// A benchmark application driven by the simulator.
 ///
 /// The simulator calls [`step`](Workload::step) only while the MCU is
@@ -78,6 +118,16 @@ pub trait Workload {
 
     /// One simulation step while running; returns the load demand.
     fn step(&mut self, env: &WorkloadEnv) -> LoadDemand;
+
+    /// Where the workload's next wake-up lies (see [`WakeHint`] for the
+    /// exact contract). The default is the always-safe
+    /// [`WakeHint::Immediate`], which keeps today's fine-step behavior;
+    /// duty-cycled workloads override it with their next timer deadline
+    /// so the kernel can integrate whole LPM3 stretches in closed form.
+    fn next_wake(&self, env: &WorkloadEnv) -> WakeHint {
+        let _ = env;
+        WakeHint::Immediate
+    }
 
     /// Called once when the simulation ends, with the final time, so
     /// workloads can account for deadlines that passed while dark.
@@ -122,6 +172,10 @@ impl<T: Workload + ?Sized> Workload for Box<T> {
 
     fn step(&mut self, env: &WorkloadEnv) -> LoadDemand {
         (**self).step(env)
+    }
+
+    fn next_wake(&self, env: &WorkloadEnv) -> WakeHint {
+        (**self).next_wake(env)
     }
 
     fn finalize(&mut self, now: Seconds) {

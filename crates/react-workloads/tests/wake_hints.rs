@@ -1,0 +1,236 @@
+//! Wake-hint consistency: the sleep fast path's correctness contract.
+//!
+//! For every workload, `next_wake` must be consistent with `step`:
+//! fine-stepping to the hinted time produces only the same `Sleep`
+//! demand (mode *and* peripheral current) with no observable state
+//! change — under *randomized* energy along the replay, so a workload
+//! whose sleep actually depends on the energy budget cannot hide a
+//! timer hint — and at the hinted time the demand differs or a
+//! timer/event fires. A stale hint that silently held would corrupt
+//! the fast path (the kernel would freeze a workload that needed to
+//! run), which is exactly what these properties guard against.
+
+use proptest::prelude::*;
+use react_mcu::PowerMode;
+use react_units::{Joules, Seconds, Volts};
+use react_workloads::{
+    EventSchedule, LoadDemand, PacketForward, RadioTransmit, SenseAndSend, SenseCompute, WakeHint,
+    Workload, WorkloadEnv,
+};
+
+fn env(now: f64, dt: f64, usable_mj: f64, longevity: bool) -> WorkloadEnv {
+    WorkloadEnv {
+        now: Seconds::new(now),
+        dt: Seconds::new(dt),
+        rail_voltage: Volts::new(3.0),
+        usable_energy: Joules::from_milli(usable_mj),
+        supports_longevity: longevity,
+    }
+}
+
+fn counters(w: &dyn Workload) -> (u64, u64, u64, u64) {
+    (
+        w.ops_completed(),
+        w.ops_failed(),
+        w.aux_completed(),
+        w.events_missed(),
+    )
+}
+
+/// A tiny deterministic energy stream for the replay (the contract
+/// must hold however the budget evolves below any threshold).
+struct EnergyStream(u64);
+
+impl EnergyStream {
+    fn next_mj(&mut self, below_mj: f64) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = (self.0 >> 33) as f64 / (1u64 << 31) as f64;
+        unit * below_mj
+    }
+}
+
+/// Checks the hint the workload gives at `now` (immediately after its
+/// last `step` at `now`) against a fine-step replay.
+fn assert_hint_consistent<W: Workload + Clone>(
+    w: &W,
+    now: f64,
+    dt: f64,
+    longevity: bool,
+    seed: u64,
+) {
+    let mut stream = EnergyStream(seed | 1);
+    let probe_env = env(now, dt, stream.next_mj(20.0), longevity);
+    let hint = w.next_wake(&probe_env);
+    // (horizon, event expected at the horizon, energy cap during replay)
+    let (horizon, expect_event, cap_mj) = match hint {
+        WakeHint::Immediate => return, // always safe: no stride taken
+        WakeHint::Never => (now + 50.0, false, 20.0),
+        WakeHint::At(t) => {
+            assert!(t.get() > now, "stale time hint {t:?} at now={now}");
+            (t.get(), true, 20.0)
+        }
+        WakeHint::WhenEnergy { energy, deadline } => {
+            // The promise only holds below the threshold; replay with
+            // the budget pinned under it.
+            let cap = (energy.to_milli() * 0.999).max(1e-6);
+            match deadline {
+                Some(d) => {
+                    assert!(
+                        d.get() > now,
+                        "stale energy-wait deadline {d:?} at now={now}"
+                    );
+                    (d.get(), true, cap)
+                }
+                None => (now + 50.0, false, cap),
+            }
+        }
+    };
+
+    let mut clone = w.clone();
+    let before = counters(&clone);
+    let mut frozen: Option<LoadDemand> = None;
+    let mut t = now + dt;
+    while t < horizon - 1e-9 {
+        let d = clone.step(&env(t, dt, stream.next_mj(cap_mj), longevity));
+        assert_eq!(
+            d.mode,
+            PowerMode::Sleep,
+            "woke early at t={t} under hint {hint:?}"
+        );
+        if let Some(f) = frozen {
+            assert_eq!(d, f, "sleep demand changed mid-stride at t={t}");
+        } else {
+            frozen = Some(d);
+        }
+        assert_eq!(
+            counters(&clone),
+            before,
+            "observable state mutated mid-stride at t={t}"
+        );
+        t += dt;
+    }
+    if expect_event {
+        // At the hinted time the demand differs or a timer fires.
+        let d = clone.step(&env(horizon, dt, stream.next_mj(cap_mj), longevity));
+        let after = counters(&clone);
+        assert!(
+            frozen.is_none_or(|f| d != f) || after != before,
+            "nothing observable happened at the hinted wake t={horizon} ({hint:?})"
+        );
+    }
+    // An energy wait must actually end once the budget covers it.
+    if let WakeHint::WhenEnergy { energy, .. } = hint {
+        let mut woken = w.clone();
+        let d = woken.step(&env(now + dt, dt, energy.to_milli() * 1.01, longevity));
+        let after = counters(&woken);
+        assert!(
+            d.mode == PowerMode::Active || after != counters(w),
+            "energy wait did not end above its threshold ({hint:?})"
+        );
+    }
+}
+
+/// Drives a workload with generous energy for `prefix_s`, returning
+/// the time of its last step.
+fn drive<W: Workload>(w: &mut W, prefix_s: f64, dt: f64, longevity: bool) -> f64 {
+    w.on_power_up(Seconds::ZERO);
+    let mut t = 0.0;
+    let mut last = 0.0;
+    while t < prefix_s {
+        w.step(&env(t, dt, 15.0, longevity));
+        last = t;
+        t += dt;
+    }
+    last
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SC: between deadlines the hint is the next deadline, and it is
+    /// exact under any energy history.
+    #[test]
+    fn sc_hints_are_consistent(prefix_s in 0.0..40.0f64, dt_ms in 1u64..=20, seed in any::<u64>()) {
+        let dt = dt_ms as f64 * 1e-3;
+        let mut w = SenseCompute::new(Seconds::new(120.0));
+        let now = drive(&mut w, prefix_s, dt, false);
+        assert_hint_consistent(&w, now, dt, false, seed);
+    }
+
+    /// PF: empty-queue listening hints the next arrival; charging
+    /// toward a forward hints the TX energy threshold with the next
+    /// arrival as deadline.
+    #[test]
+    fn pf_hints_are_consistent(
+        prefix_s in 0.0..60.0f64,
+        dt_ms in 1u64..=20,
+        rate_c in 1u64..=4,
+        longevity in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let dt = dt_ms as f64 * 1e-3;
+        let arrivals = EventSchedule::poisson(0.05 * rate_c as f64, Seconds::new(120.0), seed);
+        let mut w = PacketForward::new(arrivals);
+        let now = drive(&mut w, prefix_s, dt, longevity);
+        assert_hint_consistent(&w, now, dt, longevity, seed);
+    }
+
+    /// PF charging toward a TX on a longevity buffer must hint the
+    /// energy wait (never a bare timer): the low-energy prefix leaves
+    /// packets queued.
+    #[test]
+    fn pf_queued_packets_hint_the_energy_wait(dt_ms in 1u64..=10, seed in any::<u64>()) {
+        let dt = dt_ms as f64 * 1e-3;
+        let mut w = PacketForward::new(EventSchedule::poisson(0.2, Seconds::new(120.0), seed));
+        w.on_power_up(Seconds::ZERO);
+        // Enough energy to receive (≈3.2 mJ), never enough to forward.
+        let mut t = 0.0;
+        while t < 60.0 {
+            w.step(&env(t, dt, 4.0, true));
+            t += dt;
+        }
+        if w.queue_depth() > 0 {
+            match w.next_wake(&env(t, dt, 4.0, true)) {
+                WakeHint::Immediate | WakeHint::WhenEnergy { .. } => {}
+                other => panic!("queued packets must wait on energy, got {other:?}"),
+            }
+            assert_hint_consistent(&w, t - dt, dt, true, seed);
+        }
+    }
+
+    /// RT: the longevity wait hints its burst energy; static buffers
+    /// (greedy transmission) never promise anything.
+    #[test]
+    fn rt_hints_are_consistent(prefix_s in 0.0..5.0f64, longevity in any::<bool>(), seed in any::<u64>()) {
+        let dt = 1e-3;
+        let mut w = RadioTransmit::new();
+        // Low-energy prefix so longevity runs park in the sleep wait.
+        w.on_power_up(Seconds::ZERO);
+        let mut t = 0.0;
+        let mut last = 0.0;
+        while t < prefix_s {
+            w.step(&env(t, dt, 1.0, longevity));
+            last = t;
+            t += dt;
+        }
+        assert_hint_consistent(&w, last, dt, longevity, seed);
+    }
+
+    /// SC+RT composite: sensing deadlines and the upload energy wait
+    /// compose without stale hints.
+    #[test]
+    fn sense_and_send_hints_are_consistent(
+        prefix_s in 0.0..30.0f64,
+        batch in 1u64..=3,
+        longevity in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let dt = 5e-3;
+        let mut w = SenseAndSend::new(Seconds::new(120.0), batch);
+        let now = drive(&mut w, prefix_s, dt, longevity);
+        assert_hint_consistent(&w, now, dt, longevity, seed);
+    }
+}
