@@ -24,6 +24,12 @@
 //! `--quick` caps every horizon at 15 minutes for a fast local
 //! preview; its numbers are **not** comparable to the committed
 //! baseline, so it refuses to combine with `--check`.
+//!
+//! Adversarial scenarios add a resilience table — FoM retained against
+//! the benign twin — gated like every other field. A cell whose run
+//! panics is *poisoned*: the rest of the matrix still completes and
+//! reports, the poisoned cells are listed by id, and the process exits
+//! with code 3 (distinct from the gate's conformance failure).
 
 use std::process::ExitCode;
 
@@ -97,6 +103,10 @@ fn main() -> ExitCode {
     println!();
     print!("{}", report.render_cells().render());
     println!();
+    if !report.resilience().is_empty() {
+        print!("{}", report.render_resilience().render());
+        println!();
+    }
     print!("{}", report.render_normalized().render());
     println!(
         "\n{} cells over {} environments in {:.1} s wall-clock \
@@ -107,6 +117,16 @@ fn main() -> ExitCode {
         report.total_cell_seconds(),
         if quick { "  (--quick preview)" } else { "" }
     );
+
+    if !report.poisoned.is_empty() {
+        eprintln!(
+            "scenario_report: {} poisoned cell(s) — the matrix completed around them:",
+            report.poisoned.len()
+        );
+        for p in &report.poisoned {
+            eprintln!("  {}: {}", p.id(), p.message);
+        }
+    }
 
     let json = match serde_json::to_string(&report) {
         Ok(json) => json,
@@ -172,6 +192,12 @@ fn main() -> ExitCode {
             eprintln!("if the change is intentional, refresh the baseline with --write-baseline");
             return ExitCode::FAILURE;
         }
+    }
+
+    if !report.poisoned.is_empty() {
+        // Distinct from the gate's FAILURE so CI logs separate "a cell
+        // crashed" from "a cell drifted".
+        return ExitCode::from(3);
     }
 
     ExitCode::SUCCESS

@@ -85,6 +85,16 @@ pub trait EnergyBuffer {
         0
     }
 
+    /// Shifts the buffer into a more conservative posture in response
+    /// to a suspected energy attack (see [`crate::defense`]): adaptive
+    /// buffers step their capacitance ladder *down* one level, banking
+    /// less per cycle but surviving shallower charge windows. Returns
+    /// `true` if a reconfiguration actually happened. Buffers without a
+    /// controller have no defensive posture and return `false`.
+    fn defensive_reconfigure(&mut self) -> bool {
+        false
+    }
+
     /// Dwell time per [`capacitance_level`](Self::capacitance_level):
     /// `(level, seconds)` pairs covering the whole simulated time, in
     /// ascending level order. Empty for buffers that never change level.
@@ -253,6 +263,10 @@ impl<T: EnergyBuffer + ?Sized> EnergyBuffer for Box<T> {
 
     fn reconfiguration_count(&self) -> u64 {
         (**self).reconfiguration_count()
+    }
+
+    fn defensive_reconfigure(&mut self) -> bool {
+        (**self).defensive_reconfigure()
     }
 
     fn capacitance_dwell(&self) -> Vec<(u32, f64)> {

@@ -96,6 +96,13 @@ pub fn integrate(
         v_drain_min,
     } = *ode;
 
+    // Any non-finite input poisons the closed forms — decline and let
+    // the caller fall back to fine stepping (the kernel guard counts
+    // the fallback).
+    if !(v_start.is_finite() && horizon.is_finite() && p.is_finite() && g.is_finite()) {
+        return None;
+    }
+
     let mut v = v_start.max(0.0);
     let mut remaining = horizon;
     let mut leaked = 0.0;
@@ -657,8 +664,17 @@ pub fn integrate_powered(
         v_drain_min,
     } = *ode;
     // A powered stretch starts above the brown-out voltage; an empty
-    // rail (or malformed problem) is the fine-step loop's business.
-    let well_formed = c > 0.0 && horizon.is_finite() && v_start > 0.0;
+    // rail (or malformed problem — including any non-finite input, which
+    // the kernel guard degrades to fine-stepping) is the fine-step
+    // loop's business.
+    let well_formed = c > 0.0
+        && horizon.is_finite()
+        && v_start > 0.0
+        && v_start.is_finite()
+        && p.is_finite()
+        && i_load.is_finite()
+        && g.is_finite()
+        && p_drain.is_finite();
     if !well_formed {
         return None;
     }

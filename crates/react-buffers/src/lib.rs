@@ -31,6 +31,7 @@
 mod buffer;
 mod capybara;
 pub mod charge_ode;
+pub mod defense;
 mod dewdrop;
 mod morphy;
 mod react;

@@ -220,6 +220,19 @@ impl EnergyBuffer for MorphyBuffer {
         self.reconfigurations
     }
 
+    /// Morphy's conservative posture is one ladder level up: a more
+    /// parallel-heavy partition stores more energy at the same rail
+    /// voltage, which is what lets the MCU sleep through an attacker's
+    /// blackout without browning out. No-op (returns `false`) at the
+    /// top of the ladder.
+    fn defensive_reconfigure(&mut self) -> bool {
+        if self.level + 1 >= self.ladder.len() {
+            return false;
+        }
+        self.reconfigure_to(self.level + 1);
+        true
+    }
+
     fn capacitance_dwell(&self) -> Vec<(u32, f64)> {
         self.dwell
             .iter()

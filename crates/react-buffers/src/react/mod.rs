@@ -339,6 +339,19 @@ impl EnergyBuffer for ReactBuffer {
         self.reconfigurations
     }
 
+    /// REACT's conservative posture is one step *up* the expansion
+    /// sequence: reconnect the most recently stranded bank, whose
+    /// normally-open switches retained its charge across the forced
+    /// brown-out. The extra committed capacitance is what lets the MCU
+    /// sleep through an attacker's blackout without browning out
+    /// again. No-op (returns `false`) once every bank is connected in
+    /// parallel.
+    fn defensive_reconfigure(&mut self) -> bool {
+        let before = self.reconfigurations;
+        self.step_up();
+        self.reconfigurations > before
+    }
+
     fn capacitance_dwell(&self) -> Vec<(u32, f64)> {
         self.dwell
             .iter()

@@ -36,6 +36,8 @@
 //! assert!(out.metrics.relative_conservation_error() < 1e-2);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod calib;
 mod experiment;
 pub mod fom;
@@ -50,8 +52,8 @@ pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, Worklo
 pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
 pub use scenario::{find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario};
 pub use scenario_report::{
-    build_full_report, build_report, compare_reports, report_scenarios, ScenarioCell,
-    ScenarioReport, Tolerances,
+    build_full_report, build_report, build_report_with, compare_reports, report_scenarios,
+    PoisonedCell, ResilienceRow, ScenarioCell, ScenarioReport, Tolerances,
 };
-pub use sim::{ConstantLoad, KernelMode, Simulator};
+pub use sim::{ConstantLoad, KernelMode, SimError, Simulator};
 pub use sweep::SweepOptions;

@@ -40,6 +40,23 @@ pub struct RunMetrics {
     /// Capacitance reconfigurations the buffer's controller performed
     /// (REACT bank switches, Morphy ladder moves; zero for statics).
     pub reconfigurations: u64,
+    /// Spans where the kernel's invariant guard tripped (non-finite
+    /// harvest power or rail voltage) and the engine degraded to
+    /// fine-stepping instead of propagating garbage. Zero for every
+    /// well-posed run — the kernel-equivalence suite asserts it.
+    #[serde(default)]
+    pub guard_fallbacks: u64,
+    /// Energy-attack alarms the defense raised (0 when undefended).
+    #[serde(default)]
+    pub detections: u64,
+    /// Alarms that cleared with no suspicious activity after the raise
+    /// — benign variance mistaken for an attack.
+    #[serde(default)]
+    pub false_positives: u64,
+    /// Capacitance reconfigurations commanded by the *defense* (also
+    /// included in [`reconfigurations`](Self::reconfigurations)).
+    #[serde(default)]
+    pub defensive_reconfigurations: u64,
     /// Time spent at each capacitance level (§3.4.1 surrogate), in
     /// ascending level order. Empty for buffers without levels.
     pub capacitance_dwell: Vec<LevelDwell>,

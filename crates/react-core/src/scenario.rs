@@ -16,8 +16,12 @@
 //! [`TraceSource`]: react_harvest::TraceSource
 
 use rayon::prelude::*;
+use react_buffers::defense::DefenseConfig;
 use react_buffers::BufferKind;
-use react_env::{Diurnal, EnergyAttack, MarkovRf, Mobility, PowerSource, TraceSource};
+use react_env::{
+    AdaptiveAttack, AttackPolicy, Diurnal, EnergyAttack, MarkovRf, Mobility, PowerSource,
+    TraceSource,
+};
 use react_harvest::{ConverterKind, PowerReplay};
 use react_traces::{paper_trace, PaperTrace};
 use react_units::{Seconds, Watts};
@@ -66,6 +70,22 @@ pub enum EnvKind {
     /// A sparse field under spoofed 25 mW bait bursts followed by
     /// two-minute blackouts (reconfiguration-bait adversary).
     AttackSpoof,
+    /// The office RF field under a *stateful* boot-triggered adversary:
+    /// it observes the victim's boots through the feedback channel and
+    /// blacks out the field just after each cold start.
+    AttackBootStrike,
+    /// The office RF field under a stateful spoof-baiter: a fake 25 mW
+    /// field whenever the victim is down, cut to a blackout the moment
+    /// the victim commits (first reconfiguration or radio-on).
+    AttackBaitSwitch,
+    /// The office RF field under a budget-limited boot-triggered
+    /// adversary rationing a finite pool of blackout seconds.
+    AttackBudget,
+    /// A deterministic near-threshold field: a charge burst followed by
+    /// a trickle chosen so REACT's equilibrium parks inside the ±20 mV
+    /// comparator guard band — the adaptive kernel's worst case, pinned
+    /// here as a registry cell before anyone optimizes the fallback.
+    NearThresholdPlateau,
     /// A recorded paper trace wrapped as a streaming source.
     Paper(PaperTrace),
 }
@@ -81,8 +101,22 @@ impl EnvKind {
             EnvKind::MobilityCommuter => "mobility/commuter",
             EnvKind::AttackBlackout => "attack/blackout",
             EnvKind::AttackSpoof => "attack/spoof",
+            EnvKind::AttackBootStrike => "attack/boot-strike",
+            EnvKind::AttackBaitSwitch => "attack/bait-switch",
+            EnvKind::AttackBudget => "attack/budgeted",
+            EnvKind::NearThresholdPlateau => "mobility/near-threshold",
             EnvKind::Paper(p) => p.label(),
         }
+    }
+
+    /// Whether this environment contains a *stateful* adversary that
+    /// needs the simulator's victim-event feedback channel open.
+    /// (The fixed-schedule attack wrappers don't observe the victim.)
+    pub fn adversarial(self) -> bool {
+        matches!(
+            self,
+            EnvKind::AttackBootStrike | EnvKind::AttackBaitSwitch | EnvKind::AttackBudget
+        )
     }
 
     /// Builds a fresh seeded source for this environment. Every call
@@ -97,7 +131,10 @@ impl EnvKind {
     /// recorded traces — ignore the salt entirely, so re-salting them
     /// replays the identical stream.
     pub fn salt_sensitive(self) -> bool {
-        !matches!(self, EnvKind::MobilityCommuter | EnvKind::Paper(_))
+        !matches!(
+            self,
+            EnvKind::MobilityCommuter | EnvKind::NearThresholdPlateau | EnvKind::Paper(_)
+        )
     }
 
     /// Builds this environment with its base seed perturbed by `salt` —
@@ -161,6 +198,50 @@ impl EnvKind {
                         .with_blackout(Seconds::new(600.0), Seconds::new(3.0), Seconds::new(120.0)),
                 )
             }
+            EnvKind::AttackBootStrike => {
+                let inner = rf_field_salted(EnvKind::RfGilbertElliott, salt).expect("RF env");
+                Box::new(AdaptiveAttack::new(
+                    inner,
+                    AttackPolicy::BootTriggered {
+                        delay: Seconds::new(0.5),
+                        strike: Seconds::new(45.0),
+                        rearm: Seconds::new(15.0),
+                    },
+                ))
+            }
+            EnvKind::AttackBaitSwitch => {
+                let inner = rf_field_salted(EnvKind::RfGilbertElliott, salt).expect("RF env");
+                Box::new(AdaptiveAttack::new(
+                    inner,
+                    AttackPolicy::SpoofBait {
+                        bait: Watts::from_milli(25.0),
+                        blackout: Seconds::new(90.0),
+                        rearm: Seconds::new(30.0),
+                    },
+                ))
+            }
+            EnvKind::AttackBudget => {
+                let inner = rf_field_salted(EnvKind::RfGilbertElliott, salt).expect("RF env");
+                Box::new(AdaptiveAttack::new(
+                    inner,
+                    AttackPolicy::Budgeted {
+                        delay: Seconds::new(0.5),
+                        strike: Seconds::new(45.0),
+                        budget: Seconds::new(600.0),
+                    },
+                ))
+            }
+            EnvKind::NearThresholdPlateau => Box::new(Mobility::schedule(
+                self.label(),
+                vec![
+                    // Charge burst: fills REACT's LLB and first banks.
+                    (Seconds::new(0.0), Watts::from_milli(20.0)),
+                    // Trickle sized to REACT's sleeping draw near the
+                    // 3.5 V upper comparator, parking the equilibrium
+                    // inside the ±20 mV guard band.
+                    (Seconds::new(60.0), Watts::from_micro(80.0)),
+                ],
+            )),
             EnvKind::Paper(p) => Box::new(TraceSource::new(paper_trace(p))),
         }
     }
@@ -224,6 +305,11 @@ pub struct Scenario {
     /// canonical registry stream, other values re-seed the stochastic
     /// environment and workload models.
     pub seed_salt: u64,
+    /// Whether the run arms the detect-and-degrade defense
+    /// ([`DefenseConfig`] default knobs). The red-vs-blue registry
+    /// pairs each adversary with a defended and an undefended entry;
+    /// benign scenarios run undefended.
+    pub defended: bool,
 }
 
 impl Scenario {
@@ -243,6 +329,26 @@ impl Scenario {
     pub fn with_seed_salt(mut self, salt: u64) -> Self {
         self.seed_salt = salt;
         self
+    }
+
+    /// This scenario with the defense armed (or disarmed).
+    pub fn with_defended(mut self, defended: bool) -> Self {
+        self.defended = defended;
+        self
+    }
+
+    /// The benign-twin scenario this adversarial scenario is scored
+    /// against: same workload, buffer axis, horizon, and converter, but
+    /// the unwrapped environment. `None` for benign scenarios. The
+    /// report divides attacked FoM by the twin's to get *FoM retained
+    /// under attack*.
+    pub fn benign_twin(&self) -> Option<&'static str> {
+        match self.env {
+            EnvKind::AttackBootStrike | EnvKind::AttackBaitSwitch | EnvKind::AttackBudget => {
+                Some("rf-ge-hour-react-de")
+            }
+            _ => None,
+        }
     }
 
     /// Whether a non-zero seed salt changes this scenario's run at
@@ -299,12 +405,20 @@ impl Scenario {
         let workload = self
             .workload
             .build_streaming(self.horizon, self.workload_seed());
-        Simulator::new(replay, self.buffer.build(), workload)
+        let mut sim = Simulator::new(replay, self.buffer.build(), workload)
             .with_timestep(self.dt)
             .with_horizon(self.horizon)
             .with_kernel(kernel)
-            .with_gate(self.gate())
-            .run()
+            .with_gate(self.gate());
+        if self.env.adversarial() {
+            // Stateful adversaries observe the victim; benign cells
+            // skip the emission entirely.
+            sim = sim.with_feedback();
+        }
+        if self.defended {
+            sim = sim.with_defense(DefenseConfig::default());
+        }
+        sim.run()
     }
 }
 
@@ -315,7 +429,7 @@ const DT_FINE: Seconds = Seconds::new(0.001);
 const DT_LONG: Seconds = Seconds::new(0.01);
 
 /// The built-in scenario registry.
-pub const SCENARIOS: [Scenario; 10] = [
+pub const SCENARIOS: [Scenario; 17] = [
     Scenario {
         name: "rf-sparse-week",
         description: "persistence: a week in a sparse RF field, streamed segment by segment",
@@ -326,6 +440,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: WEEK,
         dt: DT_LONG,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "mobility-week-pf",
@@ -337,6 +452,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: WEEK,
         dt: DT_LONG,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "diurnal-day-react-sc",
@@ -348,6 +464,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: DAY,
         dt: DT_LONG,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "stormy-day-morphy-de",
@@ -359,6 +476,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: DAY,
         dt: DT_LONG,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "rf-ge-hour-react-de",
@@ -370,6 +488,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "rf-ge-hour-10mf-de",
@@ -381,6 +500,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "mobility-day-10mf-sc",
@@ -392,6 +512,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: DAY,
         dt: DT_LONG,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "attack-blackout-hour-react-rt",
@@ -403,6 +524,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "attack-spoof-hour-react-de",
@@ -414,6 +536,7 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: Seconds::new(3600.0),
         dt: DT_FINE,
         seed_salt: 0,
+        defended: false,
     },
     Scenario {
         name: "paper-rfcart-de",
@@ -425,6 +548,94 @@ pub const SCENARIOS: [Scenario; 10] = [
         horizon: Seconds::new(313.0),
         dt: DT_FINE,
         seed_salt: 0,
+        defended: false,
+    },
+    // ---- Red-vs-blue family: each stateful adversary paired with an
+    // undefended and a defended entry, scored as FoM retained against
+    // the benign rf-ge-hour twin. ----
+    Scenario {
+        name: "attack-bootstrike-hour-de",
+        description: "boot-triggered adversary striking after each cold start, undefended",
+        env: EnvKind::AttackBootStrike,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+    },
+    Scenario {
+        name: "attack-bootstrike-hour-de-defended",
+        description: "the boot-triggered adversary against the detect-and-degrade defense",
+        env: EnvKind::AttackBootStrike,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: true,
+    },
+    Scenario {
+        name: "attack-baitswitch-hour-de",
+        description: "spoof-baiter cutting power once the victim commits, undefended",
+        env: EnvKind::AttackBaitSwitch,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+    },
+    Scenario {
+        name: "attack-baitswitch-hour-de-defended",
+        description: "the spoof-baiter against the detect-and-degrade defense",
+        env: EnvKind::AttackBaitSwitch,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: true,
+    },
+    Scenario {
+        name: "attack-budget-hour-de",
+        description: "budget-limited adversary rationing blackout seconds, undefended",
+        env: EnvKind::AttackBudget,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+    },
+    Scenario {
+        name: "attack-budget-hour-de-defended",
+        description: "the budget-limited adversary against the detect-and-degrade defense",
+        env: EnvKind::AttackBudget,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: true,
+    },
+    Scenario {
+        name: "react-plateau-sc",
+        description: "near-threshold trickle parking REACT inside the comparator guard band",
+        env: EnvKind::NearThresholdPlateau,
+        buffer: BufferKind::React,
+        workload: WorkloadKind::SenseCompute,
+        converter: ConverterKind::Ideal,
+        horizon: Seconds::new(900.0),
+        dt: DT_LONG,
+        seed_salt: 0,
+        defended: false,
     },
 ];
 

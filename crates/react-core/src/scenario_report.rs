@@ -10,6 +10,15 @@
 //! environment × buffer × seed matrix, runs rayon-parallel through the
 //! adaptive kernel, and reduces every cell to a [`ScenarioCell`].
 //!
+//! Adversarial scenarios additionally score *resilience*: each
+//! attacked cell is paired with its benign twin
+//! ([`Scenario::benign_twin`]) and reported as the fraction of the
+//! figure of merit retained under attack ([`ResilienceRow`]), which
+//! the CI gate bounds alongside the raw fields. The matrix itself is
+//! crash-proof: every cell runs inside `catch_unwind`, so a panicking
+//! model poisons that one cell ([`PoisonedCell`]) instead of taking
+//! down the runner — and any poisoned cell fails the gate.
+//!
 //! Because every scenario is seeded and deterministic, the rendered
 //! report is a *committable baseline*: CI regenerates it and diffs the
 //! FoM / on-time / reconfiguration fields against
@@ -28,8 +37,9 @@ use react_units::Watts;
 use serde::{Deserialize, Serialize};
 
 use crate::fom::{figure_of_merit, fom_per_hour};
+use crate::metrics::RunOutcome;
 use crate::report::TextTable;
-use crate::scenario::{scenario_registry, Scenario};
+use crate::scenario::{find_scenario, scenario_registry, Scenario};
 
 /// The report's buffer axis: the paper's reactive designs plus the
 /// static and adaptive-enable baselines.
@@ -63,6 +73,9 @@ pub struct ScenarioCell {
     pub converter: String,
     /// Seed salt (0 = the canonical registry stream).
     pub seed: u64,
+    /// Whether the detect-and-degrade defense was armed for this cell.
+    #[serde(default)]
+    pub defended: bool,
     /// The paper's figure of merit (ops, or rx+tx for PF).
     pub fom: f64,
     /// FoM per deployed hour (comparable across horizons).
@@ -78,6 +91,18 @@ pub struct ScenarioCell {
     pub boots: u64,
     /// Buffer-controller reconfigurations (persistence overhead).
     pub reconfigurations: u64,
+    /// Kernel invariant-guard fallbacks (0 for every well-posed cell).
+    #[serde(default)]
+    pub guard_fallbacks: u64,
+    /// Energy-attack alarms the defense raised (0 when undefended).
+    #[serde(default)]
+    pub detections: u64,
+    /// Alarms that cleared with no post-raise suspicious activity.
+    #[serde(default)]
+    pub false_positives: u64,
+    /// Reconfigurations commanded by the defense specifically.
+    #[serde(default)]
+    pub defensive_reconfigurations: u64,
     /// Kernel iterations the engine spent on the cell (not gated:
     /// performance is `bench_gate`'s job; kept for the fast-path
     /// collapse column).
@@ -104,12 +129,17 @@ impl PartialEq for ScenarioCell {
             && self.workload == other.workload
             && self.converter == other.converter
             && self.seed == other.seed
+            && self.defended == other.defended
             && self.fom == other.fom
             && self.fom_per_hour == other.fom_per_hour
             && self.on_time_fraction == other.on_time_fraction
             && self.longest_outage_survived_s == other.longest_outage_survived_s
             && self.boots == other.boots
             && self.reconfigurations == other.reconfigurations
+            && self.guard_fallbacks == other.guard_fallbacks
+            && self.detections == other.detections
+            && self.false_positives == other.false_positives
+            && self.defensive_reconfigurations == other.defensive_reconfigurations
             && self.engine_steps == other.engine_steps
             && self.fixed_dt_steps == other.fixed_dt_steps
     }
@@ -128,6 +158,58 @@ impl ScenarioCell {
         } else {
             self.fixed_dt_steps as f64 / self.engine_steps as f64
         }
+    }
+}
+
+/// A matrix cell whose run panicked. The runner catches the unwind,
+/// records the cell here, and keeps going — one diverging model never
+/// takes down the rest of the matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoisonedCell {
+    /// Registry scenario the cell derives from.
+    pub scenario: String,
+    /// Buffer design label.
+    pub buffer: String,
+    /// Seed salt.
+    pub seed: u64,
+    /// The panic payload, when it was a string (it almost always is).
+    pub message: String,
+}
+
+impl PoisonedCell {
+    /// Stable identity, aligned with [`ScenarioCell::id`].
+    pub fn id(&self) -> String {
+        format!("{}/{}/s{}", self.scenario, self.buffer, self.seed)
+    }
+}
+
+/// One attacked cell paired with its benign twin: how much of the
+/// figure of merit survived the adversary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceRow {
+    /// Attacked registry scenario.
+    pub scenario: String,
+    /// Buffer design label.
+    pub buffer: String,
+    /// Seed salt.
+    pub seed: u64,
+    /// Whether the detect-and-degrade defense was armed.
+    pub defended: bool,
+    /// Figure of merit under attack.
+    pub fom_attacked: f64,
+    /// Figure of merit of the benign twin (same workload, horizon and
+    /// converter, no adversary).
+    pub fom_benign: f64,
+    /// `fom_attacked / fom_benign` (1.0 when the twin did no work —
+    /// an attack cannot lose work that was never available).
+    pub retained: f64,
+}
+
+impl ResilienceRow {
+    /// Stable identity of the attacked cell, aligned with
+    /// [`ScenarioCell::id`].
+    pub fn id(&self) -> String {
+        format!("{}/{}/s{}", self.scenario, self.buffer, self.seed)
     }
 }
 
@@ -163,6 +245,10 @@ pub struct ScenarioReport {
     /// The cell matrix, in deterministic expansion order
     /// (scenario-major, then buffer, then seed).
     pub cells: Vec<ScenarioCell>,
+    /// Cells whose run panicked (isolated, not fatal to the matrix).
+    /// Empty for a healthy report; any entry fails the CI gate.
+    #[serde(default)]
+    pub poisoned: Vec<PoisonedCell>,
 }
 
 impl ScenarioReport {
@@ -271,6 +357,66 @@ impl ScenarioReport {
         table
     }
 
+    /// Pairs every attacked cell with its benign twin (same buffer and
+    /// seed, [`Scenario::benign_twin`] scenario) and computes the
+    /// fraction of the figure of merit that survived the adversary.
+    /// Cells whose twin is absent from the report are skipped — a
+    /// partial matrix cannot score resilience.
+    pub fn resilience(&self) -> Vec<ResilienceRow> {
+        self.cells
+            .iter()
+            .filter_map(|c| {
+                let twin = find_scenario(&c.scenario)?.benign_twin()?;
+                let benign = self
+                    .cells
+                    .iter()
+                    .find(|b| b.scenario == twin && b.buffer == c.buffer && b.seed == c.seed)?;
+                let retained = if benign.fom > 0.0 {
+                    c.fom / benign.fom
+                } else {
+                    1.0
+                };
+                Some(ResilienceRow {
+                    scenario: c.scenario.clone(),
+                    buffer: c.buffer.clone(),
+                    seed: c.seed,
+                    defended: c.defended,
+                    fom_attacked: c.fom,
+                    fom_benign: benign.fom,
+                    retained,
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the FoM-retained-under-attack table.
+    pub fn render_resilience(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "FoM retained under attack (attacked / benign twin)",
+            &[
+                "scenario",
+                "buffer",
+                "seed",
+                "defended",
+                "FoM",
+                "benign FoM",
+                "retained",
+            ],
+        );
+        for r in self.resilience() {
+            table.push_row(&[
+                r.scenario.clone(),
+                r.buffer.clone(),
+                r.seed.to_string(),
+                if r.defended { "yes" } else { "no" }.to_string(),
+                format!("{:.0}", r.fom_attacked),
+                format!("{:.0}", r.fom_benign),
+                format!("{:.3}", r.retained),
+            ]);
+        }
+        table
+    }
+
     /// Renders the Fig. 7-style REACT-normalized summary.
     pub fn render_normalized(&self) -> TextTable {
         let mut table = TextTable::new(
@@ -296,9 +442,11 @@ fn dedup_keys(keys: impl Iterator<Item = String>) -> Vec<String> {
 }
 
 /// The report's environment rows: the registry deduplicated by
-/// (environment, workload, horizon, converter) — two registry entries
-/// that differ only in their declared buffer collapse into one row,
-/// because the report supplies the buffer axis itself.
+/// (environment, workload, horizon, converter, defended) — two
+/// registry entries that differ only in their declared buffer collapse
+/// into one row, because the report supplies the buffer axis itself.
+/// Defended/undefended twins are distinct rows: the defense changes
+/// the simulation, not just the buffer.
 pub fn report_scenarios() -> Vec<Scenario> {
     let mut rows: Vec<Scenario> = Vec::new();
     for s in scenario_registry() {
@@ -307,12 +455,24 @@ pub fn report_scenarios() -> Vec<Scenario> {
                 && r.workload == s.workload
                 && r.horizon == s.horizon
                 && r.converter == s.converter
+                && r.defended == s.defended
         });
         if !duplicate {
             rows.push(*s);
         }
     }
     rows
+}
+
+/// Best-effort string form of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Builds the report over the given environment rows × buffers × seed
@@ -325,6 +485,20 @@ pub fn build_report(
     buffers: &[BufferKind],
     seeds: &[u64],
     parallel: bool,
+) -> ScenarioReport {
+    build_report_with(scenarios, buffers, seeds, parallel, &|s| s.run())
+}
+
+/// [`build_report`] with an explicit cell runner. Every cell runs
+/// inside `catch_unwind`: a panicking runner poisons that one cell
+/// (recorded in [`ScenarioReport::poisoned`]) while the rest of the
+/// matrix completes and reports normally.
+pub fn build_report_with(
+    scenarios: &[Scenario],
+    buffers: &[BufferKind],
+    seeds: &[u64],
+    parallel: bool,
+    runner: &(dyn Fn(&Scenario) -> RunOutcome + Sync),
 ) -> ScenarioReport {
     let mut runs: Vec<Scenario> = Vec::with_capacity(scenarios.len() * buffers.len() * seeds.len());
     for s in scenarios {
@@ -341,34 +515,54 @@ pub fn build_report(
         }
     }
 
-    let cell = |s: &Scenario| -> ScenarioCell {
+    let cell = |s: &Scenario| -> Result<ScenarioCell, PoisonedCell> {
         let started = std::time::Instant::now();
-        let out = s.run();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(s))).map_err(
+            |payload| PoisonedCell {
+                scenario: s.name.to_string(),
+                buffer: s.buffer.label().to_string(),
+                seed: s.seed_salt,
+                message: panic_message(payload),
+            },
+        )?;
         let elapsed_s = started.elapsed().as_secs_f64();
         let m = &out.metrics;
-        ScenarioCell {
+        Ok(ScenarioCell {
             scenario: s.name.to_string(),
             environment: s.env.label().to_string(),
             buffer: s.buffer.label().to_string(),
             workload: s.workload.label().to_string(),
             converter: s.converter.label().to_string(),
             seed: s.seed_salt,
+            defended: s.defended,
             fom: figure_of_merit(s.workload, m),
             fom_per_hour: fom_per_hour(s.workload, m, s.horizon),
             on_time_fraction: m.duty_cycle(),
             longest_outage_survived_s: m.max_off_period.get(),
             boots: m.boots,
             reconfigurations: m.reconfigurations,
+            guard_fallbacks: m.guard_fallbacks,
+            detections: m.detections,
+            false_positives: m.false_positives,
+            defensive_reconfigurations: m.defensive_reconfigurations,
             engine_steps: m.engine_steps,
             fixed_dt_steps: (s.horizon.get() / s.dt.get()).round() as u64,
             elapsed_s,
-        }
+        })
     };
-    let cells: Vec<ScenarioCell> = if parallel {
+    let results: Vec<Result<ScenarioCell, PoisonedCell>> = if parallel {
         runs.par_iter().map(cell).collect()
     } else {
         runs.iter().map(cell).collect()
     };
+    let mut cells = Vec::with_capacity(results.len());
+    let mut poisoned = Vec::new();
+    for r in results {
+        match r {
+            Ok(c) => cells.push(c),
+            Err(p) => poisoned.push(p),
+        }
+    }
 
     // Environment summaries dedup on the environment's own salt
     // sensitivity (a deterministic environment presents the same dark
@@ -405,6 +599,7 @@ pub fn build_report(
     ScenarioReport {
         environments,
         cells,
+        poisoned,
     }
 }
 
@@ -439,6 +634,8 @@ pub struct Tolerances {
     pub outage_rel: f64,
     /// Absolute slack on the longest outage survived, in seconds.
     pub outage_abs: f64,
+    /// Absolute tolerance on the FoM-retained-under-attack ratio.
+    pub retained_abs: f64,
 }
 
 impl Default for Tolerances {
@@ -451,6 +648,7 @@ impl Default for Tolerances {
             count_abs: 2.0,
             outage_rel: 0.05,
             outage_abs: 2.0,
+            retained_abs: 0.05,
         }
     }
 }
@@ -466,6 +664,7 @@ impl Tolerances {
             count_abs: self.count_abs * factor,
             outage_rel: self.outage_rel * factor,
             outage_abs: self.outage_abs * factor,
+            retained_abs: self.retained_abs * factor,
         }
     }
 }
@@ -485,6 +684,29 @@ pub fn compare_reports(
     tol: &Tolerances,
 ) -> Vec<String> {
     let mut violations = Vec::new();
+    // Poisoned cells are unconditional failures: a panicking model is
+    // never within tolerance of anything.
+    for p in &current.poisoned {
+        violations.push(format!("{}: cell poisoned: {}", p.id(), p.message));
+    }
+    // Resilience is gated on the derived ratio, not just the raw FoM:
+    // the attacked and benign cells can drift together within their
+    // own tolerances while the defense's value quietly evaporates.
+    let current_resilience = current.resilience();
+    for base in baseline.resilience() {
+        let id = base.id();
+        let Some(cur) = current_resilience.iter().find(|r| r.id() == id) else {
+            // The attacked or twin cell is gone; the missing-cell check
+            // below reports which.
+            continue;
+        };
+        if !within(cur.retained, base.retained, 0.0, tol.retained_abs) {
+            violations.push(format!(
+                "{id}: FoM retained {:.3} vs baseline {:.3} (±{:.3})",
+                cur.retained, base.retained, tol.retained_abs
+            ));
+        }
+    }
     for base in &baseline.cells {
         let id = base.id();
         let Some(cur) = current.cell(&id) else {
@@ -650,6 +872,98 @@ mod tests {
         let r = build_report(&[commute], &[BufferKind::Static770uF], &[0, 1], false);
         assert_eq!(r.cells.len(), 2);
         assert_eq!(r.environments.len(), 1);
+    }
+
+    #[test]
+    fn report_rows_keep_defended_twins() {
+        let rows = report_scenarios();
+        for name in [
+            "attack-bootstrike-hour-de",
+            "attack-bootstrike-hour-de-defended",
+            "attack-baitswitch-hour-de",
+            "attack-baitswitch-hour-de-defended",
+        ] {
+            assert!(
+                rows.iter().any(|s| s.name == name),
+                "{name} collapsed in dedup"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_cells_are_isolated_and_gated() {
+        let mut s = *find_scenario("rf-ge-hour-10mf-de").expect("registered");
+        s.horizon = Seconds::new(240.0);
+        let healthy = tiny_report();
+        let r = build_report_with(
+            &[s],
+            &[BufferKind::Static10mF, BufferKind::React],
+            &[0],
+            true,
+            &|s| {
+                if s.buffer == BufferKind::React {
+                    panic!("injected fault: buffer model diverged");
+                }
+                s.run()
+            },
+        );
+        // The healthy cell survived its poisoned neighbour.
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].buffer, BufferKind::Static10mF.label());
+        assert_eq!(r.poisoned.len(), 1);
+        assert_eq!(r.poisoned[0].buffer, BufferKind::React.label());
+        assert!(r.poisoned[0].message.contains("injected fault"));
+        // The gate flags both the poisoning and the hole it left.
+        let violations = compare_reports(&healthy, &r, &Tolerances::default());
+        assert!(
+            violations.iter().any(|v| v.contains("poisoned")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("missing")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn resilience_pairs_attacked_cells_with_their_benign_twin() {
+        let horizon = Seconds::new(240.0);
+        let mut benign = *find_scenario("rf-ge-hour-react-de").expect("registered");
+        let mut attacked = *find_scenario("attack-bootstrike-hour-de").expect("registered");
+        let mut defended =
+            *find_scenario("attack-bootstrike-hour-de-defended").expect("registered");
+        benign.horizon = horizon;
+        attacked.horizon = horizon;
+        defended.horizon = horizon;
+        let r = build_report(
+            &[benign, attacked, defended],
+            &[BufferKind::React],
+            &[0],
+            false,
+        );
+        let rows = r.resilience();
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        assert!(rows.iter().any(|row| row.defended));
+        assert!(rows.iter().any(|row| !row.defended));
+        for row in &rows {
+            assert!(row.fom_benign > 0.0, "{row:?}");
+            assert!(row.retained >= 0.0, "{row:?}");
+        }
+        assert!(!r.render_resilience().render().is_empty());
+        // Shifting the attacked FoM shifts the retained ratio past the
+        // gate even when scaled tolerances would forgive the raw FoM.
+        let mut drifted = r.clone();
+        let idx = drifted
+            .cells
+            .iter()
+            .position(|c| c.scenario == "attack-bootstrike-hour-de")
+            .expect("attacked cell present");
+        drifted.cells[idx].fom = drifted.cells[idx].fom * 3.0 + 100.0;
+        let violations = compare_reports(&r, &drifted, &Tolerances::default());
+        assert!(
+            violations.iter().any(|v| v.contains("retained")),
+            "{violations:?}"
+        );
     }
 
     #[test]

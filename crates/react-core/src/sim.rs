@@ -22,14 +22,41 @@
 //! `WorkloadKind::build` still work through forwarding impls and default
 //! type parameters.
 
+use react_buffers::defense::{AttackDetector, DefenseConfig};
 use react_buffers::EnergyBuffer;
-use react_harvest::{PowerReplay, PowerSource, TraceSource};
+use react_harvest::{PowerReplay, PowerSource, TraceSource, VictimEvent};
 use react_mcu::{Mcu, McuSpec, PowerGate, PowerMode};
 use react_units::{Amps, Seconds};
 use react_workloads::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 use crate::calib;
 use crate::metrics::{RunMetrics, RunOutcome, VoltageSample};
+
+/// A run that cannot even start — the configuration is unsatisfiable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The power source is unbounded and no harvest horizon was set:
+    /// the run would never terminate. Fix with
+    /// [`Simulator::with_horizon`].
+    UnboundedSource,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnboundedSource => {
+                write!(f, "unbounded power source: set Simulator::with_horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Peripheral draw at or above this reads as "the radio is keyed" to
+/// the victim-event feedback channel (the RF workloads' radio draws
+/// are 6–18 mA; sensor bias currents sit well below 1 mA).
+const RADIO_SENSE_CURRENT: Amps = Amps::new(1.0e-3);
 
 /// Which stepping strategy [`Simulator::run`] uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -66,6 +93,13 @@ pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = Trace
     /// steals (REACT's 10 Hz poller, §5.1). Zero for static buffers and
     /// externally-controlled Morphy.
     software_overhead: f64,
+    /// Whether victim events (boots, brown-outs, radio spans, buffer
+    /// reconfigurations) are forwarded to the power source's feedback
+    /// channel. Off by default: benign sources ignore the events, so
+    /// only adversarial scenarios pay for the emission.
+    feedback: bool,
+    /// Attack-detection defense; `None` runs undefended.
+    defense: Option<DefenseConfig>,
 }
 
 impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
@@ -89,6 +123,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             max_drain: calib::MAX_DRAIN_TIME,
             horizon: None,
             software_overhead,
+            feedback: false,
+            defense: None,
         }
     }
 
@@ -146,8 +182,49 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         self
     }
 
+    /// Opens the victim-event feedback channel: boots, brown-outs,
+    /// radio spans, and buffer reconfigurations are reported to the
+    /// power source via [`PowerSource::observe`]. Adaptive adversaries
+    /// ([`react_env::AdaptiveAttack`]) time their strikes off this
+    /// channel; benign sources ignore it. Off by default so benign
+    /// cells pay nothing.
+    pub fn with_feedback(mut self) -> Self {
+        self.feedback = true;
+        self
+    }
+
+    /// Arms the detect-and-degrade defense: an [`AttackDetector`]
+    /// watches the gate-event series, and while alarmed the simulator
+    /// raises the effective enable gate, steps the buffer into its
+    /// conservative posture at each boot, and holds the workload in
+    /// LPM3 for an exponential backoff after each attack-correlated
+    /// reboot.
+    pub fn with_defense(mut self, config: DefenseConfig) -> Self {
+        self.defense = Some(config);
+        self
+    }
+
     /// Runs the simulation to completion and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsatisfiable configuration (see [`SimError`]);
+    /// [`Simulator::try_run`] is the non-panicking form.
     pub fn run(self) -> RunOutcome {
+        match self.try_run() {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation to completion, or reports why it cannot
+    /// start.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnboundedSource`] if the power source never ends and
+    /// no [`Simulator::with_horizon`] was set.
+    pub fn try_run(self) -> Result<RunOutcome, SimError> {
         let Self {
             replay,
             mut buffer,
@@ -160,6 +237,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             max_drain,
             horizon,
             software_overhead,
+            feedback,
+            defense,
         } = self;
 
         // The harvest horizon: an explicit override, else the bounded
@@ -167,7 +246,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         // neither end nor a natural stop, so they must pick one.
         let trace_end = horizon
             .or_else(|| replay.source_duration())
-            .expect("unbounded power source: set Simulator::with_horizon");
+            .ok_or(SimError::UnboundedSource)?;
         let hard_end = trace_end + max_drain;
         let mut cursor = replay.cursor();
 
@@ -213,6 +292,19 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         let mut cycles = 0u64;
         let mut poll_debt = 0.0_f64;
         let mut engine_steps = 0u64;
+        // Defensive posture (None when undefended).
+        let mut detector = defense.map(AttackDetector::new);
+        let base_enable = gate.enable_voltage();
+        let mut hold_until: Option<Seconds> = None;
+        let mut defensive_reconfigs = 0u64;
+        // Feedback-channel edge state.
+        let mut last_reconfig_count = buffer.reconfiguration_count();
+        let mut radio_on = false;
+        // Kernel invariant guard: a non-finite rail voltage or harvest
+        // power means some model produced garbage; the engine degrades
+        // to sanitized fine-stepping for the offending span and counts
+        // it (once per contiguous span) instead of propagating NaNs.
+        let mut guard_active = false;
 
         // Coarse-stride machinery shared by the idle (MCU-off) and
         // sleep (MCU-on) fast paths. `stride_window!` fetches one
@@ -237,11 +329,29 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                 (p_rail, window_end.min(hard_end))
             }};
         }
+        // Reports controller reconfigurations to the feedback channel
+        // by delta — they can land inside fine steps or coarse strides,
+        // and the count is the one signal both kernels agree on
+        // exactly. The event is stamped at the current clock, at or
+        // after the physical switch, so an adversary acting on it can
+        // never reach back before it.
+        macro_rules! note_reconfigs {
+            () => {{
+                if feedback {
+                    let rc = buffer.reconfiguration_count();
+                    if rc > last_reconfig_count {
+                        last_reconfig_count = rc;
+                        cursor.observe(VictimEvent::Reconfig { at: t });
+                    }
+                }
+            }};
+        }
         macro_rules! commit_stride {
             ($advanced:expr, $on:expr) => {{
                 let advanced = $advanced;
                 engine_steps += 1;
                 t += advanced;
+                note_reconfigs!();
                 if $on {
                     metrics.on_time += advanced;
                 }
@@ -269,13 +379,32 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
 
         loop {
             let v = buffer.rail_voltage();
+            // Invariant guard: a non-finite rail voltage disables both
+            // fast paths for this span (their closed forms would chew
+            // on garbage) and is counted once per contiguous span.
+            let v_ok = v.get().is_finite();
+
+            // A defensive hold releases only once its backoff timer has
+            // expired *and* the rail has recovered to the effective
+            // enable level: waking mid-blackout with a half-drained
+            // buffer just donates the remaining charge to the next
+            // strike, so the workload waits out both the hold and the
+            // recharge and always restarts from a full buffer.
+            if v_ok && hold_until.is_some_and(|h| t >= h) && v >= gate.enable_voltage() {
+                hold_until = None;
+            }
 
             // Adaptive idle fast path: gate open, MCU dark — the only
             // dynamics are buffer physics (plus, for controller-driven
             // buffers, threshold-sparse controller decisions) under a
             // piecewise-constant input, which `idle_advance` integrates
             // in one stride.
-            if fast_path && !gate.is_closed() && !mcu.is_powered() && v < gate.enable_voltage() {
+            if fast_path
+                && v_ok
+                && !gate.is_closed()
+                && !mcu.is_powered()
+                && v < gate.enable_voltage()
+            {
                 let (p_rail, window_end) = stride_window!();
                 let mut stride_end = window_end;
                 if let Some(interval) = probe_interval {
@@ -283,7 +412,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                     stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
                 }
                 let stride = stride_end - t;
-                if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
+                if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
                     let advanced = buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
                     if advanced.get() > 0.0 {
                         commit_stride!(advanced, false);
@@ -301,6 +430,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             // pending poll-service debt keeps the stretch on fine steps
             // (the serviced step runs the CPU active).
             if sleep_fast
+                && v_ok
                 && gate.is_closed()
                 && mcu.is_running()
                 && mcu.mode() == PowerMode::Sleep
@@ -320,24 +450,39 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                 // workload's threshold, where the stride must stop so
                 // the per-step energy check observes the crossing.
                 let far = Seconds::new(f64::INFINITY);
-                let wake = match workload.next_wake(&env) {
-                    WakeHint::Immediate => None,
-                    // A stale hint (at or behind the clock) gets the
-                    // fine-step treatment rather than a zero stride.
-                    WakeHint::At(tw) if tw > t => Some((tw, None)),
-                    WakeHint::At(_) => None,
-                    WakeHint::WhenEnergy { energy, deadline } => {
-                        if env.usable_energy >= energy || deadline.is_some_and(|d| d <= t) {
-                            // Already awake (or an event is due): the
-                            // wake-up itself runs on fine steps.
-                            None
-                        } else {
-                            buffer
-                                .rail_voltage_for_usable(energy, gate.brownout_voltage())
-                                .map(|v_wake| (deadline.unwrap_or(far), Some(v_wake)))
+                // During a defensive backoff hold the workload is
+                // pinned in LPM3 regardless of its own schedule: the
+                // stride runs to the hold's expiry or, once the timer
+                // is out, to the rail's recovery crossing at the
+                // effective enable level (where the loop-top release
+                // check clears the hold).
+                let held_wake = match hold_until {
+                    Some(h) if h > t => Some((h, None)),
+                    Some(_) => Some((far, Some(gate.enable_voltage()))),
+                    None => None,
+                };
+                let wake = if held_wake.is_some() {
+                    held_wake
+                } else {
+                    match workload.next_wake(&env) {
+                        WakeHint::Immediate => None,
+                        // A stale hint (at or behind the clock) gets the
+                        // fine-step treatment rather than a zero stride.
+                        WakeHint::At(tw) if tw > t => Some((tw, None)),
+                        WakeHint::At(_) => None,
+                        WakeHint::WhenEnergy { energy, deadline } => {
+                            if env.usable_energy >= energy || deadline.is_some_and(|d| d <= t) {
+                                // Already awake (or an event is due): the
+                                // wake-up itself runs on fine steps.
+                                None
+                            } else {
+                                buffer
+                                    .rail_voltage_for_usable(energy, gate.brownout_voltage())
+                                    .map(|v_wake| (deadline.unwrap_or(far), Some(v_wake)))
+                            }
                         }
+                        WakeHint::Never => Some((far, None)),
                     }
-                    WakeHint::Never => Some((far, None)),
                 };
                 if let Some((wake, v_wake)) = wake {
                     let (p_rail, window_end) = stride_window!();
@@ -347,7 +492,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                         stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
                     }
                     let stride = stride_end - t;
-                    if stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
+                    if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
                         let i_sleep = mcu.running_current() + sleep_peripheral;
                         let advanced = buffer
                             .powered_advance(
@@ -379,6 +524,25 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                     if let Some(start) = off_since.take() {
                         off_max = off_max.max((t - start).get());
                     }
+                    if feedback {
+                        cursor.observe(VictimEvent::Boot { at: t });
+                    }
+                    if let Some(det) = detector.as_mut() {
+                        det.on_boot(t);
+                        if det.alarmed() {
+                            // Attack-correlated reboot: hold the
+                            // workload back for the current backoff and
+                            // bank less per cycle.
+                            let hold = det.backoff();
+                            if hold.get() > 0.0 {
+                                hold_until = Some(t + hold);
+                            }
+                            if buffer.defensive_reconfigure() {
+                                defensive_reconfigs += 1;
+                            }
+                        }
+                        gate.set_enable_voltage(base_enable + det.gate_raise());
+                    }
                 } else {
                     mcu.power_off();
                     workload.on_power_down(t);
@@ -389,6 +553,19 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                         cycles += 1;
                     }
                     off_since = Some(t);
+                    hold_until = None;
+                    if feedback {
+                        cursor.observe(VictimEvent::BrownOut { at: t });
+                        if radio_on {
+                            // Power loss keys the radio off with it.
+                            radio_on = false;
+                            cursor.observe(VictimEvent::RadioOff { at: t });
+                        }
+                    }
+                    if let Some(det) = detector.as_mut() {
+                        det.on_brownout(t);
+                        gate.set_enable_voltage(base_enable + det.gate_raise());
+                    }
                 }
             }
 
@@ -397,7 +574,16 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             if gate.is_closed() {
                 let was_running = mcu.is_running();
                 if was_running {
-                    if poll_debt >= dt.get() {
+                    if hold_until.is_some() {
+                        // Defensive backoff: the workload is held in
+                        // LPM3 — no steps, no progress, minimal draw —
+                        // starving an attacker that times strikes off
+                        // the workload's activity. (The loop-top
+                        // release check clears the hold once the timer
+                        // is out and the rail has recovered.)
+                        mcu.set_mode(react_mcu::PowerMode::Sleep);
+                        sleep_peripheral = Amps::ZERO;
+                    } else if poll_debt >= dt.get() {
                         // The buffer's software component (REACT's 10 Hz
                         // poller) services its interrupt: CPU active, no
                         // workload progress this step. §5.1 measures this
@@ -420,6 +606,21 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
                         peripheral = peripheral_current;
                         if mode == react_mcu::PowerMode::Sleep {
                             sleep_peripheral = peripheral_current;
+                        }
+                        if feedback {
+                            // Radio spans, by their draw signature: the
+                            // RF workloads key 6–18 mA peripherals, so a
+                            // milliamp threshold cleanly separates them
+                            // from sensor bias currents.
+                            let keyed = peripheral_current >= RADIO_SENSE_CURRENT;
+                            if keyed != radio_on {
+                                radio_on = keyed;
+                                cursor.observe(if keyed {
+                                    VictimEvent::RadioOn { at: t }
+                                } else {
+                                    VictimEvent::RadioOff { at: t }
+                                });
+                            }
                         }
                         // Poll overhead accrues against active cycles
                         // only; a sleeping CPU wakes for ~100 µs per
@@ -449,7 +650,24 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             } else {
                 cursor.rail_power(t, buffer.input_voltage())
             };
+            // Invariant guard, input side: a non-finite harvest sample
+            // is sanitized to zero before it can poison the buffer
+            // state. Together with the rail-voltage check above, one
+            // contiguous offending span counts as one fallback.
+            let input_ok = input.get().is_finite();
+            let input = if input_ok {
+                input
+            } else {
+                react_units::Watts::ZERO
+            };
+            if v_ok && input_ok {
+                guard_active = false;
+            } else if !guard_active {
+                guard_active = true;
+                metrics.guard_fallbacks += 1;
+            }
             buffer.step(input, mcu_current + peripheral, dt, mcu.is_running());
+            note_reconfigs!();
 
             // Accounting.
             if gate.is_closed() {
@@ -515,11 +733,16 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             .collect();
         metrics.ledger = *buffer.ledger();
         metrics.final_stored = buffer.stored_energy();
+        if let Some(det) = &detector {
+            metrics.detections = det.detections();
+            metrics.false_positives = det.false_positives();
+        }
+        metrics.defensive_reconfigurations = defensive_reconfigs;
 
-        RunOutcome {
+        Ok(RunOutcome {
             metrics,
             voltage_series: series,
-        }
+        })
     }
 }
 

@@ -1,0 +1,622 @@
+//! Stateful, feedback-driven energy adversaries.
+//!
+//! [`EnergyAttack`](crate::EnergyAttack) models *fixed-schedule*
+//! adversaries: periodic blackout/spoof windows chosen before the run.
+//! The attack-mitigation literature (see PAPERS.md, "Application-aware
+//! Energy Attack Mitigation in the Battery-less IoT") shows the
+//! damaging adversaries are *adaptive* — they watch the victim and
+//! time their energy faults against its observable behavior. This
+//! module promotes the wrapper into that family: an [`AdaptiveAttack`]
+//! consumes [`VictimEvent`]s from the simulator's feedback channel and
+//! commits strike windows in response.
+//!
+//! Three policies cover the taxonomy:
+//!
+//! * [`AttackPolicy::BootTriggered`] — strike just after each cold
+//!   start, when the buffer is shallow and the workload has not yet
+//!   banked any progress: the highest damage per blackout second.
+//! * [`AttackPolicy::SpoofBait`] — present a strong fake field, wait
+//!   for the victim to *commit* to the surplus (an adaptive buffer
+//!   reconfiguring, a radio keying up), then cut power entirely.
+//! * [`AttackPolicy::Budgeted`] — a boot-triggered attacker that
+//!   rations a finite budget of blackout seconds, modelling a jammer
+//!   with its own energy constraint.
+//!
+//! Determinism and causality are load-bearing: the attacker's committed
+//! schedule is an append-only list of windows derived purely from the
+//! event stream, every window starts at or after its triggering event,
+//! and an event at time `t` never changes the signal at times `< t` —
+//! so seeded runs stay bit-reproducible and the adversary can never
+//! act on the victim's future (asserted by the property tests below).
+
+use react_units::{Seconds, Watts};
+
+use crate::source::{end_after, PowerSource, Segment, VictimEvent};
+
+/// How an [`AdaptiveAttack`] reacts to the victim's observable events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttackPolicy {
+    /// Strike `delay` after every boot, for `strike` seconds, then stay
+    /// quiet until `rearm` seconds past the strike's end (the next boot
+    /// after that re-triggers).
+    BootTriggered {
+        /// Lag between the observed boot and the blackout's start.
+        delay: Seconds,
+        /// Blackout length per strike.
+        strike: Seconds,
+        /// Quiet period after each strike before re-arming.
+        rearm: Seconds,
+    },
+    /// Offer a spoofed `bait` field whenever the victim is down, and
+    /// cut to a `blackout` the moment it commits to the surplus (first
+    /// observed reconfiguration or radio-on).
+    SpoofBait {
+        /// Spoofed available power presented while baiting.
+        bait: Watts,
+        /// Blackout length once the victim commits.
+        blackout: Seconds,
+        /// Quiet period after the blackout before baiting again.
+        rearm: Seconds,
+    },
+    /// [`AttackPolicy::BootTriggered`], but the total committed
+    /// blackout time is capped by a finite `budget` of seconds.
+    Budgeted {
+        /// Lag between the observed boot and the blackout's start.
+        delay: Seconds,
+        /// Blackout length per strike (clipped to the remaining budget).
+        strike: Seconds,
+        /// Total blackout seconds the attacker may ever spend.
+        budget: Seconds,
+    },
+}
+
+impl AttackPolicy {
+    fn validate(&self) {
+        let pos = |v: Seconds, what: &str| {
+            assert!(
+                v.get() > 0.0 && v.get().is_finite(),
+                "{what} must be positive and finite"
+            );
+        };
+        let nonneg = |v: Seconds, what: &str| {
+            assert!(
+                v.get() >= 0.0 && v.get().is_finite(),
+                "{what} must be non-negative and finite"
+            );
+        };
+        match *self {
+            AttackPolicy::BootTriggered {
+                delay,
+                strike,
+                rearm,
+            } => {
+                nonneg(delay, "strike delay");
+                pos(strike, "strike length");
+                nonneg(rearm, "rearm period");
+            }
+            AttackPolicy::SpoofBait {
+                bait,
+                blackout,
+                rearm,
+            } => {
+                assert!(
+                    bait.get() >= 0.0 && bait.get().is_finite(),
+                    "bait power must be non-negative and finite"
+                );
+                pos(blackout, "blackout length");
+                nonneg(rearm, "rearm period");
+            }
+            AttackPolicy::Budgeted {
+                delay,
+                strike,
+                budget,
+            } => {
+                nonneg(delay, "strike delay");
+                pos(strike, "strike length");
+                pos(budget, "blackout budget");
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            AttackPolicy::BootTriggered { .. } => "boot-strike",
+            AttackPolicy::SpoofBait { .. } => "bait-switch",
+            AttackPolicy::Budgeted { .. } => "budgeted",
+        }
+    }
+}
+
+/// A half-open committed window `[start, end)` on the attack timeline.
+type Window = (f64, f64);
+
+/// A stateful adversary wrapped around a benign power source, adapting
+/// its strike schedule to the victim's observed behavior.
+///
+/// Precedence matches [`EnergyAttack`](crate::EnergyAttack): blackout
+/// beats spoof beats the inner environment.
+#[derive(Clone, Debug)]
+pub struct AdaptiveAttack<S> {
+    inner: S,
+    name: String,
+    policy: AttackPolicy,
+    /// Committed blackout windows, ascending and non-overlapping
+    /// (append-only: commits only ever extend the tail).
+    blackouts: Vec<Window>,
+    /// Closed spoof spans, ascending and non-overlapping.
+    spoofs: Vec<Window>,
+    /// An open-ended spoof span (bait on the air right now); closed —
+    /// into `spoofs` — by the victim's commit event.
+    open_spoof: Option<f64>,
+    /// Earliest time the policy accepts its next trigger.
+    armed_at: f64,
+    /// Remaining blackout budget (`+inf` for unbudgeted policies).
+    budget_left: f64,
+    /// Monotone high-water mark of observed event times.
+    last_event: f64,
+}
+
+impl<S: PowerSource> AdaptiveAttack<S> {
+    /// Wraps `inner` under the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's durations/powers are out of range.
+    pub fn new(inner: S, policy: AttackPolicy) -> Self {
+        policy.validate();
+        let name = format!("{}({})", policy.label(), inner.name());
+        let budget_left = match policy {
+            AttackPolicy::Budgeted { budget, .. } => budget.get(),
+            _ => f64::INFINITY,
+        };
+        // The spoof-baiter opens its bait immediately: the victim
+        // starts dead, which is exactly the state the bait exploits.
+        let open_spoof = match policy {
+            AttackPolicy::SpoofBait { .. } => Some(0.0),
+            _ => None,
+        };
+        Self {
+            inner,
+            name,
+            policy,
+            blackouts: Vec::new(),
+            spoofs: Vec::new(),
+            open_spoof,
+            armed_at: 0.0,
+            budget_left,
+            last_event: 0.0,
+        }
+    }
+
+    /// The attack policy in force.
+    pub fn policy(&self) -> AttackPolicy {
+        self.policy
+    }
+
+    /// Number of blackout strikes committed so far.
+    pub fn strikes(&self) -> usize {
+        self.blackouts.len()
+    }
+
+    /// Total blackout seconds committed so far.
+    pub fn committed_blackout_seconds(&self) -> f64 {
+        self.blackouts.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Commits a blackout window starting at `start` (≥ the triggering
+    /// event, preserving causality) for `len` seconds, clipped to the
+    /// remaining budget.
+    fn commit_blackout(&mut self, start: f64, len: f64) -> Option<Window> {
+        let len = len.min(self.budget_left);
+        if len <= 0.0 {
+            return None;
+        }
+        self.budget_left -= len;
+        let window = (start, start + len);
+        debug_assert!(
+            self.blackouts.last().is_none_or(|&(_, e)| e <= start),
+            "blackout commits must be append-only"
+        );
+        self.blackouts.push(window);
+        Some(window)
+    }
+
+    /// The regime at `tt` given the committed schedule: blackout and
+    /// spoof membership plus the next schedule boundary after `tt`.
+    fn probe_schedule(&self, tt: f64) -> (bool, bool, f64) {
+        let mut edge = f64::INFINITY;
+        let mut dark = false;
+        for &(s, e) in &self.blackouts {
+            if tt < s {
+                edge = edge.min(s);
+                break;
+            }
+            if tt < e {
+                dark = true;
+                edge = edge.min(e);
+                break;
+            }
+        }
+        let mut spoofed = false;
+        for &(s, e) in &self.spoofs {
+            if tt < s {
+                edge = edge.min(s);
+                break;
+            }
+            if tt < e {
+                spoofed = true;
+                edge = edge.min(e);
+                break;
+            }
+        }
+        if let Some(start) = self.open_spoof {
+            if tt < start {
+                edge = edge.min(start);
+            } else {
+                // Open-ended: the close will arrive as a future event,
+                // which can only land at a fine step the simulator has
+                // not integrated past yet.
+                spoofed = true;
+            }
+        }
+        (dark, spoofed, edge)
+    }
+}
+
+impl<S: PowerSource + Clone + 'static> PowerSource for AdaptiveAttack<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment(&mut self, t: Seconds) -> Segment {
+        let tt = t.get();
+        if !tt.is_finite() || tt < 0.0 {
+            return Segment::dark(Seconds::ZERO);
+        }
+        // Walk the inner source regardless of the attack regime so its
+        // cursor stays warm, then clip at every committed boundary.
+        let inner = self.inner.segment(t);
+        let mut power = inner.power.get();
+        let mut end = inner.end.get();
+        let (dark, spoofed, edge) = self.probe_schedule(tt);
+        if spoofed {
+            if let AttackPolicy::SpoofBait { bait, .. } = self.policy {
+                power = bait.get();
+            }
+        }
+        if dark {
+            power = 0.0;
+        }
+        end = end.min(edge);
+        Segment {
+            power: Watts::new(power),
+            end: Seconds::new(end_after(tt, end)),
+        }
+    }
+
+    fn duration(&self) -> Option<Seconds> {
+        // A spoof-capable adversary injects power of its own, so the
+        // signal is never bounded; blackout-only policies just null
+        // the field and preserve the inner bound.
+        match self.policy {
+            AttackPolicy::SpoofBait { .. } => None,
+            _ => self.inner.duration(),
+        }
+    }
+
+    fn observe(&mut self, event: VictimEvent) {
+        self.inner.observe(event);
+        let at = event.at().get();
+        if !at.is_finite() || at < 0.0 {
+            return;
+        }
+        // Clamp monotone: a straggler event cannot reopen the past.
+        let at = at.max(self.last_event);
+        self.last_event = at;
+        match self.policy {
+            AttackPolicy::BootTriggered {
+                delay,
+                strike,
+                rearm,
+            } => {
+                if matches!(event, VictimEvent::Boot { .. }) && at >= self.armed_at {
+                    let start = at + delay.get();
+                    if let Some((_, end)) = self.commit_blackout(start, strike.get()) {
+                        self.armed_at = end + rearm.get();
+                    }
+                }
+            }
+            AttackPolicy::Budgeted { delay, strike, .. } => {
+                if matches!(event, VictimEvent::Boot { .. }) && at >= self.armed_at {
+                    let start = at + delay.get();
+                    if let Some((_, end)) = self.commit_blackout(start, strike.get()) {
+                        // Ration the budget: stay quiet for one strike
+                        // length after each strike, so a boot-looping
+                        // victim cannot drain the budget instantly.
+                        self.armed_at = end + strike.get();
+                    }
+                }
+            }
+            AttackPolicy::SpoofBait {
+                blackout, rearm, ..
+            } => match event {
+                // Victim down and the attacker re-armed: bait again.
+                VictimEvent::BrownOut { .. }
+                    if self.open_spoof.is_none() && at >= self.armed_at =>
+                {
+                    self.open_spoof = Some(at);
+                }
+                VictimEvent::Reconfig { .. } | VictimEvent::RadioOn { .. } => {
+                    // The victim committed to the spoofed surplus: close
+                    // the bait and yank the power.
+                    if let Some(start) = self.open_spoof.take() {
+                        if at > start {
+                            self.spoofs.push((start, at));
+                        }
+                        if let Some((_, end)) = self.commit_blackout(at, blackout.get()) {
+                            self.armed_at = end + rearm.get();
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn clone_source(&self) -> Box<dyn PowerSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MarkovRf, Mobility};
+
+    fn steady(power_mw: f64) -> Mobility {
+        Mobility::schedule(
+            "steady",
+            vec![(Seconds::new(0.0), Watts::from_milli(power_mw))],
+        )
+    }
+
+    fn boot(at: f64) -> VictimEvent {
+        VictimEvent::Boot {
+            at: Seconds::new(at),
+        }
+    }
+
+    fn boot_strike(inner: Mobility) -> AdaptiveAttack<Mobility> {
+        AdaptiveAttack::new(
+            inner,
+            AttackPolicy::BootTriggered {
+                delay: Seconds::new(0.5),
+                strike: Seconds::new(30.0),
+                rearm: Seconds::new(10.0),
+            },
+        )
+    }
+
+    #[test]
+    fn boot_triggered_strikes_after_each_boot_and_rearms() {
+        let mut a = boot_strike(steady(2.0));
+        assert_eq!(a.power_at(Seconds::new(10.0)), Watts::from_milli(2.0));
+        a.observe(boot(100.0));
+        // Before the delayed strike: the real field.
+        assert_eq!(a.power_at(Seconds::new(100.2)), Watts::from_milli(2.0));
+        // Inside the strike window [100.5, 130.5).
+        assert_eq!(a.power_at(Seconds::new(101.0)), Watts::ZERO);
+        assert_eq!(a.power_at(Seconds::new(130.4)), Watts::ZERO);
+        // After: field restored.
+        assert_eq!(a.power_at(Seconds::new(131.0)), Watts::from_milli(2.0));
+        // A boot before re-arm (130.5 + 10) is ignored…
+        a.observe(boot(135.0));
+        assert_eq!(a.strikes(), 1);
+        // …and one after it triggers again.
+        a.observe(boot(141.0));
+        assert_eq!(a.strikes(), 2);
+        assert_eq!(a.power_at(Seconds::new(142.0)), Watts::ZERO);
+        // Segment edges line up with the committed window.
+        let seg = a.segment(Seconds::new(100.2));
+        assert!((seg.end.get() - 100.5).abs() < 1e-9);
+        let seg = a.segment(Seconds::new(101.0));
+        assert!((seg.end.get() - 130.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spoof_baiter_baits_then_cuts_on_commit() {
+        let mut a = AdaptiveAttack::new(
+            steady(0.5),
+            AttackPolicy::SpoofBait {
+                bait: Watts::from_milli(25.0),
+                blackout: Seconds::new(60.0),
+                rearm: Seconds::new(5.0),
+            },
+        );
+        // The bait is on the air from t = 0 (victim starts dead).
+        assert_eq!(a.power_at(Seconds::new(3.0)), Watts::from_milli(25.0));
+        // The victim boots and commits (reconfigures for the surplus).
+        a.observe(boot(8.0));
+        a.observe(VictimEvent::Reconfig {
+            at: Seconds::new(12.0),
+        });
+        // History is preserved: the bait still covers [0, 12).
+        assert_eq!(a.power_at(Seconds::new(3.0)), Watts::from_milli(25.0));
+        assert_eq!(a.power_at(Seconds::new(11.9)), Watts::from_milli(25.0));
+        // The blackout covers [12, 72); then the real field returns.
+        assert_eq!(a.power_at(Seconds::new(12.5)), Watts::ZERO);
+        assert_eq!(a.power_at(Seconds::new(71.9)), Watts::ZERO);
+        assert_eq!(a.power_at(Seconds::new(73.0)), Watts::from_milli(0.5));
+        // The victim browns out again after the re-arm: bait returns.
+        a.observe(VictimEvent::BrownOut {
+            at: Seconds::new(80.0),
+        });
+        assert_eq!(a.power_at(Seconds::new(81.0)), Watts::from_milli(25.0));
+        assert_eq!(a.strikes(), 1);
+    }
+
+    #[test]
+    fn budgeted_attacker_never_exceeds_its_budget() {
+        let mut a = AdaptiveAttack::new(
+            steady(2.0),
+            AttackPolicy::Budgeted {
+                delay: Seconds::new(0.0),
+                strike: Seconds::new(40.0),
+                budget: Seconds::new(100.0),
+            },
+        );
+        // Boots arriving forever: 40 + 40 + 20 (clipped) and then dry.
+        let mut t = 0.0;
+        for _ in 0..50 {
+            a.observe(boot(t));
+            t += 200.0;
+        }
+        assert_eq!(a.strikes(), 3);
+        assert!((a.committed_blackout_seconds() - 100.0).abs() < 1e-9);
+        // The last strike is the clipped 20 s remainder.
+        let (s, e) = a.blackouts[2];
+        assert!((e - s - 20.0).abs() < 1e-9);
+        // Exhausted: later boots commit nothing.
+        a.observe(boot(1e6));
+        assert_eq!(a.strikes(), 3);
+    }
+
+    /// The causality contract: an event at time `T` never changes the
+    /// signal at any time `< T` the attacker was already queried about.
+    #[test]
+    fn feedback_never_rewrites_the_past() {
+        let policies = [
+            AttackPolicy::BootTriggered {
+                delay: Seconds::new(0.5),
+                strike: Seconds::new(20.0),
+                rearm: Seconds::new(5.0),
+            },
+            AttackPolicy::SpoofBait {
+                bait: Watts::from_milli(25.0),
+                blackout: Seconds::new(30.0),
+                rearm: Seconds::new(5.0),
+            },
+            AttackPolicy::Budgeted {
+                delay: Seconds::new(1.0),
+                strike: Seconds::new(15.0),
+                budget: Seconds::new(45.0),
+            },
+        ];
+        let events = |at: f64| {
+            [
+                boot(at),
+                VictimEvent::Reconfig {
+                    at: Seconds::new(at + 3.0),
+                },
+                VictimEvent::BrownOut {
+                    at: Seconds::new(at + 7.0),
+                },
+                VictimEvent::RadioOn {
+                    at: Seconds::new(at + 9.0),
+                },
+            ]
+        };
+        for policy in policies {
+            let mut a = AdaptiveAttack::new(steady(2.0), policy);
+            // Interleave event batches with probes, snapshotting the
+            // past each round before injecting strictly-future events.
+            let mut past: Vec<(f64, u64)> = Vec::new();
+            for round in 0..12 {
+                let horizon = round as f64 * 50.0;
+                for k in 0..25 {
+                    let t = horizon * (k as f64 / 25.0);
+                    let p = a.power_at(Seconds::new(t)).get().to_bits();
+                    past.push((t, p));
+                }
+                for (t, bits) in &past {
+                    assert_eq!(
+                        a.power_at(Seconds::new(*t)).get().to_bits(),
+                        *bits,
+                        "{policy:?}: past rewritten at t={t} after round {round}"
+                    );
+                }
+                for e in events(horizon) {
+                    a.observe(e);
+                }
+            }
+        }
+    }
+
+    /// Reruns with the same event stream are bit-identical, and the
+    /// seed salt reaches the wrapped environment.
+    #[test]
+    fn reruns_are_bit_identical_and_salt_reaches_the_inner_field() {
+        let field = |seed: u64| {
+            MarkovRf::new(
+                "rf",
+                Watts::from_milli(5.0),
+                Watts::from_micro(20.0),
+                Seconds::new(5.0),
+                Seconds::new(30.0),
+                seed,
+            )
+        };
+        let policy = AttackPolicy::BootTriggered {
+            delay: Seconds::new(0.5),
+            strike: Seconds::new(20.0),
+            rearm: Seconds::new(5.0),
+        };
+        let run = |seed: u64| {
+            let mut a = AdaptiveAttack::new(field(seed), policy);
+            let mut out = Vec::new();
+            for k in 0..400 {
+                let t = k as f64 * 1.3;
+                if k % 60 == 30 {
+                    a.observe(boot(t));
+                }
+                out.push(a.power_at(Seconds::new(t)).get().to_bits());
+            }
+            out
+        };
+        assert_eq!(run(9), run(9), "same seed must replay bit-identically");
+        assert_ne!(run(9), run(10), "a different seed must change the field");
+    }
+
+    #[test]
+    fn out_of_range_probes_and_events_are_inert() {
+        let mut a = boot_strike(steady(1.0));
+        assert_eq!(a.segment(Seconds::new(-1.0)), Segment::dark(Seconds::ZERO));
+        assert_eq!(
+            a.segment(Seconds::new(f64::NAN)),
+            Segment::dark(Seconds::ZERO)
+        );
+        a.observe(boot(f64::NAN));
+        a.observe(boot(-5.0));
+        assert_eq!(a.strikes(), 0);
+        // Blackout-only policies preserve the inner bound; the baiter
+        // is unbounded by construction.
+        assert_eq!(a.duration(), None); // Mobility schedules are unbounded
+        let bait = AdaptiveAttack::new(
+            steady(1.0),
+            AttackPolicy::SpoofBait {
+                bait: Watts::from_milli(10.0),
+                blackout: Seconds::new(10.0),
+                rearm: Seconds::new(1.0),
+            },
+        );
+        assert_eq!(bait.duration(), None);
+        assert!(bait.name().starts_with("bait-switch("));
+    }
+
+    #[test]
+    fn segment_walk_always_advances_through_committed_windows() {
+        let mut a = boot_strike(steady(2.0));
+        for k in 0..8 {
+            a.observe(boot(k as f64 * 97.3));
+        }
+        let mut t = 0.0;
+        for _ in 0..256 {
+            let seg = a.segment(Seconds::new(t));
+            assert!(seg.end.get() > t, "segment stalled at {t}");
+            if seg.end.get() == f64::INFINITY {
+                break;
+            }
+            t = seg.end.get();
+        }
+    }
+}

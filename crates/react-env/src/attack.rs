@@ -17,7 +17,7 @@
 
 use react_units::{Seconds, Watts};
 
-use crate::source::{PowerSource, Segment};
+use crate::source::{PowerSource, Segment, VictimEvent};
 
 /// A periodic attack window: active whenever
 /// `t mod period ∈ [offset, offset + len)`.
@@ -165,6 +165,12 @@ impl<S: PowerSource + Clone + 'static> PowerSource for EnergyAttack<S> {
         } else {
             self.inner.duration()
         }
+    }
+
+    fn observe(&mut self, event: VictimEvent) {
+        // The fixed-window adversary ignores feedback; its benign
+        // inner environment still gets the forward (combinators nest).
+        self.inner.observe(event);
     }
 
     fn clone_source(&self) -> Box<dyn PowerSource> {

@@ -8,7 +8,7 @@
 
 use react_units::{Seconds, Watts};
 
-use crate::source::{PowerSource, Segment};
+use crate::source::{PowerSource, Segment, VictimEvent};
 
 /// The sum of two sources (e.g. solar + ambient RF on one rail).
 #[derive(Clone, Debug)]
@@ -52,6 +52,11 @@ where
             (Some(da), Some(db)) => Some(da.max(db)),
             _ => None,
         }
+    }
+
+    fn observe(&mut self, event: VictimEvent) {
+        self.a.observe(event);
+        self.b.observe(event);
     }
 
     fn clone_source(&self) -> Box<dyn PowerSource> {
@@ -104,6 +109,10 @@ impl<S: PowerSource + Clone + 'static> PowerSource for Scale<S> {
         self.inner.duration()
     }
 
+    fn observe(&mut self, event: VictimEvent) {
+        self.inner.observe(event);
+    }
+
     fn clone_source(&self) -> Box<dyn PowerSource> {
         Box::new(self.clone())
     }
@@ -149,6 +158,10 @@ impl<S: PowerSource + Clone + 'static> PowerSource for Cap<S> {
 
     fn duration(&self) -> Option<Seconds> {
         self.inner.duration()
+    }
+
+    fn observe(&mut self, event: VictimEvent) {
+        self.inner.observe(event);
     }
 
     fn clone_source(&self) -> Box<dyn PowerSource> {
@@ -222,6 +235,11 @@ where
 
     fn duration(&self) -> Option<Seconds> {
         self.b.duration().map(|d| Seconds::new(self.at) + d)
+    }
+
+    fn observe(&mut self, event: VictimEvent) {
+        self.a.observe(event);
+        self.b.observe(event);
     }
 
     fn clone_source(&self) -> Box<dyn PowerSource> {

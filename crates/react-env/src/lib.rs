@@ -9,7 +9,9 @@
 //! * [`Diurnal`] — day/night solar envelope × Markov cloud process.
 //! * [`MarkovRf`] — Gilbert–Elliott on/off ambient-RF field.
 //! * [`Mobility`] — scheduled field-strength transitions (commutes).
-//! * [`EnergyAttack`] — blackout/spoofed-burst adversary wrapper.
+//! * [`EnergyAttack`] — fixed-schedule blackout/spoof adversary.
+//! * [`AdaptiveAttack`] — stateful adversaries ([`AttackPolicy`]) that
+//!   watch the victim through [`VictimEvent`] feedback and adapt.
 //!
 //! Composable via [`Mix`] / [`Scale`] / [`Splice`] / [`Cap`], with
 //! [`TraceSource`] wrapping any recorded [`PowerTrace`]
@@ -39,6 +41,9 @@
 //! assert!(seg.end > Seconds::new(2.0 * 3600.0));
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod adaptive;
 mod attack;
 mod combine;
 mod diurnal;
@@ -46,9 +51,12 @@ mod markov;
 mod mobility;
 mod source;
 
+pub use adaptive::{AdaptiveAttack, AttackPolicy};
 pub use attack::EnergyAttack;
 pub use combine::{Cap, Mix, Scale, Splice};
 pub use diurnal::Diurnal;
 pub use markov::MarkovRf;
 pub use mobility::Mobility;
-pub use source::{dark_stats, materialize, DarkStats, PowerSource, Segment, TraceSource};
+pub use source::{
+    dark_stats, materialize, DarkStats, PowerSource, Segment, TraceSource, VictimEvent,
+};

@@ -26,6 +26,65 @@ use std::sync::Arc;
 use react_traces::PowerTrace;
 use react_units::{Seconds, Watts};
 
+/// One observable event in the victim's execution, reported back to the
+/// environment through the simulator's feedback channel.
+///
+/// A real energy attacker cannot read the node's registers, but it can
+/// watch externally visible behavior: the power gate snapping closed
+/// (boot), the rail collapsing (brown-out), the radio keying up, and —
+/// with an oscilloscope on the harvesting rail — the capacitance steps
+/// of an adaptive buffer reconfiguring. Stateful adversaries
+/// ([`AdaptiveAttack`](crate::AdaptiveAttack)) consume these events to
+/// time their strikes; benign sources ignore them (the default
+/// [`PowerSource::observe`] is a no-op).
+///
+/// Event times are the simulator's clock at emission. The feedback
+/// contract is causal: an event at time `t` may only influence the
+/// source's output at times `≥ t` (asserted by the adversary property
+/// tests — an attacker can never rewrite the past it was already
+/// queried about).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VictimEvent {
+    /// The power gate enabled the MCU (cold or warm boot).
+    Boot {
+        /// Simulator clock at the gate transition.
+        at: Seconds,
+    },
+    /// The rail fell to the brown-out threshold and the gate opened.
+    BrownOut {
+        /// Simulator clock at the gate transition.
+        at: Seconds,
+    },
+    /// The workload keyed a power-hungry peripheral (radio) on.
+    RadioOn {
+        /// Simulator clock at the rising edge.
+        at: Seconds,
+    },
+    /// The radio-class peripheral released.
+    RadioOff {
+        /// Simulator clock at the falling edge.
+        at: Seconds,
+    },
+    /// The buffer's controller reconfigured its capacitance.
+    Reconfig {
+        /// Simulator clock when the reconfiguration became visible.
+        at: Seconds,
+    },
+}
+
+impl VictimEvent {
+    /// The event's timestamp.
+    pub fn at(self) -> Seconds {
+        match self {
+            VictimEvent::Boot { at }
+            | VictimEvent::BrownOut { at }
+            | VictimEvent::RadioOn { at }
+            | VictimEvent::RadioOff { at }
+            | VictimEvent::Reconfig { at } => at,
+        }
+    }
+}
+
 /// One piecewise-constant span of a power signal.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Segment {
@@ -75,6 +134,15 @@ pub trait PowerSource: std::fmt::Debug + Send {
         None
     }
 
+    /// Feedback channel: the simulator reports externally visible
+    /// victim behavior ([`VictimEvent`]) back to the environment.
+    /// Benign sources ignore it (this default); stateful adversaries
+    /// adapt their strike schedule to it. Implementations must stay
+    /// causal — an event at `t` may only change outputs at times `≥ t`.
+    fn observe(&mut self, event: VictimEvent) {
+        let _ = event;
+    }
+
     /// Clones the source behind a box, preserving seed and
     /// configuration (the cursor position need not survive — a clone
     /// may rewind). Lets `Box<dyn PowerSource>` registries hand out
@@ -97,6 +165,10 @@ impl PowerSource for Box<dyn PowerSource> {
 
     fn duration(&self) -> Option<Seconds> {
         (**self).duration()
+    }
+
+    fn observe(&mut self, event: VictimEvent) {
+        (**self).observe(event)
     }
 
     fn clone_source(&self) -> Box<dyn PowerSource> {

@@ -38,4 +38,4 @@ pub use panel::{MpptTracker, SolarPanel};
 pub use replay::{PowerReplay, ReplayCursor};
 // Re-exported so downstream code can name the replay's source types
 // without a direct react-env dependency.
-pub use react_env::{PowerSource, Segment, TraceSource};
+pub use react_env::{PowerSource, Segment, TraceSource, VictimEvent};

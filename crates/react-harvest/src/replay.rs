@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use react_env::{PowerSource, TraceSource};
+use react_env::{PowerSource, TraceSource, VictimEvent};
 use react_traces::PowerTrace;
 use react_units::{Amps, Seconds, Volts, Watts};
 
@@ -174,6 +174,17 @@ impl<S: PowerSource + Clone> ReplayCursor<'_, S> {
     pub fn input_current(&mut self, t: Seconds, v_buffer: Volts) -> Amps {
         let available = self.source.power_at(t);
         self.replay.input_current_from(available, v_buffer)
+    }
+
+    /// Forwards a victim-side event to the underlying source's feedback
+    /// channel. Benign sources ignore it; adaptive adversaries
+    /// ([`react_env::AdaptiveAttack`]) commit strike windows in
+    /// response. Only this cursor's private source clone observes the
+    /// event — the shared [`PowerReplay`] stays untouched, so parallel
+    /// runs never leak feedback into each other.
+    #[inline]
+    pub fn observe(&mut self, event: VictimEvent) {
+        self.source.observe(event);
     }
 
     /// The piecewise-constant span covering `t`: available power plus

@@ -51,6 +51,23 @@ impl PowerGate {
         self.closed
     }
 
+    /// Moves the enable threshold — the defensive "raised gate"
+    /// response to a suspected energy attack (boot only once more
+    /// charge is banked), and its restoration once the alarm clears.
+    /// Only the *enable* side moves; the brown-out threshold is fixed
+    /// by the regulator's dropout and never a software knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enable_at <= brownout_at` (no hysteresis band).
+    pub fn set_enable_voltage(&mut self, enable_at: Volts) {
+        assert!(
+            enable_at > self.brownout_at,
+            "enable voltage must exceed brown-out voltage"
+        );
+        self.enable_at = enable_at;
+    }
+
     /// Updates the gate with the present buffer voltage; returns `true`
     /// if the gate state changed.
     pub fn update(&mut self, v: Volts) -> bool {
@@ -132,6 +149,25 @@ mod tests {
         assert!(g.update(Volts::new(1.8))); // browns out (v must exceed 1.8)
         assert!(!g.is_closed());
         assert!(!g.update(Volts::new(2.5))); // needs full 3.3 V again
+    }
+
+    #[test]
+    fn raised_enable_gate_defers_the_boot() {
+        let mut g = PowerGate::paper_testbed();
+        g.set_enable_voltage(Volts::new(3.5));
+        assert!(!g.update(Volts::new(3.3))); // old threshold no longer boots
+        assert!(g.update(Volts::new(3.5)));
+        assert!(g.is_closed());
+        g.set_enable_voltage(Volts::new(3.3)); // restore: closed state kept
+        assert!(g.is_closed());
+        assert_eq!(g.enable_voltage(), Volts::new(3.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn raising_below_brownout_panics() {
+        let mut g = PowerGate::paper_testbed();
+        g.set_enable_voltage(Volts::new(1.5));
     }
 
     #[test]
