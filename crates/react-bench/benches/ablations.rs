@@ -6,6 +6,8 @@
 //! * Morphy controller cooldown (switch-thrash sensitivity),
 //! * the extension baselines (Dewdrop, Capybara) against the paper set.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::{BufferKind, EnergyBuffer, ReactBuffer, ReactConfig};

@@ -3,6 +3,8 @@
 //! quantitative claims (charge-time ratio, cycle lengths, duty cycles,
 //! and the night-trace comparison of §2.1.2).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::{EnergyBuffer, StaticBuffer};

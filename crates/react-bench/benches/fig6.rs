@@ -1,6 +1,8 @@
 //! Figure 6 — buffer voltage and on-time for the SC benchmark under the
 //! RF Mobile trace, for 770 µF / 10 mF / Morphy / REACT.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::BufferKind;

@@ -1,6 +1,8 @@
 //! Figure 7 — normalized figures of merit across benchmarks, plus the
 //! paper's headline improvement percentages (§5.5).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::BufferKind;

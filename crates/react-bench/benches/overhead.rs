@@ -1,6 +1,8 @@
 //! §5.1 — characterization and overhead: REACT's software poller costs
 //! ~1.8 % of DE throughput; its hardware draws ≈68 µW (~13.6 µW/bank).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::{BufferKind, EnergyBuffer, ReactBuffer};

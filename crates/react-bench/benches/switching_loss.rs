@@ -1,6 +1,8 @@
 //! §3.3.1 / Fig. 5 — dissipative reconfiguration in fully-connected
 //! capacitor networks, versus REACT's lossless bank switching.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::morphy_transition_path;

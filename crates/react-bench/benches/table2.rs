@@ -4,6 +4,8 @@
 //! trace × buffer plus the mean row), saves them under
 //! `target/paper-artifacts/`, then benchmarks the simulation kernel.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::{render_ops_table, save_artifact};
 use react_buffers::BufferKind;

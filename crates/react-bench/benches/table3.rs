@@ -1,6 +1,8 @@
 //! Table 3 — the power-trace statistics, regenerated and verified
 //! against the paper's published values, then a synthesis benchmark.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_core::report::TextTable;

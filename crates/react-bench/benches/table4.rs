@@ -1,6 +1,8 @@
 //! Table 4 — system latency (cold start to first enable) across traces
 //! and buffers. Latency is software-invariant, so the DE matrix is used.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::BufferKind;

@@ -1,6 +1,8 @@
 //! Table 5 — Packet Forwarding: packets received and retransmitted per
 //! trace and buffer, plus the fungibility summary of §5.4.1.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use react_bench::save_artifact;
 use react_buffers::BufferKind;

@@ -14,6 +14,8 @@
 //! change if left uncommitted. Also fails when a baseline scenario is
 //! missing from the current report.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use std::process::ExitCode;
 
 use react_bench::BenchReport;

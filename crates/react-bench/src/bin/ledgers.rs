@@ -5,6 +5,8 @@
 //! cargo run --release -p react-bench --bin ledgers [trace] [workload]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use react_buffers::BufferKind;
 use react_core::{Experiment, WorkloadKind};
 use react_traces::PaperTrace;

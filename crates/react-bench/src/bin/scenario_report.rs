@@ -31,6 +31,8 @@
 //! reports, the poisoned cells are listed by id, and the process exits
 //! with code 3 (distinct from the gate's conformance failure).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use std::process::ExitCode;
 
 use react_bench::save_named_artifact;

@@ -4,6 +4,8 @@
 //! cargo run --release -p react-bench --bin tables
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use react_bench::render_ops_table;
 use react_buffers::BufferKind;
 use react_core::report::TextTable;

@@ -5,6 +5,8 @@
 //! the ablations), printing the same rows/series the paper reports and
 //! then timing a representative kernel under criterion.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use react_buffers::BufferKind;
 use react_core::report::TextTable;
 use react_core::{ExperimentMatrix, WorkloadKind};

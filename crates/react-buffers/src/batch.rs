@@ -1,0 +1,189 @@
+//! Batched (SoA-friendly) advance entry points for fleets of
+//! same-topology buffers.
+//!
+//! The fleet kernel advances thousands of [`StaticBuffer`] cells that
+//! share one capacitor spec and differ only in state (voltage) and
+//! input power. These entry points expose that structure-of-arrays
+//! shape explicitly — one spec, parallel `inputs`/`advanced` lanes —
+//! so a vectorized backend can later swap in under the same contract
+//! without touching callers.
+//!
+//! **Contract:** results are *bit-identical* to calling
+//! [`EnergyBuffer::idle_advance`] / [`EnergyBuffer::powered_advance`]
+//! on each buffer independently, in slice order. The current
+//! implementation guarantees that trivially by executing exactly those
+//! per-cell closed forms; any future SIMD lane-split must preserve it
+//! (the `batched_*_matches_scalar` property tests pin the equivalence,
+//! and the fleet-vs-scalar CI gate pins it end to end).
+
+use react_units::{Amps, Seconds, Volts, Watts};
+
+use crate::static_buf::StaticBuffer;
+use crate::EnergyBuffer;
+
+/// Batched closed-form idle advance over parallel buffer/input lanes.
+///
+/// Writes the per-lane advanced time into `advanced` and returns the
+/// smallest of them — the stride the fleet can commit while keeping
+/// every lane inside one environment segment.
+///
+/// # Panics
+///
+/// Panics if the three slices disagree in length.
+pub fn idle_advance_batch(
+    buffers: &mut [StaticBuffer],
+    inputs: &[Watts],
+    duration: Seconds,
+    v_stop: Volts,
+    fine_dt: Seconds,
+    advanced: &mut [Seconds],
+) -> Seconds {
+    assert!(
+        buffers.len() == inputs.len() && buffers.len() == advanced.len(),
+        "batched idle advance: lane count mismatch ({}/{}/{})",
+        buffers.len(),
+        inputs.len(),
+        advanced.len()
+    );
+    let mut min_adv = duration;
+    for ((buf, &input), out) in buffers.iter_mut().zip(inputs).zip(advanced.iter_mut()) {
+        let t = buf.idle_advance(input, duration, v_stop, fine_dt);
+        *out = t;
+        if t < min_adv {
+            min_adv = t;
+        }
+    }
+    min_adv
+}
+
+/// Batched closed-form powered (LPM3 sleep) advance over parallel
+/// buffer/input lanes under a shared constant sleep load.
+///
+/// Lane `i` of `advanced` receives `None` where the closed form
+/// declines the stride (the scalar kernel then falls back to fine
+/// stepping for that cell, exactly as in the single-node path).
+///
+/// # Panics
+///
+/// Panics if the three slices disagree in length.
+#[allow(clippy::too_many_arguments)]
+pub fn powered_advance_batch(
+    buffers: &mut [StaticBuffer],
+    inputs: &[Watts],
+    load: Amps,
+    duration: Seconds,
+    v_stop: Volts,
+    v_wake: Option<Volts>,
+    fine_dt: Seconds,
+    advanced: &mut [Option<Seconds>],
+) {
+    assert!(
+        buffers.len() == inputs.len() && buffers.len() == advanced.len(),
+        "batched powered advance: lane count mismatch ({}/{}/{})",
+        buffers.len(),
+        inputs.len(),
+        advanced.len()
+    );
+    for ((buf, &input), out) in buffers.iter_mut().zip(inputs).zip(advanced.iter_mut()) {
+        *out = buf.powered_advance(input, load, duration, v_stop, v_wake, fine_dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(n: usize) -> (Vec<StaticBuffer>, Vec<Watts>) {
+        let mut bufs = Vec::with_capacity(n);
+        let mut inputs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut b = StaticBuffer::static_10mf();
+            b.set_voltage(Volts::new(0.4 + 0.3 * i as f64));
+            bufs.push(b);
+            inputs.push(Watts::from_milli(0.5 + 0.7 * i as f64));
+        }
+        (bufs, inputs)
+    }
+
+    #[test]
+    fn batched_idle_matches_scalar_bitwise() {
+        let (mut batch, inputs) = lanes(8);
+        let mut scalar = batch.clone();
+        let duration = Seconds::new(45.0);
+        let v_stop = Volts::new(3.3);
+        let dt = Seconds::from_milli(1.0);
+
+        let mut advanced = vec![Seconds::ZERO; batch.len()];
+        let min_adv = idle_advance_batch(&mut batch, &inputs, duration, v_stop, dt, &mut advanced);
+
+        let mut min_ref = duration;
+        for ((b, &input), &adv) in scalar.iter_mut().zip(&inputs).zip(&advanced) {
+            let t = b.idle_advance(input, duration, v_stop, dt);
+            assert_eq!(t.get().to_bits(), adv.get().to_bits());
+            if t < min_ref {
+                min_ref = t;
+            }
+        }
+        assert_eq!(min_adv.get().to_bits(), min_ref.get().to_bits());
+        for (b, s) in batch.iter().zip(&scalar) {
+            assert_eq!(
+                b.rail_voltage().get().to_bits(),
+                s.rail_voltage().get().to_bits()
+            );
+            assert_eq!(
+                b.ledger().delivered.get().to_bits(),
+                s.ledger().delivered.get().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_powered_matches_scalar_bitwise() {
+        let (mut batch, inputs) = lanes(6);
+        for b in batch.iter_mut() {
+            b.set_voltage(Volts::new(3.1));
+        }
+        let mut scalar = batch.clone();
+        let load = Amps::from_micro(2.0);
+        let duration = Seconds::new(120.0);
+        let v_stop = Volts::new(1.8);
+        let dt = Seconds::from_milli(1.0);
+
+        let mut advanced = vec![None; batch.len()];
+        powered_advance_batch(
+            &mut batch,
+            &inputs,
+            load,
+            duration,
+            v_stop,
+            Some(Volts::new(3.3)),
+            dt,
+            &mut advanced,
+        );
+        for ((b, &input), adv) in scalar.iter_mut().zip(&inputs).zip(&advanced) {
+            let t = b.powered_advance(input, load, duration, v_stop, Some(Volts::new(3.3)), dt);
+            assert_eq!(t.map(|s| s.get().to_bits()), adv.map(|s| s.get().to_bits()));
+        }
+        for (b, s) in batch.iter().zip(&scalar) {
+            assert_eq!(
+                b.rail_voltage().get().to_bits(),
+                s.rail_voltage().get().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn mismatched_lanes_panic() {
+        let (mut bufs, inputs) = lanes(3);
+        let mut advanced = vec![Seconds::ZERO; 2];
+        idle_advance_batch(
+            &mut bufs,
+            &inputs,
+            Seconds::new(1.0),
+            Volts::new(3.3),
+            Seconds::from_milli(1.0),
+            &mut advanced,
+        );
+    }
+}

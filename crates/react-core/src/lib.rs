@@ -40,6 +40,7 @@
 
 pub mod calib;
 mod experiment;
+pub mod fleet;
 pub mod fom;
 mod metrics;
 pub mod report;
@@ -49,11 +50,16 @@ mod sim;
 pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
+pub use fleet::{
+    compare_fleet_reports, run_fleet, run_shard, FleetAggregate, FleetBins, FleetCheckpoint,
+    FleetReport, FleetRunOptions, FleetRunResult, FleetSim, FleetSpec, FleetSummary,
+    FleetTolerances, Histogram, NodeStats, ShardEntry,
+};
 pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
 pub use scenario::{find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario};
 pub use scenario_report::{
     build_full_report, build_report, build_report_with, compare_reports, report_scenarios,
     PoisonedCell, ResilienceRow, ScenarioCell, ScenarioReport, Tolerances,
 };
-pub use sim::{ConstantLoad, KernelMode, SimError, Simulator};
+pub use sim::{ConstantLoad, KernelMode, SimCore, SimError, Simulator};
 pub use sweep::SweepOptions;

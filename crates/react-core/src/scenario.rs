@@ -401,6 +401,21 @@ impl Scenario {
     /// reference exists for validation; week-scale scenarios are only
     /// practical under the adaptive kernel).
     pub fn run_with_kernel(&self, kernel: KernelMode) -> RunOutcome {
+        self.simulator().with_kernel(kernel).run()
+    }
+
+    /// Builds the fully configured [`Simulator`] this scenario runs —
+    /// the single construction recipe shared by [`Scenario::run`] and
+    /// the fleet kernel, so a fleet cell is bit-identical to a scalar
+    /// run of the same (scenario, salt) pair. Defaults to the adaptive
+    /// kernel; callers may override with [`Simulator::with_kernel`].
+    pub fn simulator(
+        &self,
+    ) -> Simulator<
+        Box<dyn react_buffers::EnergyBuffer>,
+        Box<dyn react_workloads::Workload>,
+        Box<dyn PowerSource>,
+    > {
         let replay = PowerReplay::from_source(self.source(), self.converter.build());
         let workload = self
             .workload
@@ -408,7 +423,6 @@ impl Scenario {
         let mut sim = Simulator::new(replay, self.buffer.build(), workload)
             .with_timestep(self.dt)
             .with_horizon(self.horizon)
-            .with_kernel(kernel)
             .with_gate(self.gate());
         if self.env.adversarial() {
             // Stateful adversaries observe the victim; benign cells
@@ -418,7 +432,7 @@ impl Scenario {
         if self.defended {
             sim = sim.with_defense(DefenseConfig::default());
         }
-        sim.run()
+        sim
     }
 }
 

@@ -225,12 +225,93 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
     /// [`SimError::UnboundedSource`] if the power source never ends and
     /// no [`Simulator::with_horizon`] was set.
     pub fn try_run(self) -> Result<RunOutcome, SimError> {
-        let Self {
+        let mut core = self.try_into_core()?;
+        while core.advance() {}
+        Ok(core.finish())
+    }
+
+    /// Converts this configured simulator into its resumable engine
+    /// core without running it. The fleet kernel interleaves thousands
+    /// of cores this way; stepping a core to completion is exactly
+    /// [`Simulator::try_run`] (the run methods are implemented on top
+    /// of it), so incremental advancement is bit-identical to a
+    /// monolithic run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnboundedSource`] if the power source never ends and
+    /// no [`Simulator::with_horizon`] was set.
+    pub fn try_into_core(self) -> Result<SimCore<B, W, S>, SimError> {
+        SimCore::new(self)
+    }
+}
+
+/// The resumable simulation engine: one configured run, advanced one
+/// engine iteration at a time.
+///
+/// [`Simulator::try_run`] is a thin loop over this type, so driving a
+/// core incrementally — as the fleet kernel does, interleaving
+/// thousands of cells through a next-event heap — performs exactly the
+/// same floating-point operations in exactly the same order as a
+/// monolithic run. That is the property the `fleet_vs_scalar` bench
+/// asserts as bit-equality.
+///
+/// Each iteration of [`SimCore::advance`] is either one closed-form
+/// coarse stride (idle or LPM3-sleep fast path) or one fine `dt` step;
+/// [`SimCore::now`] exposes the cell clock between iterations for
+/// schedulers.
+pub struct SimCore<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = TraceSource> {
+    replay: PowerReplay<S>,
+    /// The stepping source clone (what `PowerReplay::cursor` would
+    /// own): sources are stateful segment walkers, so the core streams
+    /// its private copy while the replay stays shareable.
+    source: S,
+    buffer: B,
+    mcu: Mcu,
+    gate: PowerGate,
+    workload: W,
+    dt: Seconds,
+    probe_interval: Option<Seconds>,
+    trace_end: Seconds,
+    hard_end: Seconds,
+    software_overhead: f64,
+    feedback: bool,
+    fast_path: bool,
+    sleep_fast: bool,
+    sleep_peripheral: Amps,
+    t: Seconds,
+    probe_acc: Seconds,
+    on_since: Option<Seconds>,
+    /// Outages *survived*: dark spans that ended in a reboot. The run
+    /// starts in one (cold start), and the trailing drain-out is
+    /// deliberately excluded — the system never came back from it.
+    off_since: Option<Seconds>,
+    off_max: f64,
+    cycle_sum: f64,
+    cycle_max: f64,
+    cycles: u64,
+    poll_debt: f64,
+    engine_steps: u64,
+    detector: Option<AttackDetector>,
+    base_enable: react_units::Volts,
+    hold_until: Option<Seconds>,
+    defensive_reconfigs: u64,
+    last_reconfig_count: u64,
+    radio_on: bool,
+    guard_active: bool,
+    finished: bool,
+    metrics: RunMetrics,
+    series: Vec<VoltageSample>,
+}
+
+impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
+    fn new(sim: Simulator<B, W, S>) -> Result<Self, SimError> {
+        let Simulator {
             replay,
-            mut buffer,
-            mut mcu,
-            mut gate,
-            mut workload,
+            buffer,
+            mcu,
+            gate,
+            workload,
             dt,
             kernel,
             probe_interval,
@@ -239,7 +320,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             software_overhead,
             feedback,
             defense,
-        } = self;
+        } = sim;
 
         // The harvest horizon: an explicit override, else the bounded
         // source duration. Unbounded streaming environments have
@@ -248,9 +329,9 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             .or_else(|| replay.source_duration())
             .ok_or(SimError::UnboundedSource)?;
         let hard_end = trace_end + max_drain;
-        let mut cursor = replay.cursor();
+        let source = replay.source().clone();
 
-        let mut metrics = RunMetrics {
+        let metrics = RunMetrics {
             initial_stored: buffer.stored_energy(),
             ..Default::default()
         };
@@ -259,7 +340,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         // probed runs never pay Vec regrowth (capped at 64 Ki samples to
         // bound the reserve; pathological millisecond-probe runs fall
         // back to amortized growth past the cap).
-        let mut series = match probe_interval {
+        let series = match probe_interval {
             Some(interval) => {
                 let expected = (hard_end.get() / interval.get().max(1e-9)) as usize + 16;
                 Vec::with_capacity(expected.min(1 << 16))
@@ -274,475 +355,536 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         // workload-idle LPM3 stretches (§2.1: responsive sleep is where
         // batteryless nodes spend almost all of their on-time).
         let sleep_fast = kernel == KernelMode::Adaptive && buffer.supports_powered_fast_path();
-        // Peripheral current of the most recent sleep demand — what the
-        // workload holds powered through the stretch (mic bias, wake-up
-        // receiver). Valid whenever the MCU sits in `Sleep`, which only
-        // a workload step can request.
-        let mut sleep_peripheral = Amps::ZERO;
-        let mut t = Seconds::ZERO;
-        let mut probe_acc = Seconds::ZERO;
-        let mut on_since: Option<Seconds> = None;
-        // Outages *survived*: dark spans that ended in a reboot. The
-        // run starts in one (cold start), and the trailing drain-out is
-        // deliberately excluded — the system never came back from it.
-        let mut off_since: Option<Seconds> = Some(Seconds::ZERO);
-        let mut off_max = 0.0_f64;
-        let mut cycle_sum = 0.0_f64;
-        let mut cycle_max = 0.0_f64;
-        let mut cycles = 0u64;
-        let mut poll_debt = 0.0_f64;
-        let mut engine_steps = 0u64;
-        // Defensive posture (None when undefended).
-        let mut detector = defense.map(AttackDetector::new);
         let base_enable = gate.enable_voltage();
-        let mut hold_until: Option<Seconds> = None;
-        let mut defensive_reconfigs = 0u64;
-        // Feedback-channel edge state.
-        let mut last_reconfig_count = buffer.reconfiguration_count();
-        let mut radio_on = false;
-        // Kernel invariant guard: a non-finite rail voltage or harvest
-        // power means some model produced garbage; the engine degrades
-        // to sanitized fine-stepping for the offending span and counts
-        // it (once per contiguous span) instead of propagating NaNs.
-        let mut guard_active = false;
+        let last_reconfig_count = buffer.reconfiguration_count();
 
-        // Coarse-stride machinery shared by the idle (MCU-off) and
-        // sleep (MCU-on) fast paths. `stride_window!` fetches one
-        // converter-composed source window — the environment is
-        // disconnected past the harvest horizon, so the drain phase
-        // runs on stored energy alone, matching bounded-trace
-        // semantics (power_at is zero past the end) for streaming
-        // sources too; rail power is constant over the whole span
-        // (static efficiency curve, OVP above the rail clamp), so one
-        // conversion at the stride's entry voltage covers the
-        // closed-form integration. `commit_stride!` books an advanced
-        // stride and re-enters the loop: probe samples are stamped one
-        // step back, where the reference kernel records them.
-        macro_rules! stride_window {
-            () => {{
-                let (p_rail, window_end) = if t >= trace_end {
-                    (react_units::Watts::ZERO, hard_end)
-                } else {
-                    let (p, end) = cursor.rail_window(t, buffer.input_voltage());
-                    (p, end.min(trace_end))
-                };
-                (p_rail, window_end.min(hard_end))
-            }};
-        }
-        // Reports controller reconfigurations to the feedback channel
-        // by delta — they can land inside fine steps or coarse strides,
-        // and the count is the one signal both kernels agree on
-        // exactly. The event is stamped at the current clock, at or
-        // after the physical switch, so an adversary acting on it can
-        // never reach back before it.
-        macro_rules! note_reconfigs {
-            () => {{
-                if feedback {
-                    let rc = buffer.reconfiguration_count();
-                    if rc > last_reconfig_count {
-                        last_reconfig_count = rc;
-                        cursor.observe(VictimEvent::Reconfig { at: t });
-                    }
-                }
-            }};
-        }
-        macro_rules! commit_stride {
-            ($advanced:expr, $on:expr) => {{
-                let advanced = $advanced;
-                engine_steps += 1;
-                t += advanced;
-                note_reconfigs!();
-                if $on {
-                    metrics.on_time += advanced;
-                }
-                if let Some(interval) = probe_interval {
-                    probe_acc += advanced;
-                    if probe_acc >= interval {
-                        probe_acc = Seconds::ZERO;
-                        series.push(VoltageSample {
-                            time_s: (t - dt).max(Seconds::ZERO).get(),
-                            voltage_v: buffer.rail_voltage().get(),
-                            on: $on,
-                            capacitance_f: buffer.equivalent_capacitance().get(),
-                        });
-                    }
-                }
-                if t >= trace_end && !gate.is_closed() {
-                    break;
-                }
-                if t >= hard_end {
-                    break;
-                }
-                continue;
-            }};
-        }
+        Ok(Self {
+            replay,
+            source,
+            buffer,
+            mcu,
+            gate,
+            workload,
+            dt,
+            probe_interval,
+            trace_end,
+            hard_end,
+            software_overhead,
+            feedback,
+            fast_path,
+            sleep_fast,
+            // Peripheral current of the most recent sleep demand — what
+            // the workload holds powered through the stretch (mic bias,
+            // wake-up receiver). Valid whenever the MCU sits in `Sleep`,
+            // which only a workload step can request.
+            sleep_peripheral: Amps::ZERO,
+            t: Seconds::ZERO,
+            probe_acc: Seconds::ZERO,
+            on_since: None,
+            off_since: Some(Seconds::ZERO),
+            off_max: 0.0,
+            cycle_sum: 0.0,
+            cycle_max: 0.0,
+            cycles: 0,
+            poll_debt: 0.0,
+            engine_steps: 0,
+            detector: defense.map(AttackDetector::new),
+            base_enable,
+            hold_until: None,
+            defensive_reconfigs: 0,
+            last_reconfig_count,
+            radio_on: false,
+            // Kernel invariant guard: a non-finite rail voltage or
+            // harvest power means some model produced garbage; the
+            // engine degrades to sanitized fine-stepping for the
+            // offending span and counts it (once per contiguous span)
+            // instead of propagating NaNs.
+            guard_active: false,
+            finished: false,
+            metrics,
+            series,
+        })
+    }
 
-        loop {
-            let v = buffer.rail_voltage();
-            // Invariant guard: a non-finite rail voltage disables both
-            // fast paths for this span (their closed forms would chew
-            // on garbage) and is counted once per contiguous span.
-            let v_ok = v.get().is_finite();
+    /// The cell clock: simulated seconds advanced so far.
+    pub fn now(&self) -> Seconds {
+        self.t
+    }
 
-            // A defensive hold releases only once its backoff timer has
-            // expired *and* the rail has recovered to the effective
-            // enable level: waking mid-blackout with a half-drained
-            // buffer just donates the remaining charge to the next
-            // strike, so the workload waits out both the hold and the
-            // recharge and always restarts from a full buffer.
-            if v_ok && hold_until.is_some_and(|h| t >= h) && v >= gate.enable_voltage() {
-                hold_until = None;
+    /// Whether the run has terminated (drained past the horizon or hit
+    /// the hard cap). Once finished, [`SimCore::advance`] is a no-op
+    /// and [`SimCore::finish`] yields the outcome.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// One converter-composed source window starting at the clock —
+    /// the environment is disconnected past the harvest horizon, so
+    /// the drain phase runs on stored energy alone, matching
+    /// bounded-trace semantics (power_at is zero past the end) for
+    /// streaming sources too; rail power is constant over the whole
+    /// span (static efficiency curve, OVP above the rail clamp), so
+    /// one conversion at the stride's entry voltage covers the
+    /// closed-form integration.
+    fn stride_window(&mut self) -> (react_units::Watts, Seconds) {
+        let (p_rail, window_end) = if self.t >= self.trace_end {
+            (react_units::Watts::ZERO, self.hard_end)
+        } else {
+            let seg = self.source.segment(self.t);
+            let p = self
+                .replay
+                .rail_power_from(seg.power, self.buffer.input_voltage());
+            (p, seg.end.min(self.trace_end))
+        };
+        (p_rail, window_end.min(self.hard_end))
+    }
+
+    /// Reports controller reconfigurations to the feedback channel by
+    /// delta — they can land inside fine steps or coarse strides, and
+    /// the count is the one signal both kernels agree on exactly. The
+    /// event is stamped at the current clock, at or after the physical
+    /// switch, so an adversary acting on it can never reach back
+    /// before it.
+    fn note_reconfigs(&mut self) {
+        if self.feedback {
+            let rc = self.buffer.reconfiguration_count();
+            if rc > self.last_reconfig_count {
+                self.last_reconfig_count = rc;
+                self.source.observe(VictimEvent::Reconfig { at: self.t });
             }
+        }
+    }
 
-            // Adaptive idle fast path: gate open, MCU dark — the only
-            // dynamics are buffer physics (plus, for controller-driven
-            // buffers, threshold-sparse controller decisions) under a
-            // piecewise-constant input, which `idle_advance` integrates
-            // in one stride.
-            if fast_path
-                && v_ok
-                && !gate.is_closed()
-                && !mcu.is_powered()
-                && v < gate.enable_voltage()
-            {
-                let (p_rail, window_end) = stride_window!();
-                let mut stride_end = window_end;
-                if let Some(interval) = probe_interval {
+    /// Books an advanced coarse stride: probe samples are stamped one
+    /// step back, where the reference kernel records them.
+    fn commit_stride(&mut self, advanced: Seconds, on: bool) {
+        self.engine_steps += 1;
+        self.t += advanced;
+        self.note_reconfigs();
+        if on {
+            self.metrics.on_time += advanced;
+        }
+        if let Some(interval) = self.probe_interval {
+            self.probe_acc += advanced;
+            if self.probe_acc >= interval {
+                self.probe_acc = Seconds::ZERO;
+                self.series.push(VoltageSample {
+                    time_s: (self.t - self.dt).max(Seconds::ZERO).get(),
+                    voltage_v: self.buffer.rail_voltage().get(),
+                    on,
+                    capacitance_f: self.buffer.equivalent_capacitance().get(),
+                });
+            }
+        }
+        self.check_termination();
+    }
+
+    /// Termination: past the trace, once the system browns out it can
+    /// never restart (no input power) — or at the hard cap.
+    fn check_termination(&mut self) {
+        if (self.t >= self.trace_end && !self.gate.is_closed()) || self.t >= self.hard_end {
+            self.finished = true;
+        }
+    }
+
+    /// Advances the run by one engine iteration — one closed-form
+    /// coarse stride or one fine `dt` step — and reports whether the
+    /// run is still live (`false` once finished).
+    pub fn advance(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        let dt = self.dt;
+        let v = self.buffer.rail_voltage();
+        // Invariant guard: a non-finite rail voltage disables both
+        // fast paths for this span (their closed forms would chew
+        // on garbage) and is counted once per contiguous span.
+        let v_ok = v.get().is_finite();
+
+        // A defensive hold releases only once its backoff timer has
+        // expired *and* the rail has recovered to the effective
+        // enable level: waking mid-blackout with a half-drained
+        // buffer just donates the remaining charge to the next
+        // strike, so the workload waits out both the hold and the
+        // recharge and always restarts from a full buffer.
+        if v_ok && self.hold_until.is_some_and(|h| self.t >= h) && v >= self.gate.enable_voltage() {
+            self.hold_until = None;
+        }
+
+        // Adaptive idle fast path: gate open, MCU dark — the only
+        // dynamics are buffer physics (plus, for controller-driven
+        // buffers, threshold-sparse controller decisions) under a
+        // piecewise-constant input, which `idle_advance` integrates
+        // in one stride.
+        if self.fast_path
+            && v_ok
+            && !self.gate.is_closed()
+            && !self.mcu.is_powered()
+            && v < self.gate.enable_voltage()
+        {
+            let (p_rail, window_end) = self.stride_window();
+            let mut stride_end = window_end;
+            if let Some(interval) = self.probe_interval {
+                // Never integrate across a probe boundary.
+                stride_end = stride_end.min(self.t + (interval - self.probe_acc).max(dt));
+            }
+            let stride = stride_end - self.t;
+            if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
+                let advanced =
+                    self.buffer
+                        .idle_advance(p_rail, stride, self.gate.enable_voltage(), dt);
+                if advanced.get() > 0.0 {
+                    self.commit_stride(advanced, false);
+                    return !self.finished;
+                }
+            }
+        }
+
+        // Adaptive sleep fast path: gate closed, MCU asleep in LPM3
+        // on a quiet workload — the only dynamics are buffer physics
+        // under the standing sleep draw (MCU sleep current plus the
+        // held peripheral), which `powered_advance` integrates in
+        // closed form up to the workload's next wake-up, the end of
+        // the converter-composed source segment, or the predicted
+        // brown-out crossing (quantized onto the `dt` grid). A
+        // pending poll-service debt keeps the stretch on fine steps
+        // (the serviced step runs the CPU active).
+        if self.sleep_fast
+            && v_ok
+            && self.gate.is_closed()
+            && self.mcu.is_running()
+            && self.mcu.mode() == PowerMode::Sleep
+            && self.poll_debt < dt.get()
+            && v > self.gate.brownout_voltage()
+        {
+            let env = WorkloadEnv {
+                now: self.t,
+                dt,
+                rail_voltage: v,
+                usable_energy: self
+                    .buffer
+                    .usable_energy_above(self.gate.brownout_voltage()),
+                supports_longevity: self.buffer.supports_longevity(),
+            };
+            // Resolve the hint to a wake *time* plus, for §3.4.1
+            // energy waits, a wake *voltage* — the rail level at
+            // which the buffer's usable pool first covers the
+            // workload's threshold, where the stride must stop so
+            // the per-step energy check observes the crossing.
+            let far = Seconds::new(f64::INFINITY);
+            // During a defensive backoff hold the workload is
+            // pinned in LPM3 regardless of its own schedule: the
+            // stride runs to the hold's expiry or, once the timer
+            // is out, to the rail's recovery crossing at the
+            // effective enable level (where the loop-top release
+            // check clears the hold).
+            let held_wake = match self.hold_until {
+                Some(h) if h > self.t => Some((h, None)),
+                Some(_) => Some((far, Some(self.gate.enable_voltage()))),
+                None => None,
+            };
+            let wake = if held_wake.is_some() {
+                held_wake
+            } else {
+                match self.workload.next_wake(&env) {
+                    WakeHint::Immediate => None,
+                    // A stale hint (at or behind the clock) gets the
+                    // fine-step treatment rather than a zero stride.
+                    WakeHint::At(tw) if tw > self.t => Some((tw, None)),
+                    WakeHint::At(_) => None,
+                    WakeHint::WhenEnergy { energy, deadline } => {
+                        if env.usable_energy >= energy || deadline.is_some_and(|d| d <= self.t) {
+                            // Already awake (or an event is due): the
+                            // wake-up itself runs on fine steps.
+                            None
+                        } else {
+                            self.buffer
+                                .rail_voltage_for_usable(energy, self.gate.brownout_voltage())
+                                .map(|v_wake| (deadline.unwrap_or(far), Some(v_wake)))
+                        }
+                    }
+                    WakeHint::Never => Some((far, None)),
+                }
+            };
+            if let Some((wake, v_wake)) = wake {
+                let (p_rail, window_end) = self.stride_window();
+                let mut stride_end = window_end.min(wake);
+                if let Some(interval) = self.probe_interval {
                     // Never integrate across a probe boundary.
-                    stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
+                    stride_end = stride_end.min(self.t + (interval - self.probe_acc).max(dt));
                 }
-                let stride = stride_end - t;
+                let stride = stride_end - self.t;
                 if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
-                    let advanced = buffer.idle_advance(p_rail, stride, gate.enable_voltage(), dt);
-                    if advanced.get() > 0.0 {
-                        commit_stride!(advanced, false);
-                    }
-                }
-            }
-
-            // Adaptive sleep fast path: gate closed, MCU asleep in LPM3
-            // on a quiet workload — the only dynamics are buffer physics
-            // under the standing sleep draw (MCU sleep current plus the
-            // held peripheral), which `powered_advance` integrates in
-            // closed form up to the workload's next wake-up, the end of
-            // the converter-composed source segment, or the predicted
-            // brown-out crossing (quantized onto the `dt` grid). A
-            // pending poll-service debt keeps the stretch on fine steps
-            // (the serviced step runs the CPU active).
-            if sleep_fast
-                && v_ok
-                && gate.is_closed()
-                && mcu.is_running()
-                && mcu.mode() == PowerMode::Sleep
-                && poll_debt < dt.get()
-                && v > gate.brownout_voltage()
-            {
-                let env = WorkloadEnv {
-                    now: t,
-                    dt,
-                    rail_voltage: v,
-                    usable_energy: buffer.usable_energy_above(gate.brownout_voltage()),
-                    supports_longevity: buffer.supports_longevity(),
-                };
-                // Resolve the hint to a wake *time* plus, for §3.4.1
-                // energy waits, a wake *voltage* — the rail level at
-                // which the buffer's usable pool first covers the
-                // workload's threshold, where the stride must stop so
-                // the per-step energy check observes the crossing.
-                let far = Seconds::new(f64::INFINITY);
-                // During a defensive backoff hold the workload is
-                // pinned in LPM3 regardless of its own schedule: the
-                // stride runs to the hold's expiry or, once the timer
-                // is out, to the rail's recovery crossing at the
-                // effective enable level (where the loop-top release
-                // check clears the hold).
-                let held_wake = match hold_until {
-                    Some(h) if h > t => Some((h, None)),
-                    Some(_) => Some((far, Some(gate.enable_voltage()))),
-                    None => None,
-                };
-                let wake = if held_wake.is_some() {
-                    held_wake
-                } else {
-                    match workload.next_wake(&env) {
-                        WakeHint::Immediate => None,
-                        // A stale hint (at or behind the clock) gets the
-                        // fine-step treatment rather than a zero stride.
-                        WakeHint::At(tw) if tw > t => Some((tw, None)),
-                        WakeHint::At(_) => None,
-                        WakeHint::WhenEnergy { energy, deadline } => {
-                            if env.usable_energy >= energy || deadline.is_some_and(|d| d <= t) {
-                                // Already awake (or an event is due): the
-                                // wake-up itself runs on fine steps.
-                                None
-                            } else {
-                                buffer
-                                    .rail_voltage_for_usable(energy, gate.brownout_voltage())
-                                    .map(|v_wake| (deadline.unwrap_or(far), Some(v_wake)))
-                            }
-                        }
-                        WakeHint::Never => Some((far, None)),
-                    }
-                };
-                if let Some((wake, v_wake)) = wake {
-                    let (p_rail, window_end) = stride_window!();
-                    let mut stride_end = window_end.min(wake);
-                    if let Some(interval) = probe_interval {
-                        // Never integrate across a probe boundary.
-                        stride_end = stride_end.min(t + (interval - probe_acc).max(dt));
-                    }
-                    let stride = stride_end - t;
-                    if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
-                        let i_sleep = mcu.running_current() + sleep_peripheral;
-                        let advanced = buffer
-                            .powered_advance(
-                                p_rail,
-                                i_sleep,
-                                stride,
-                                gate.brownout_voltage(),
-                                v_wake,
-                                dt,
-                            )
-                            .unwrap_or(Seconds::ZERO);
-                        if advanced.get() > 0.0 {
-                            commit_stride!(advanced, true);
-                        }
-                    }
-                }
-            }
-
-            engine_steps += 1;
-
-            // Power gate.
-            if gate.update(v) {
-                if gate.is_closed() {
-                    mcu.power_on();
-                    if metrics.first_on_latency.is_none() {
-                        metrics.first_on_latency = Some(t);
-                    }
-                    on_since = Some(t);
-                    if let Some(start) = off_since.take() {
-                        off_max = off_max.max((t - start).get());
-                    }
-                    if feedback {
-                        cursor.observe(VictimEvent::Boot { at: t });
-                    }
-                    if let Some(det) = detector.as_mut() {
-                        det.on_boot(t);
-                        if det.alarmed() {
-                            // Attack-correlated reboot: hold the
-                            // workload back for the current backoff and
-                            // bank less per cycle.
-                            let hold = det.backoff();
-                            if hold.get() > 0.0 {
-                                hold_until = Some(t + hold);
-                            }
-                            if buffer.defensive_reconfigure() {
-                                defensive_reconfigs += 1;
-                            }
-                        }
-                        gate.set_enable_voltage(base_enable + det.gate_raise());
-                    }
-                } else {
-                    mcu.power_off();
-                    workload.on_power_down(t);
-                    if let Some(start) = on_since.take() {
-                        let len = (t - start).get();
-                        cycle_sum += len;
-                        cycle_max = cycle_max.max(len);
-                        cycles += 1;
-                    }
-                    off_since = Some(t);
-                    hold_until = None;
-                    if feedback {
-                        cursor.observe(VictimEvent::BrownOut { at: t });
-                        if radio_on {
-                            // Power loss keys the radio off with it.
-                            radio_on = false;
-                            cursor.observe(VictimEvent::RadioOff { at: t });
-                        }
-                    }
-                    if let Some(det) = detector.as_mut() {
-                        det.on_brownout(t);
-                        gate.set_enable_voltage(base_enable + det.gate_raise());
-                    }
-                }
-            }
-
-            // Workload software (only past boot).
-            let mut peripheral = Amps::ZERO;
-            if gate.is_closed() {
-                let was_running = mcu.is_running();
-                if was_running {
-                    if hold_until.is_some() {
-                        // Defensive backoff: the workload is held in
-                        // LPM3 — no steps, no progress, minimal draw —
-                        // starving an attacker that times strikes off
-                        // the workload's activity. (The loop-top
-                        // release check clears the hold once the timer
-                        // is out and the rail has recovered.)
-                        mcu.set_mode(react_mcu::PowerMode::Sleep);
-                        sleep_peripheral = Amps::ZERO;
-                    } else if poll_debt >= dt.get() {
-                        // The buffer's software component (REACT's 10 Hz
-                        // poller) services its interrupt: CPU active, no
-                        // workload progress this step. §5.1 measures this
-                        // as a 1.8 % penalty on *active* execution.
-                        poll_debt -= dt.get();
-                        mcu.set_mode(react_mcu::PowerMode::Active);
-                    } else {
-                        let env = WorkloadEnv {
-                            now: t,
+                    let i_sleep = self.mcu.running_current() + self.sleep_peripheral;
+                    let advanced = self
+                        .buffer
+                        .powered_advance(
+                            p_rail,
+                            i_sleep,
+                            stride,
+                            self.gate.brownout_voltage(),
+                            v_wake,
                             dt,
-                            rail_voltage: v,
-                            usable_energy: buffer.usable_energy_above(gate.brownout_voltage()),
-                            supports_longevity: buffer.supports_longevity(),
-                        };
-                        let LoadDemand {
-                            mode,
-                            peripheral_current,
-                        } = workload.step(&env);
-                        mcu.set_mode(mode);
-                        peripheral = peripheral_current;
-                        if mode == react_mcu::PowerMode::Sleep {
-                            sleep_peripheral = peripheral_current;
-                        }
-                        if feedback {
-                            // Radio spans, by their draw signature: the
-                            // RF workloads key 6–18 mA peripherals, so a
-                            // milliamp threshold cleanly separates them
-                            // from sensor bias currents.
-                            let keyed = peripheral_current >= RADIO_SENSE_CURRENT;
-                            if keyed != radio_on {
-                                radio_on = keyed;
-                                cursor.observe(if keyed {
-                                    VictimEvent::RadioOn { at: t }
-                                } else {
-                                    VictimEvent::RadioOff { at: t }
-                                });
-                            }
-                        }
-                        // Poll overhead accrues against active cycles
-                        // only; a sleeping CPU wakes for ~100 µs per
-                        // poll, which is already inside the LPM3 budget.
-                        if mode == react_mcu::PowerMode::Active {
-                            poll_debt += software_overhead * dt.get();
-                        }
+                        )
+                        .unwrap_or(Seconds::ZERO);
+                    if advanced.get() > 0.0 {
+                        self.commit_stride(advanced, true);
+                        return !self.finished;
                     }
                 }
             }
+        }
 
-            // MCU current for this step (handles boot sequencing; the
-            // workload's first step lands after boot).
-            let was_running = mcu.is_running();
-            let mcu_current = mcu.step(dt);
-            if !was_running && mcu.is_running() {
-                workload.on_power_up(t);
-            }
+        self.engine_steps += 1;
 
-            // Harvest + buffer physics. The converter delivers *power*;
-            // the buffer converts it to charge at its input node's
-            // voltage (for REACT the lowest connected element, §3.2.1).
-            // Past the horizon the environment is disconnected (see the
-            // idle path above).
-            let input = if t >= trace_end {
-                react_units::Watts::ZERO
+        // Power gate.
+        if self.gate.update(v) {
+            if self.gate.is_closed() {
+                self.mcu.power_on();
+                if self.metrics.first_on_latency.is_none() {
+                    self.metrics.first_on_latency = Some(self.t);
+                }
+                self.on_since = Some(self.t);
+                if let Some(start) = self.off_since.take() {
+                    self.off_max = self.off_max.max((self.t - start).get());
+                }
+                if self.feedback {
+                    self.source.observe(VictimEvent::Boot { at: self.t });
+                }
+                if let Some(det) = self.detector.as_mut() {
+                    det.on_boot(self.t);
+                    if det.alarmed() {
+                        // Attack-correlated reboot: hold the
+                        // workload back for the current backoff and
+                        // bank less per cycle.
+                        let hold = det.backoff();
+                        if hold.get() > 0.0 {
+                            self.hold_until = Some(self.t + hold);
+                        }
+                        if self.buffer.defensive_reconfigure() {
+                            self.defensive_reconfigs += 1;
+                        }
+                    }
+                    self.gate
+                        .set_enable_voltage(self.base_enable + det.gate_raise());
+                }
             } else {
-                cursor.rail_power(t, buffer.input_voltage())
-            };
-            // Invariant guard, input side: a non-finite harvest sample
-            // is sanitized to zero before it can poison the buffer
-            // state. Together with the rail-voltage check above, one
-            // contiguous offending span counts as one fallback.
-            let input_ok = input.get().is_finite();
-            let input = if input_ok {
-                input
-            } else {
-                react_units::Watts::ZERO
-            };
-            if v_ok && input_ok {
-                guard_active = false;
-            } else if !guard_active {
-                guard_active = true;
-                metrics.guard_fallbacks += 1;
-            }
-            buffer.step(input, mcu_current + peripheral, dt, mcu.is_running());
-            note_reconfigs!();
-
-            // Accounting.
-            if gate.is_closed() {
-                metrics.on_time += dt;
-            }
-            if let Some(interval) = probe_interval {
-                probe_acc += dt;
-                if probe_acc >= interval {
-                    probe_acc = Seconds::ZERO;
-                    series.push(VoltageSample {
-                        time_s: t.get(),
-                        voltage_v: buffer.rail_voltage().get(),
-                        on: gate.is_closed(),
-                        capacitance_f: buffer.equivalent_capacitance().get(),
-                    });
+                self.mcu.power_off();
+                self.workload.on_power_down(self.t);
+                if let Some(start) = self.on_since.take() {
+                    let len = (self.t - start).get();
+                    self.cycle_sum += len;
+                    self.cycle_max = self.cycle_max.max(len);
+                    self.cycles += 1;
+                }
+                self.off_since = Some(self.t);
+                self.hold_until = None;
+                if self.feedback {
+                    self.source.observe(VictimEvent::BrownOut { at: self.t });
+                    if self.radio_on {
+                        // Power loss keys the radio off with it.
+                        self.radio_on = false;
+                        self.source.observe(VictimEvent::RadioOff { at: self.t });
+                    }
+                }
+                if let Some(det) = self.detector.as_mut() {
+                    det.on_brownout(self.t);
+                    self.gate
+                        .set_enable_voltage(self.base_enable + det.gate_raise());
                 }
             }
+        }
 
-            t += dt;
-
-            // Termination: past the trace, once the system browns out it
-            // can never restart (no input power) — or at the hard cap.
-            if t >= trace_end && !gate.is_closed() {
-                break;
-            }
-            if t >= hard_end {
-                break;
+        // Workload software (only past boot).
+        let mut peripheral = Amps::ZERO;
+        if self.gate.is_closed() {
+            let was_running = self.mcu.is_running();
+            if was_running {
+                if self.hold_until.is_some() {
+                    // Defensive backoff: the workload is held in
+                    // LPM3 — no steps, no progress, minimal draw —
+                    // starving an attacker that times strikes off
+                    // the workload's activity. (The loop-top
+                    // release check clears the hold once the timer
+                    // is out and the rail has recovered.)
+                    self.mcu.set_mode(react_mcu::PowerMode::Sleep);
+                    self.sleep_peripheral = Amps::ZERO;
+                } else if self.poll_debt >= dt.get() {
+                    // The buffer's software component (REACT's 10 Hz
+                    // poller) services its interrupt: CPU active, no
+                    // workload progress this step. §5.1 measures this
+                    // as a 1.8 % penalty on *active* execution.
+                    self.poll_debt -= dt.get();
+                    self.mcu.set_mode(react_mcu::PowerMode::Active);
+                } else {
+                    let env = WorkloadEnv {
+                        now: self.t,
+                        dt,
+                        rail_voltage: v,
+                        usable_energy: self
+                            .buffer
+                            .usable_energy_above(self.gate.brownout_voltage()),
+                        supports_longevity: self.buffer.supports_longevity(),
+                    };
+                    let LoadDemand {
+                        mode,
+                        peripheral_current,
+                    } = self.workload.step(&env);
+                    self.mcu.set_mode(mode);
+                    peripheral = peripheral_current;
+                    if mode == react_mcu::PowerMode::Sleep {
+                        self.sleep_peripheral = peripheral_current;
+                    }
+                    if self.feedback {
+                        // Radio spans, by their draw signature: the
+                        // RF workloads key 6–18 mA peripherals, so a
+                        // milliamp threshold cleanly separates them
+                        // from sensor bias currents.
+                        let keyed = peripheral_current >= RADIO_SENSE_CURRENT;
+                        if keyed != self.radio_on {
+                            self.radio_on = keyed;
+                            self.source.observe(if keyed {
+                                VictimEvent::RadioOn { at: self.t }
+                            } else {
+                                VictimEvent::RadioOff { at: self.t }
+                            });
+                        }
+                    }
+                    // Poll overhead accrues against active cycles
+                    // only; a sleeping CPU wakes for ~100 µs per
+                    // poll, which is already inside the LPM3 budget.
+                    if mode == react_mcu::PowerMode::Active {
+                        self.poll_debt += self.software_overhead * dt.get();
+                    }
+                }
             }
         }
 
+        // MCU current for this step (handles boot sequencing; the
+        // workload's first step lands after boot).
+        let was_running = self.mcu.is_running();
+        let mcu_current = self.mcu.step(dt);
+        if !was_running && self.mcu.is_running() {
+            self.workload.on_power_up(self.t);
+        }
+
+        // Harvest + buffer physics. The converter delivers *power*;
+        // the buffer converts it to charge at its input node's
+        // voltage (for REACT the lowest connected element, §3.2.1).
+        // Past the horizon the environment is disconnected (see the
+        // idle path above).
+        let input = if self.t >= self.trace_end {
+            react_units::Watts::ZERO
+        } else {
+            let available = self.source.power_at(self.t);
+            self.replay
+                .rail_power_from(available, self.buffer.input_voltage())
+        };
+        // Invariant guard, input side: a non-finite harvest sample
+        // is sanitized to zero before it can poison the buffer
+        // state. Together with the rail-voltage check above, one
+        // contiguous offending span counts as one fallback.
+        let input_ok = input.get().is_finite();
+        let input = if input_ok {
+            input
+        } else {
+            react_units::Watts::ZERO
+        };
+        if v_ok && input_ok {
+            self.guard_active = false;
+        } else if !self.guard_active {
+            self.guard_active = true;
+            self.metrics.guard_fallbacks += 1;
+        }
+        self.buffer
+            .step(input, mcu_current + peripheral, dt, self.mcu.is_running());
+        self.note_reconfigs();
+
+        // Accounting.
+        if self.gate.is_closed() {
+            self.metrics.on_time += dt;
+        }
+        if let Some(interval) = self.probe_interval {
+            self.probe_acc += dt;
+            if self.probe_acc >= interval {
+                self.probe_acc = Seconds::ZERO;
+                self.series.push(VoltageSample {
+                    time_s: self.t.get(),
+                    voltage_v: self.buffer.rail_voltage().get(),
+                    on: self.gate.is_closed(),
+                    capacitance_f: self.buffer.equivalent_capacitance().get(),
+                });
+            }
+        }
+
+        self.t += dt;
+        self.check_termination();
+        !self.finished
+    }
+
+    /// Advances until the cell clock reaches `limit` (or the run
+    /// finishes), returning whether the run is still live. The fleet
+    /// kernel's chunked scheduler drives cells through this so heap
+    /// traffic is per-chunk, not per-iteration.
+    pub fn advance_until(&mut self, limit: Seconds) -> bool {
+        while !self.finished && self.t < limit {
+            self.advance();
+        }
+        !self.finished
+    }
+
+    /// Finalizes the run and yields its outcome. Call after
+    /// [`SimCore::advance`] returns `false`; finishing a live run
+    /// truncates it at the current clock (metrics are finalized as if
+    /// the run ended there).
+    pub fn finish(mut self) -> RunOutcome {
         // Close any open on-period.
-        if let Some(start) = on_since {
-            let len = (t - start).get();
-            cycle_sum += len;
-            cycle_max = cycle_max.max(len);
-            cycles += 1;
+        if let Some(start) = self.on_since {
+            let len = (self.t - start).get();
+            self.cycle_sum += len;
+            self.cycle_max = self.cycle_max.max(len);
+            self.cycles += 1;
         }
-        workload.finalize(t);
+        self.workload.finalize(self.t);
 
-        metrics.ops_completed = workload.ops_completed();
-        metrics.ops_failed = workload.ops_failed();
-        metrics.aux_completed = workload.aux_completed();
-        metrics.events_missed = workload.events_missed();
-        metrics.total_time = t;
-        metrics.boots = mcu.boot_count();
-        metrics.engine_steps = engine_steps;
-        metrics.mean_on_period = if cycles > 0 {
-            Seconds::new(cycle_sum / cycles as f64)
+        let mut metrics = self.metrics;
+        metrics.ops_completed = self.workload.ops_completed();
+        metrics.ops_failed = self.workload.ops_failed();
+        metrics.aux_completed = self.workload.aux_completed();
+        metrics.events_missed = self.workload.events_missed();
+        metrics.total_time = self.t;
+        metrics.boots = self.mcu.boot_count();
+        metrics.engine_steps = self.engine_steps;
+        metrics.mean_on_period = if self.cycles > 0 {
+            Seconds::new(self.cycle_sum / self.cycles as f64)
         } else {
             Seconds::ZERO
         };
-        metrics.max_on_period = Seconds::new(cycle_max);
-        metrics.max_off_period = Seconds::new(off_max);
+        metrics.max_on_period = Seconds::new(self.cycle_max);
+        metrics.max_off_period = Seconds::new(self.off_max);
         // Controller accounting comes from the buffer itself, which
         // tracks it through both fine steps and coarse idle strides, so
         // the two kernels agree on it (asserted by the equivalence
         // suite).
-        metrics.reconfigurations = buffer.reconfiguration_count();
-        metrics.capacitance_dwell = buffer
+        metrics.reconfigurations = self.buffer.reconfiguration_count();
+        metrics.capacitance_dwell = self
+            .buffer
             .capacitance_dwell()
             .into_iter()
             .map(|(level, seconds)| crate::metrics::LevelDwell { level, seconds })
             .collect();
-        metrics.ledger = *buffer.ledger();
-        metrics.final_stored = buffer.stored_energy();
-        if let Some(det) = &detector {
+        metrics.ledger = *self.buffer.ledger();
+        metrics.final_stored = self.buffer.stored_energy();
+        if let Some(det) = &self.detector {
             metrics.detections = det.detections();
             metrics.false_positives = det.false_positives();
         }
-        metrics.defensive_reconfigurations = defensive_reconfigs;
+        metrics.defensive_reconfigurations = self.defensive_reconfigs;
 
-        Ok(RunOutcome {
+        RunOutcome {
             metrics,
-            voltage_series: series,
-        })
+            voltage_series: self.series,
+        }
     }
 }
 
@@ -982,6 +1124,41 @@ mod tests {
         );
         let out = sim.run();
         assert!(out.metrics.ops_completed > 0);
+    }
+
+    #[test]
+    fn sim_core_stepping_is_bit_identical_to_run() {
+        // Driving the core incrementally (chunked advance_until, as the
+        // fleet kernel does) must reproduce the monolithic run exactly:
+        // same ops, same step count, same final stored energy to the
+        // last bit.
+        let build = || {
+            Simulator::new(
+                constant_replay(2.0, 60.0),
+                BufferKind::React.build(),
+                Box::new(react_workloads::DataEncryption::new()),
+            )
+        };
+        let whole = build().run();
+        let mut core = build().try_into_core().expect("bounded");
+        let mut limit = Seconds::ZERO;
+        while {
+            limit += Seconds::new(3.7);
+            core.advance_until(limit)
+        } {}
+        assert!(core.is_finished());
+        let chunked = core.finish();
+        assert_eq!(whole.metrics.ops_completed, chunked.metrics.ops_completed);
+        assert_eq!(whole.metrics.engine_steps, chunked.metrics.engine_steps);
+        assert_eq!(whole.metrics.boots, chunked.metrics.boots);
+        assert_eq!(
+            whole.metrics.final_stored.get().to_bits(),
+            chunked.metrics.final_stored.get().to_bits()
+        );
+        assert_eq!(
+            whole.metrics.on_time.get().to_bits(),
+            chunked.metrics.on_time.get().to_bits()
+        );
     }
 
     #[test]

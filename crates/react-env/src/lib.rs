@@ -58,5 +58,5 @@ pub use diurnal::Diurnal;
 pub use markov::MarkovRf;
 pub use mobility::Mobility;
 pub use source::{
-    dark_stats, materialize, DarkStats, PowerSource, Segment, TraceSource, VictimEvent,
+    dark_stats, materialize, node_salt, DarkStats, PowerSource, Segment, TraceSource, VictimEvent,
 };

@@ -26,6 +26,23 @@ use std::sync::Arc;
 use react_traces::PowerTrace;
 use react_units::{Seconds, Watts};
 
+/// Derives the seed salt for one node of a fleet from the fleet seed
+/// and the node's index — the cheap per-node stream fan-out the fleet
+/// runner jitters its environments with.
+///
+/// A splitmix64-style finalizer: each (seed, index) pair lands on a
+/// decorrelated 64-bit salt without allocating or streaming state, so
+/// fanning a base scenario out to 10⁵⁺ nodes costs one multiply chain
+/// per node. The identity case is preserved: fleet seed 0, node 0
+/// yields salt 0 — the canonical registry stream every existing
+/// baseline pins down.
+pub fn node_salt(fleet_seed: u64, node_index: u64) -> u64 {
+    let mut z = fleet_seed ^ node_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One observable event in the victim's execution, reported back to the
 /// environment through the simulator's feedback channel.
 ///
@@ -504,6 +521,24 @@ mod tests {
         ));
         let stats = dark_stats(&mut source, Seconds::new(1.5), Watts::from_micro(1.0));
         assert!((stats.longest_dark_s - 1.0).abs() < 1e-9, "{stats:?}");
+    }
+
+    #[test]
+    fn node_salt_fan_out_is_distinct_and_identity_preserving() {
+        // Fleet seed 0 node 0 must be the canonical (unsalted) stream.
+        assert_eq!(node_salt(0, 0), 0);
+        // Consecutive node indices must land on decorrelated salts, and
+        // different fleet seeds must not collide for the same node.
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..10_000u64 {
+            assert!(seen.insert(node_salt(7, node)), "collision at node {node}");
+        }
+        for node in 1..1_000u64 {
+            assert_ne!(node_salt(7, node), node_salt(8, node));
+            // And no low-bit degeneracy: neighbors differ in many bits.
+            let x = node_salt(7, node) ^ node_salt(7, node + 1);
+            assert!(x.count_ones() > 8, "weak diffusion at node {node}");
+        }
     }
 
     #[test]

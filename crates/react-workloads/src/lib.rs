@@ -15,6 +15,8 @@
 //! FIR filter, CRC-framed packets) with datasheet-derived time/energy
 //! costs from [`costs`].
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod aes;
 mod composite;
 pub mod costs;

@@ -1,0 +1,131 @@
+//! Fleet-kernel acceptance tests: the batched fleet must be
+//! *bit-comparable* to independent scalar simulations, scale to
+//! four-digit node counts in test time, and checkpoint/resume without
+//! perturbing a single bit of the aggregate.
+
+use react_repro::core::{
+    find_scenario, run_fleet, FleetAggregate, FleetRunOptions, FleetSim, FleetSpec, NodeStats,
+};
+use react_repro::units::Seconds;
+
+/// A truncated salt-sensitive week-class base so tests stay fast.
+fn base_scenario(horizon_s: f64) -> react_repro::core::Scenario {
+    let mut base = *find_scenario("rf-sparse-week").expect("registry scenario");
+    base.horizon = Seconds::new(horizon_s);
+    base
+}
+
+/// Folds independent scalar runs of the fleet's cells, shard by shard
+/// in node order — the reference the batched kernel must reproduce.
+fn scalar_reference(spec: &FleetSpec) -> FleetAggregate {
+    let mut agg = FleetAggregate::new(spec.bins);
+    for shard in 0..spec.shard_count() {
+        let (start, end) = spec.shard_range(shard);
+        let mut shard_agg = FleetAggregate::new(spec.bins);
+        for i in start..end {
+            let sc = spec.node_scenario(i);
+            let out = sc.run();
+            shard_agg.record(&NodeStats::from_metrics(&sc, &out.metrics));
+        }
+        agg.merge(&shard_agg);
+    }
+    agg
+}
+
+/// Sweep of small fleets across seeds and node counts: every aggregate
+/// must be bit-equal to the scalar reference.
+#[test]
+fn fleet_aggregates_bit_equal_scalar_sweep() {
+    for &(nodes, seed) in &[(5usize, 2u64), (12, 77), (17, 0xACE0_FBA5E)] {
+        let mut spec = FleetSpec::new(base_scenario(1800.0), nodes, seed);
+        spec.shard_size = 8;
+        let fleet = run_fleet(&spec, &FleetRunOptions::default()).expect("fleet run");
+        assert!(fleet.complete());
+        assert_eq!(
+            fleet.aggregate,
+            scalar_reference(&spec),
+            "nodes={nodes} seed={seed}"
+        );
+    }
+}
+
+/// The acceptance-scale property: a 1000-node fleet over a day-class
+/// horizon, batched vs scalar. Aggregate FoM (and every histogram
+/// bit) must match the 1000 independent runs exactly; the summary's
+/// headline numbers are additionally checked as finite and populated.
+#[test]
+fn thousand_node_fleet_matches_scalar_runs() {
+    let spec = FleetSpec::new(base_scenario(3600.0), 1000, 0xF1EE7);
+    let fleet = run_fleet(&spec, &FleetRunOptions::default()).expect("fleet run");
+    let scalar = scalar_reference(&spec);
+    assert_eq!(fleet.aggregate, scalar);
+
+    let s = fleet.aggregate.summary();
+    assert_eq!(s.nodes, 1000.0);
+    assert!(s.total_ops > 0.0);
+    assert!(s.fom_mean.is_finite() && s.fom_mean > 0.0);
+    assert!(s.fom_p5 <= s.fom_p50 && s.fom_p50 <= s.fom_p95 && s.fom_p95 <= s.fom_p99);
+    assert!(s.on_frac_mean > 0.0 && s.on_frac_mean < 1.0);
+    // Salted environments must actually decorrelate the fleet.
+    assert!(fleet.aggregate.fom.max > fleet.aggregate.fom.min);
+}
+
+/// Heap order must not leak into results: radically different chunk
+/// sizes interleave cells in different orders, yet produce the same
+/// bits because each cell's float ops and the reduction order are
+/// fixed.
+#[test]
+fn chunk_size_does_not_change_aggregates() {
+    let spec = FleetSpec::new(base_scenario(1800.0), 9, 5);
+    let cells: Vec<_> = (0..spec.nodes).map(|i| spec.node_scenario(i)).collect();
+    let coarse = FleetSim::from_scenarios(cells.clone(), Seconds::new(1e9), spec.bins)
+        .expect("build")
+        .run();
+    let fine = FleetSim::from_scenarios(cells, Seconds::new(60.0), spec.bins)
+        .expect("build")
+        .run();
+    assert_eq!(coarse, fine);
+}
+
+/// A run interrupted mid-fleet and resumed from its checkpoint must
+/// produce bit-identical aggregate histograms to the uninterrupted
+/// run (and the resumed shards must actually be reused, not re-run).
+#[test]
+fn checkpointed_fleet_resumes_bit_identical() {
+    let dir = std::env::temp_dir().join("react-fleet-resume-acceptance");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("fleet.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+
+    let mut spec = FleetSpec::new(base_scenario(1800.0), 30, 21);
+    spec.shard_size = 7;
+    assert!(spec.shard_count() >= 4);
+
+    let uninterrupted = run_fleet(&spec, &FleetRunOptions::default()).expect("full run");
+
+    let partial = run_fleet(
+        &spec,
+        &FleetRunOptions {
+            checkpoint: Some(path.clone()),
+            max_shards: Some(3),
+            parallel: false,
+        },
+    )
+    .expect("partial run");
+    assert_eq!(partial.shards_done, 3);
+    assert!(!partial.complete());
+
+    let resumed = run_fleet(
+        &spec,
+        &FleetRunOptions {
+            checkpoint: Some(path.clone()),
+            max_shards: None,
+            parallel: true,
+        },
+    )
+    .expect("resumed run");
+    assert!(resumed.complete());
+    assert_eq!(resumed.shards_resumed, 3);
+    assert_eq!(resumed.aggregate, uninterrupted.aggregate);
+    let _ = std::fs::remove_file(&path);
+}
