@@ -524,6 +524,63 @@ fn compare_then_bench(c: &mut Criterion) {
         steps_per_sec: fleet_spec.nodes as f64 / t_fleet.max(1e-9),
     });
 
+    // 8. Telemetry overhead on the same week cell: step-attribution
+    // recording on vs the NullRecorder default. The recorder hooks are
+    // monomorphized away when disabled, so the expected ratio is ~1×;
+    // the two-sided gate pins both directions — recording must never
+    // become a tax, and the Null path must stay free. Metrics are
+    // asserted *bit-equal* across the arms (the telemetry bit-identity
+    // contract, pinned matrix-wide in tests/telemetry.rs). Min-of-3
+    // per arm, like every ~1× ratio here.
+    let mut t_null = f64::INFINITY;
+    let mut null_m = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let m = week.run().metrics;
+        t_null = t_null.min(start.elapsed().as_secs_f64());
+        null_m = Some(m);
+    }
+    let mut t_rec = f64::INFINITY;
+    let mut rec = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (out, attr) = week.run_attributed();
+        t_rec = t_rec.min(start.elapsed().as_secs_f64());
+        rec = Some((out.metrics, attr));
+    }
+    let (rec_m, attr) = rec.expect("three recorded samples");
+    let null_m = null_m.expect("three null samples");
+    let tele_identical = rec_m == null_m;
+    assert!(
+        tele_identical,
+        "recorded run's metrics diverged from the NullRecorder run"
+    );
+    assert_eq!(
+        attr.total_steps(),
+        rec_m.engine_steps,
+        "attribution bins must account for every engine step"
+    );
+    let tele_ratio = t_rec / t_null.max(1e-9);
+    report.push_str(&format!(
+        "\ntelemetry overhead (rf-sparse-week, step attribution vs NullRecorder)\n\
+         \x20 attribution recording on: {:>8.1} ms\n\
+         \x20 NullRecorder (default)  : {:>8.1} ms\n\
+         \x20 recording cost: {tele_ratio:.2}× (metrics bit-equal: {tele_identical}; \
+         top fine sink: {})\n",
+        t_rec * 1e3,
+        t_null * 1e3,
+        attr.top_fine_row()
+            .map(|r| r.label())
+            .unwrap_or_else(|| "-".to_string()),
+    ));
+    perf.scenarios.push(BenchScenario {
+        name: "telemetry_overhead_week".into(),
+        wall_ms_baseline: t_rec * 1e3,
+        wall_ms_fast: t_null * 1e3,
+        speedup: tele_ratio,
+        steps_per_sec: rec_m.engine_steps as f64 / t_rec.max(1e-9),
+    });
+
     println!("{report}");
     save_artifact("engine", &report, None);
     save_bench_report("engine", &perf);

@@ -26,6 +26,13 @@
 //! losing at most one shard of work, and produces bit-identical
 //! aggregates to an uninterrupted run.
 //!
+//! Every run also collects the fleet-wide step-attribution profile
+//! (bit-identical metrics by the telemetry contract), prints the top
+//! fine-step sources — where the whole fleet's engine steps go — and
+//! writes `FLEET_attribution.json` / `.txt`. Shards resumed from a
+//! checkpoint carry no recorder state, so a resumed run's profile
+//! covers only the freshly executed shards.
+//!
 //! Exit codes: 0 success, 1 gate violation, 2 usage/configuration/IO
 //! error (the conventions `scenario_report` uses).
 
@@ -105,6 +112,7 @@ fn run() -> Result<ExitCode, String> {
         checkpoint: checkpoint.map(std::path::PathBuf::from),
         max_shards: None,
         parallel: true,
+        attribution: true,
     };
 
     println!(
@@ -155,6 +163,35 @@ fn run() -> Result<ExitCode, String> {
     let path = save_named_artifact("FLEET_report.json", &json)
         .map_err(|e| format!("write report: {e}"))?;
     println!("report written to {}", path.display());
+
+    if let Some(attr) = &result.attribution {
+        println!("\ntop fine-step sources across the fleet:");
+        for row in attr.rows().iter().filter(|r| r.reason.is_some()).take(8) {
+            let share = if attr.total_steps() == 0 {
+                0.0
+            } else {
+                100.0 * row.steps as f64 / attr.total_steps() as f64
+            };
+            println!(
+                "  {:>28}  {:>14} steps  {share:>5.1} %  {:>14.1} sim-s",
+                row.label(),
+                row.steps,
+                row.seconds
+            );
+        }
+        if result.shards_resumed > 0 {
+            println!(
+                "  (profile covers the {} freshly executed shard(s) only)",
+                result.shards_done - result.shards_resumed
+            );
+        }
+        let attr_json = serde_json::to_string(attr).map_err(|e| format!("serialize: {e}"))?;
+        let path = save_named_artifact("FLEET_attribution.json", &attr_json)
+            .map_err(|e| format!("write attribution: {e}"))?;
+        println!("attribution written to {}", path.display());
+        save_named_artifact("FLEET_attribution.txt", &attr.render())
+            .map_err(|e| format!("write attribution table: {e}"))?;
+    }
 
     // Load the check baseline *before* any baseline write, so
     // `--check X --write-baseline X` gates against the committed file.

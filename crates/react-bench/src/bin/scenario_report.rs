@@ -5,13 +5,22 @@
 //! scenario_report --check <baseline.json> [tolerance-scale]
 //! scenario_report --write-baseline <path>
 //! scenario_report --quick              # horizons capped at 15 min (preview only)
+//! scenario_report --trace <cell-id>    # re-run one cell recording, export Perfetto JSON
 //! ```
 //!
 //! The default mode expands the deduplicated scenario registry into the
 //! full environment × buffer × seed matrix, runs it rayon-parallel
-//! through the adaptive kernel, prints the environment / cell /
-//! normalized tables, and writes the machine-readable report to
-//! `target/paper-artifacts/SCENARIO_report.json`.
+//! through the adaptive kernel (with step-attribution recording on —
+//! bit-identical to the unrecorded run by the telemetry contract),
+//! prints the environment / cell / attribution / normalized tables, and
+//! writes the machine-readable report to
+//! `target/paper-artifacts/SCENARIO_report.json` plus the per-cell
+//! step-attribution profiles to `SCENARIO_attribution.json` / `.txt`.
+//!
+//! `--trace <cell-id>` (id as printed in the attribution table, e.g.
+//! `react-plateau-sc/REACT/s0`) re-runs that one cell with full event
+//! recording and writes a Chrome `trace_event` JSON — loadable in
+//! Perfetto / `chrome://tracing` — next to the report.
 //!
 //! `--check` additionally diffs the fresh report against a committed
 //! baseline (`ci/scenario-baseline.json` in CI) under the default
@@ -36,8 +45,13 @@
 use std::process::ExitCode;
 
 use react_bench::save_named_artifact;
+use react_buffers::BufferKind;
 use react_core::scenario_report::{REPORT_BUFFERS, REPORT_SEEDS};
-use react_core::{build_report, compare_reports, report_scenarios, ScenarioReport, Tolerances};
+use react_core::{
+    build_attributed_report, compare_reports, merged_attribution, render_attribution,
+    render_class_sinks, report_scenarios, Scenario, ScenarioReport, Tolerances,
+};
+use react_telemetry::chrome_trace_json;
 use react_units::Seconds;
 
 /// Horizon cap for `--quick` previews.
@@ -46,6 +60,40 @@ const QUICK_HORIZON: Seconds = Seconds::new(900.0);
 fn load(path: &str) -> Result<ScenarioReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Re-runs one matrix cell (id `scenario/buffer/s<seed>`) with full
+/// event recording and writes the Chrome `trace_event` JSON artifact.
+fn trace_cell(scenarios: &[Scenario], id: &str) -> Result<std::path::PathBuf, String> {
+    let mut parts = id.rsplitn(3, '/');
+    let (seed_part, buffer_part, scenario_part) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(s), Some(b), Some(sc)) => (s, b, sc),
+        _ => return Err(format!("cell id {id:?} is not scenario/buffer/s<seed>")),
+    };
+    let seed: u64 = seed_part
+        .strip_prefix('s')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("cell id {id:?}: seed field {seed_part:?} is not s<number>"))?;
+    let buffer = BufferKind::from_label(buffer_part)
+        .ok_or_else(|| format!("cell id {id:?}: unknown buffer {buffer_part:?}"))?;
+    let base = scenarios
+        .iter()
+        .find(|s| s.name == scenario_part)
+        .ok_or_else(|| format!("cell id {id:?}: unknown scenario {scenario_part:?}"))?;
+    let cell = base.with_buffer(buffer).with_seed_salt(seed);
+    let (_, recorder) = cell.run_traced(None);
+    if recorder.dropped() > 0 {
+        eprintln!(
+            "scenario_report: trace ring overflowed, {} oldest event(s) dropped",
+            recorder.dropped()
+        );
+    }
+    let json = chrome_trace_json(&recorder.into_events(), id);
+    save_named_artifact(
+        &format!("SCENARIO_trace_{}.json", id.replace('/', "_")),
+        &json,
+    )
+    .map_err(|e| format!("write trace: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -73,6 +121,10 @@ fn main() -> ExitCode {
         .iter()
         .position(|a| a == "--write-baseline")
         .map(|i| args.get(i + 1).cloned());
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).cloned());
 
     if quick && (check.is_some() || write_baseline.is_some()) {
         // Preview horizons produce cells under the same ids as the
@@ -89,6 +141,10 @@ fn main() -> ExitCode {
         eprintln!("usage: scenario_report --write-baseline <path>");
         return ExitCode::from(2);
     }
+    if let Some(None) = trace {
+        eprintln!("usage: scenario_report --trace <scenario/buffer/s<seed>>");
+        return ExitCode::from(2);
+    }
 
     let mut scenarios = report_scenarios();
     if quick {
@@ -98,12 +154,19 @@ fn main() -> ExitCode {
     }
 
     let started = std::time::Instant::now();
-    let report = build_report(&scenarios, &REPORT_BUFFERS, &REPORT_SEEDS, true);
+    let (report, attributions) =
+        build_attributed_report(&scenarios, &REPORT_BUFFERS, &REPORT_SEEDS, true);
     let elapsed = started.elapsed().as_secs_f64();
 
     print!("{}", report.render_environments().render());
     println!();
     print!("{}", report.render_cells().render());
+    println!();
+    print!("{}", render_attribution(&attributions).render());
+    println!();
+    print!("{}", render_class_sinks(&attributions).render());
+    println!();
+    print!("{}", merged_attribution(&attributions).render());
     println!();
     if !report.resilience().is_empty() {
         print!("{}", report.render_resilience().render());
@@ -142,6 +205,41 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("scenario_report: write report: {e}");
             return ExitCode::from(2);
+        }
+    }
+
+    let attr_json = match serde_json::to_string(&attributions) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("scenario_report: serialize attribution: {e:?}");
+            return ExitCode::from(2);
+        }
+    };
+    match save_named_artifact("SCENARIO_attribution.json", &attr_json) {
+        Ok(path) => println!("attribution written to {}", path.display()),
+        Err(e) => {
+            eprintln!("scenario_report: write attribution: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let attr_text = format!(
+        "{}\n{}\n{}",
+        render_attribution(&attributions).render(),
+        render_class_sinks(&attributions).render(),
+        merged_attribution(&attributions).render()
+    );
+    if let Err(e) = save_named_artifact("SCENARIO_attribution.txt", &attr_text) {
+        eprintln!("scenario_report: write attribution table: {e}");
+        return ExitCode::from(2);
+    }
+
+    if let Some(Some(ref id)) = trace {
+        match trace_cell(&scenarios, id) {
+            Ok(path) => println!("trace for {id} written to {}", path.display()),
+            Err(e) => {
+                eprintln!("scenario_report: --trace: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
 

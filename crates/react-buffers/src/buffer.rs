@@ -1,6 +1,7 @@
 //! The energy-buffer abstraction every architecture implements.
 
 use react_circuit::EnergyLedger;
+use react_telemetry::FallbackReason;
 use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts, Watts};
 
 /// Converts harvested rail power into charge at a receiving element's
@@ -187,6 +188,18 @@ pub trait EnergyBuffer {
         None
     }
 
+    /// Query-and-clear the reason the most recent
+    /// [`idle_advance`](Self::idle_advance)/[`powered_advance`](Self::powered_advance)
+    /// call refused (or returned a zero stride), for telemetry.
+    /// Controller buffers record *why* their closed form declined —
+    /// guard-band proximity, un-equalized topology — instead of
+    /// swallowing it; the kernel only reads this when a recorder is
+    /// enabled, and the default (buffers with nothing to report) is
+    /// `None`, which the kernel attributes from its own state.
+    fn take_fallback(&mut self) -> Option<FallbackReason> {
+        None
+    }
+
     /// Energy accounting so far.
     fn ledger(&self) -> &EnergyLedger;
 }
@@ -307,6 +320,10 @@ impl<T: EnergyBuffer + ?Sized> EnergyBuffer for Box<T> {
         (**self).rail_voltage_for_usable(energy, v_floor)
     }
 
+    fn take_fallback(&mut self) -> Option<FallbackReason> {
+        (**self).take_fallback()
+    }
+
     fn ledger(&self) -> &EnergyLedger {
         (**self).ledger()
     }
@@ -353,6 +370,23 @@ impl BufferKind {
             BufferKind::Dewdrop => "Dewdrop",
             BufferKind::Capybara => "Capybara",
         }
+    }
+
+    /// The inverse of [`label`](Self::label): resolves a table-style
+    /// display label (as embedded in scenario-report cell ids like
+    /// `"rf-sparse-week/770 µF/s0"`) back to its kind.
+    pub fn from_label(label: &str) -> Option<BufferKind> {
+        [
+            BufferKind::Static770uF,
+            BufferKind::Static10mF,
+            BufferKind::Static17mF,
+            BufferKind::React,
+            BufferKind::Morphy,
+            BufferKind::Dewdrop,
+            BufferKind::Capybara,
+        ]
+        .into_iter()
+        .find(|k| k.label() == label)
     }
 
     /// Builds a fresh buffer of this kind with the paper's parameters.

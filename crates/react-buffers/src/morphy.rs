@@ -14,6 +14,7 @@
 //! charged to the harvested-energy ledger.
 
 use react_circuit::{CapacitorSpec, ChainNetwork, EnergyLedger, Partition};
+use react_telemetry::FallbackReason;
 use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts, Watts};
 
 use crate::charge_ode::{self, ChargeOde};
@@ -38,6 +39,9 @@ pub struct MorphyBuffer {
     reconfigurations: u64,
     /// Seconds spent at each ladder level (index = level).
     dwell: Vec<f64>,
+    /// Telemetry: why the last refused closed-form stride fell back
+    /// (query-and-clear via `EnergyBuffer::take_fallback`).
+    fallback: Option<FallbackReason>,
 }
 
 impl MorphyBuffer {
@@ -61,6 +65,7 @@ impl MorphyBuffer {
             ledger: EnergyLedger::new(),
             reconfigurations: 0,
             dwell: Vec::new(),
+            fallback: None,
         }
     }
 
@@ -414,6 +419,7 @@ impl EnergyBuffer for MorphyBuffer {
                 (lo.min(v.get()), hi.max(v.get()))
             });
             if hi - lo > 1e-9 * hi.abs().max(1.0) {
+                self.fallback = Some(FallbackReason::NoClosedForm);
                 return None;
             }
         }
@@ -451,6 +457,9 @@ impl EnergyBuffer for MorphyBuffer {
 
         let period = self.poll_period.get();
         let mut elapsed = 0.0_f64;
+        // Telemetry: why a zero-length stride was refused (stop
+        // condition already satisfied unless a break says otherwise).
+        let mut refusal = FallbackReason::TransitionDue;
         while elapsed < total {
             let v_now = self.rail_voltage().get();
             if v_now <= vs || vw.is_some_and(|vw| v_now >= vw) {
@@ -535,9 +544,11 @@ impl EnergyBuffer for MorphyBuffer {
             let Some((t_adv, sol)) =
                 charge_ode::integrate_powered_quantized(&ode, v0, seg_horizon, vs, vw, dt)
             else {
+                refusal = FallbackReason::NoClosedForm;
                 break; // hand the rest back to the fine-step loop
             };
             if t_adv <= 0.0 {
+                refusal = FallbackReason::NoClosedForm;
                 break;
             }
             let (steps_taken, finished_segment) = if t_adv >= seg_horizon - 1e-15 {
@@ -575,7 +586,14 @@ impl EnergyBuffer for MorphyBuffer {
                 }
             }
         }
+        if elapsed == 0.0 {
+            self.fallback = Some(refusal);
+        }
         Some(Seconds::new(elapsed))
+    }
+
+    fn take_fallback(&mut self) -> Option<FallbackReason> {
+        self.fallback.take()
     }
 
     /// In the present ladder configuration the network is one terminal

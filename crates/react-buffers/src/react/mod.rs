@@ -19,6 +19,7 @@ mod config;
 pub use config::{ConfigError, ReactConfig};
 
 use react_circuit::{BankMode, Capacitor, EnergyLedger, SeriesParallelBank};
+use react_telemetry::FallbackReason;
 use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts, Watts};
 
 use crate::charge_ode::{self, ChargeOde};
@@ -43,6 +44,9 @@ pub struct ReactBuffer {
     mcu_was_running: bool,
     /// Seconds spent at each capacitance level (index = level).
     dwell: Vec<f64>,
+    /// Telemetry: why the last refused closed-form stride fell back
+    /// (query-and-clear via `EnergyBuffer::take_fallback`).
+    fallback: Option<FallbackReason>,
 }
 
 impl ReactBuffer {
@@ -68,6 +72,7 @@ impl ReactBuffer {
             reconfigurations: 0,
             mcu_was_running: false,
             dwell: Vec::new(),
+            fallback: None,
         }
     }
 
@@ -509,6 +514,7 @@ impl EnergyBuffer for ReactBuffer {
         for &i in &connected {
             let vt = self.banks[i].terminal_voltage().get();
             if (vt - llb_v).abs() > 0.01 * llb_v.abs().max(1.0) {
+                self.fallback = Some(FallbackReason::NoClosedForm);
                 return None;
             }
         }
@@ -606,6 +612,9 @@ impl EnergyBuffer for ReactBuffer {
 
         let period = self.config.poll_period.get();
         let mut elapsed = 0.0_f64;
+        // Telemetry: why a zero-length stride was refused (stop
+        // condition already satisfied unless a break says otherwise).
+        let mut refusal = FallbackReason::TransitionDue;
         while elapsed < total {
             let v_now = v_cur;
             if v_now <= vs || vw.is_some_and(|vw| v_now >= vw) {
@@ -688,9 +697,20 @@ impl EnergyBuffer for ReactBuffer {
             let Some((t_adv, fin)) =
                 charge_ode::integrate_powered_quantized(&ode, v_now, seg_horizon, vs, vw, dt)
             else {
+                refusal = FallbackReason::NoClosedForm;
                 break; // hand the rest back to the fine-step loop
             };
             if t_adv <= 0.0 {
+                // A zero-length quantized advance with the rail pinned
+                // at a comparator edge is the guard band refusing the
+                // stride; anywhere else the closed form itself gave up.
+                refusal = if (v_now - self.config.v_high.get()).abs() < THRESHOLD_GUARD
+                    || (v_now - self.config.v_low.get()).abs() < THRESHOLD_GUARD
+                {
+                    FallbackReason::GuardBand
+                } else {
+                    FallbackReason::NoClosedForm
+                };
                 break;
             }
             let (steps_taken, finished_segment) = if t_adv >= seg_horizon - 1e-15 {
@@ -716,6 +736,7 @@ impl EnergyBuffer for ReactBuffer {
                     || (fin.v_final - self.config.v_low.get()).abs() < THRESHOLD_GUARD)
             {
                 if elapsed == 0.0 {
+                    self.fallback = Some(FallbackReason::GuardBand);
                     return None;
                 }
                 break;
@@ -747,6 +768,9 @@ impl EnergyBuffer for ReactBuffer {
                 }
             }
         }
+        if elapsed == 0.0 {
+            self.fallback = Some(refusal);
+        }
         Some(Seconds::new(elapsed))
     }
 
@@ -756,6 +780,10 @@ impl EnergyBuffer for ReactBuffer {
     /// terminals — the same inverse as a static buffer of that size.
     /// Disconnected banks are not promised to the application (§3.4.1),
     /// so they do not move the crossing.
+    fn take_fallback(&mut self) -> Option<FallbackReason> {
+        self.fallback.take()
+    }
+
     fn rail_voltage_for_usable(&self, energy: Joules, v_floor: Volts) -> Option<Volts> {
         let c_active = self.llb.capacitance()
             + self

@@ -34,6 +34,7 @@ use std::sync::Mutex;
 
 use rayon::prelude::*;
 use react_env::node_salt;
+use react_telemetry::{NullRecorder, Recorder, StepAttribution};
 use react_units::Seconds;
 use serde::{Deserialize, Serialize};
 
@@ -467,10 +468,11 @@ impl FleetSpec {
 // The batched kernel
 // ---------------------------------------------------------------------------
 
-type Cell = SimCore<
+type Cell<R> = SimCore<
     Box<dyn react_buffers::EnergyBuffer>,
     Box<dyn react_workloads::Workload>,
     Box<dyn react_env::PowerSource>,
+    R,
 >;
 
 /// The batched fleet kernel: a set of resumable [`SimCore`] cells
@@ -483,19 +485,31 @@ type Cell = SimCore<
 /// [`FleetAggregate`] in *node-index order*, so the order-sensitive
 /// f64 reductions are deterministic no matter how the heap interleaved
 /// execution.
-pub struct FleetSim {
+///
+/// The recorder parameter `R` defaults to [`NullRecorder`], which
+/// compiles every telemetry hook away — the bare [`FleetSim`] alias is
+/// the zero-overhead production kernel. Instantiate with
+/// [`StepAttribution`] (e.g. via [`run_shard_attributed`]) to profile
+/// where the fleet's engine steps go; per-cell recorders are absorbed
+/// in node-index order, so the profile is as deterministic as the
+/// aggregate.
+pub struct FleetSimT<R: Recorder + Default = NullRecorder> {
     scenarios: Vec<Scenario>,
-    cells: Vec<Option<Cell>>,
+    cells: Vec<Option<Cell<R>>>,
     /// Min-heap on (time-bits, node). `f64::to_bits` is monotone for
     /// the non-negative clocks the engine produces, giving an `Ord`
     /// key without wrapping floats.
     heap: BinaryHeap<Reverse<(u64, usize)>>,
     outcomes: Vec<Option<NodeStats>>,
+    recorders: Vec<Option<R>>,
     chunk: Seconds,
     bins: FleetBins,
 }
 
-impl FleetSim {
+/// The production fleet kernel: no telemetry, no overhead.
+pub type FleetSim = FleetSimT<NullRecorder>;
+
+impl<R: Recorder + Default> FleetSimT<R> {
     /// Builds a batch from explicit (already salted) scenarios.
     ///
     /// Returns `Err` if any cell's simulator rejects its configuration
@@ -510,13 +524,17 @@ impl FleetSim {
         for (i, sc) in scenarios.iter().enumerate() {
             let core = sc
                 .simulator()
+                .with_recorder(R::default())
                 .try_into_core()
                 .map_err(|e| format!("fleet cell {i} ({}): {e}", sc.name))?;
             heap.push(Reverse((core.now().get().to_bits(), i)));
             cells.push(Some(core));
         }
-        Ok(FleetSim {
+        Ok(FleetSimT {
             outcomes: vec![None; scenarios.len()],
+            recorders: std::iter::repeat_with(|| None)
+                .take(scenarios.len())
+                .collect(),
             scenarios,
             cells,
             heap,
@@ -528,7 +546,7 @@ impl FleetSim {
     /// Builds the shard `[start, end)` of a fleet spec.
     pub fn from_spec_range(spec: &FleetSpec, start: usize, end: usize) -> Result<Self, String> {
         let scenarios: Vec<Scenario> = (start..end).map(|i| spec.node_scenario(i)).collect();
-        FleetSim::from_scenarios(scenarios, spec.chunk, spec.bins)
+        FleetSimT::from_scenarios(scenarios, spec.chunk, spec.bins)
     }
 
     /// Cells still running.
@@ -550,23 +568,35 @@ impl FleetSim {
             self.heap.push(Reverse((cell.now().get().to_bits(), idx)));
         } else {
             let core = self.cells[idx].take().expect("cell vanished mid-drain");
-            let outcome = core.finish();
+            let (outcome, recorder) = core.finish_telemetry();
             self.outcomes[idx] = Some(NodeStats::from_metrics(
                 &self.scenarios[idx],
                 &outcome.metrics,
             ));
+            self.recorders[idx] = Some(recorder);
         }
         !self.heap.is_empty()
     }
 
-    /// Runs every cell to completion and reduces in node-index order.
-    pub fn run(mut self) -> FleetAggregate {
+    /// Runs every cell to completion and reduces in node-index order,
+    /// returning the aggregate alongside the fleet-wide recorder
+    /// (per-cell recorders absorbed in node-index order).
+    pub fn run_telemetry(mut self) -> (FleetAggregate, R) {
         while self.step() {}
         let mut agg = FleetAggregate::new(self.bins);
         for stats in self.outcomes.iter().flatten() {
             agg.record(stats);
         }
-        agg
+        let mut recorder = R::default();
+        for r in self.recorders.into_iter().flatten() {
+            recorder.absorb(r);
+        }
+        (agg, recorder)
+    }
+
+    /// Runs every cell to completion and reduces in node-index order.
+    pub fn run(self) -> FleetAggregate {
+        self.run_telemetry().0
     }
 }
 
@@ -605,6 +635,10 @@ pub struct FleetRunOptions {
     pub max_shards: Option<usize>,
     /// Run shards through the rayon pool instead of serially.
     pub parallel: bool,
+    /// Also collect a fleet-wide [`StepAttribution`] profile. Shards
+    /// restored from a checkpoint carry no recorder state, so a
+    /// resumed run's profile covers only the newly executed shards.
+    pub attribution: bool,
 }
 
 /// Result of a [`run_fleet`] call.
@@ -618,6 +652,12 @@ pub struct FleetRunResult {
     pub shards_total: usize,
     /// Shards skipped because the checkpoint already had them.
     pub shards_resumed: usize,
+    /// Fleet-wide step-attribution profile, present only when
+    /// [`FleetRunOptions::attribution`] was set. Merged in shard-index
+    /// order (each shard absorbed in node-index order), so it is as
+    /// deterministic as the aggregate. Resumed shards contribute
+    /// nothing — checkpoints store aggregates, not recorders.
+    pub attribution: Option<StepAttribution>,
 }
 
 impl FleetRunResult {
@@ -663,6 +703,16 @@ pub fn run_shard(spec: &FleetSpec, shard: usize) -> Result<FleetAggregate, Strin
     Ok(FleetSim::from_spec_range(spec, start, end)?.run())
 }
 
+/// Executes one shard with step-attribution recording enabled,
+/// returning the shard aggregate together with its merged profile.
+pub fn run_shard_attributed(
+    spec: &FleetSpec,
+    shard: usize,
+) -> Result<(FleetAggregate, StepAttribution), String> {
+    let (start, end) = spec.shard_range(shard);
+    Ok(FleetSimT::<StepAttribution>::from_spec_range(spec, start, end)?.run_telemetry())
+}
+
 /// Runs a fleet spec shard by shard, honoring checkpoint/resume.
 ///
 /// Shards execute in parallel when requested, but the merge is always
@@ -689,8 +739,18 @@ pub fn run_fleet(spec: &FleetSpec, opts: &FleetRunOptions) -> Result<FleetRunRes
     }
 
     let ledger = Mutex::new(done);
+    let attr_ledger: Mutex<Vec<(usize, StepAttribution)>> = Mutex::new(Vec::new());
     let run_one = |&shard: &usize| -> Result<(), String> {
-        let aggregate = run_shard(spec, shard)?;
+        let aggregate = if opts.attribution {
+            let (aggregate, attr) = run_shard_attributed(spec, shard)?;
+            attr_ledger
+                .lock()
+                .expect("fleet attribution ledger poisoned")
+                .push((shard, attr));
+            aggregate
+        } else {
+            run_shard(spec, shard)?
+        };
         let mut led = ledger.lock().expect("fleet checkpoint ledger poisoned");
         led.push(ShardEntry {
             index: shard as f64,
@@ -720,11 +780,25 @@ pub fn run_fleet(spec: &FleetSpec, opts: &FleetRunOptions) -> Result<FleetRunRes
     for entry in &done {
         aggregate.merge(&entry.aggregate);
     }
+    let attribution = if opts.attribution {
+        let mut shards = attr_ledger
+            .into_inner()
+            .expect("fleet attribution ledger poisoned");
+        shards.sort_by_key(|&(idx, _)| idx);
+        let mut merged = StepAttribution::default();
+        for (_, attr) in &shards {
+            merged.merge(attr);
+        }
+        Some(merged)
+    } else {
+        None
+    };
     Ok(FleetRunResult {
         aggregate,
         shards_done: done.len(),
         shards_total: total,
         shards_resumed: resumed,
+        attribution,
     })
 }
 
@@ -1024,6 +1098,7 @@ mod tests {
             checkpoint: Some(path.clone()),
             max_shards: Some(2),
             parallel: false,
+            ..Default::default()
         };
         let partial = run_fleet(&spec, &partial_opts).expect("partial run");
         assert!(!partial.complete());
@@ -1033,6 +1108,7 @@ mod tests {
             checkpoint: Some(path.clone()),
             max_shards: None,
             parallel: false,
+            ..Default::default()
         };
         let resumed = run_fleet(&spec, &resume_opts).expect("resumed run");
         assert!(resumed.complete());

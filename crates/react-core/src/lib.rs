@@ -51,14 +51,15 @@ pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
 pub use fleet::{
-    compare_fleet_reports, run_fleet, run_shard, FleetAggregate, FleetBins, FleetCheckpoint,
-    FleetReport, FleetRunOptions, FleetRunResult, FleetSim, FleetSpec, FleetSummary,
-    FleetTolerances, Histogram, NodeStats, ShardEntry,
+    compare_fleet_reports, run_fleet, run_shard, run_shard_attributed, FleetAggregate, FleetBins,
+    FleetCheckpoint, FleetReport, FleetRunOptions, FleetRunResult, FleetSim, FleetSimT, FleetSpec,
+    FleetSummary, FleetTolerances, Histogram, NodeStats, ShardEntry,
 };
 pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
 pub use scenario::{find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario};
 pub use scenario_report::{
-    build_full_report, build_report, build_report_with, compare_reports, report_scenarios,
+    build_attributed_report, build_full_report, build_report, build_report_with, compare_reports,
+    merged_attribution, render_attribution, render_class_sinks, report_scenarios, CellAttribution,
     PoisonedCell, ResilienceRow, ScenarioCell, ScenarioReport, Tolerances,
 };
 pub use sim::{ConstantLoad, KernelMode, SimCore, SimError, Simulator};

@@ -23,6 +23,7 @@ use react_env::{
     TraceSource,
 };
 use react_harvest::{ConverterKind, PowerReplay};
+use react_telemetry::{RingRecorder, StepAttribution};
 use react_traces::{paper_trace, PaperTrace};
 use react_units::{Seconds, Watts};
 
@@ -379,6 +380,36 @@ impl Scenario {
     /// Runs the scenario with the default adaptive kernel.
     pub fn run(&self) -> RunOutcome {
         self.run_with_kernel(KernelMode::Adaptive)
+    }
+
+    /// Runs the scenario with a [`StepAttribution`] recorder and
+    /// returns the outcome together with the "where the steps go"
+    /// profile. Recording is bit-identity-neutral, so the outcome is
+    /// interchangeable with [`Scenario::run`]'s.
+    pub fn run_attributed(&self) -> (RunOutcome, StepAttribution) {
+        match self
+            .simulator()
+            .with_recorder(StepAttribution::default())
+            .try_run_telemetry()
+        {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the scenario with a bounded [`RingRecorder`] capturing the
+    /// full typed event stream (for `sim_trace` export and cell
+    /// replay). `capacity` bounds recorder memory; `None` uses
+    /// [`RingRecorder::DEFAULT_CAPACITY`].
+    pub fn run_traced(&self, capacity: Option<usize>) -> (RunOutcome, RingRecorder) {
+        let ring = match capacity {
+            Some(n) => RingRecorder::new(n),
+            None => RingRecorder::with_default_capacity(),
+        };
+        match self.simulator().with_recorder(ring).try_run_telemetry() {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The power gate this scenario runs under: the paper's fixed

@@ -33,6 +33,7 @@
 use rayon::prelude::*;
 use react_buffers::BufferKind;
 use react_env::dark_stats;
+use react_telemetry::{FallbackReason, Regime, StepAttribution};
 use react_units::Watts;
 use serde::{Deserialize, Serialize};
 
@@ -612,6 +613,233 @@ pub fn build_full_report(parallel: bool) -> ScenarioReport {
         &REPORT_SEEDS,
         parallel,
     )
+}
+
+/// One report cell's step-attribution profile: where the engine's
+/// steps (and the simulated seconds they covered) went, by
+/// regime × fallback reason.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellAttribution {
+    /// [`ScenarioCell::id`] of the profiled cell.
+    pub id: String,
+    /// Registry scenario the cell derives from.
+    pub scenario: String,
+    /// Buffer design label.
+    pub buffer: String,
+    /// Seed salt.
+    pub seed: u64,
+    /// The cell's step-attribution profile.
+    pub attr: StepAttribution,
+}
+
+/// [`build_report`] with per-cell [`StepAttribution`] recording on.
+///
+/// Runs the same matrix through the same `catch_unwind` harness (the
+/// recorded metrics are bit-identical to the unrecorded run — the
+/// telemetry bit-identity contract pinned by `tests/telemetry.rs`),
+/// smuggling each cell's profile out through a ledger and returning
+/// the profiles aligned with `report.cells` order. Poisoned cells have
+/// no profile.
+pub fn build_attributed_report(
+    scenarios: &[Scenario],
+    buffers: &[BufferKind],
+    seeds: &[u64],
+    parallel: bool,
+) -> (ScenarioReport, Vec<CellAttribution>) {
+    let ledger: std::sync::Mutex<Vec<(String, StepAttribution)>> =
+        std::sync::Mutex::new(Vec::new());
+    let runner = |s: &Scenario| -> RunOutcome {
+        let (out, attr) = s.run_attributed();
+        ledger.lock().expect("attribution ledger poisoned").push((
+            format!("{}/{}/s{}", s.name, s.buffer.label(), s.seed_salt),
+            attr,
+        ));
+        out
+    };
+    let report = build_report_with(scenarios, buffers, seeds, parallel, &runner);
+    let ledger = ledger.into_inner().expect("attribution ledger poisoned");
+    let attributions = report
+        .cells
+        .iter()
+        .filter_map(|c| {
+            let id = c.id();
+            ledger
+                .iter()
+                .find(|(lid, _)| *lid == id)
+                .map(|(_, attr)| CellAttribution {
+                    id: id.clone(),
+                    scenario: c.scenario.clone(),
+                    buffer: c.buffer.clone(),
+                    seed: c.seed,
+                    attr: attr.clone(),
+                })
+        })
+        .collect();
+    (report, attributions)
+}
+
+/// Folds every cell profile into one matrix-wide [`StepAttribution`].
+pub fn merged_attribution(cells: &[CellAttribution]) -> StepAttribution {
+    let mut merged = StepAttribution::default();
+    for c in cells {
+        merged.merge(&c.attr);
+    }
+    merged
+}
+
+/// Renders the "where the steps go" table: one row per cell, ranked by
+/// fine-step count, naming each cell's dominant fine-step class. The
+/// top rows of this table are the matrix's step sinks — the cells (and
+/// kernel reasons) any engine perf work should target first.
+pub fn render_attribution(cells: &[CellAttribution]) -> TextTable {
+    let mut table = TextTable::new(
+        "Where the steps go (cells ranked by fine-step count)",
+        &[
+            "cell",
+            "steps",
+            "fine",
+            "fine %",
+            "top fine class",
+            "class steps",
+            "class sim (s)",
+        ],
+    );
+    let mut ranked: Vec<&CellAttribution> = cells.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.attr
+            .fine_steps()
+            .cmp(&a.attr.fine_steps())
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    for c in ranked {
+        let total = c.attr.total_steps();
+        let fine = c.attr.fine_steps();
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * fine as f64 / total as f64
+        };
+        let (label, steps, seconds) = match c.attr.top_fine_row() {
+            Some(row) => (
+                row.label(),
+                row.steps.to_string(),
+                format!("{:.1}", row.seconds),
+            ),
+            None => ("-".to_string(), "0".to_string(), "0.0".to_string()),
+        };
+        table.push_row(&[
+            c.id.clone(),
+            total.to_string(),
+            fine.to_string(),
+            format!("{share:.1}"),
+            label,
+            steps,
+            seconds,
+        ]);
+    }
+    table
+}
+
+/// Noise floor for a cell to qualify as a class's hottest sink: below
+/// this many steps a cell's density says nothing (a 120 s trace cell
+/// with 100 steps posts a huge steps/hour figure on no evidence).
+const MIN_SINK_STEPS: u64 = 500;
+
+/// Renders the kernel-overhead sink table: one row per populated
+/// *fallback* class (regime × fine-step reason, `mcu-active` excluded
+/// — fine-stepping while the MCU computes is the workload, not
+/// overhead), with the class's matrix-wide step total and its hottest
+/// **benign** cell. Adversarial cells are excluded from the hottest
+/// column because their stepping is attacker-driven (the resilience
+/// table scores that); the remaining cells rank by fine-step *density*
+/// (steps per simulated hour, over a 500-step noise floor),
+/// so a 15-minute plateau cell burning 900 guard-band steps outranks a
+/// week-long cell that merely accumulates more. This is the table that
+/// names `react-plateau-sc/REACT` as the guard-band (and
+/// no-closed-form) sink and the stormy-day Morphy cells as the idle
+/// fine-stepping sinks.
+pub fn render_class_sinks(cells: &[CellAttribution]) -> TextTable {
+    let mut table = TextTable::new(
+        "Kernel-overhead sinks by class (hottest benign cell = most steps per simulated hour)",
+        &[
+            "class",
+            "steps",
+            "share %",
+            "hottest benign cell",
+            "cell steps",
+            "cell steps/h",
+        ],
+    );
+    let matrix_total = merged_attribution(cells).total_steps().max(1);
+    // Cells whose registry scenario runs any `attack/*` environment
+    // (stateful adversary or fixed-schedule wrapper alike) never
+    // qualify as a sink; synthetic cells outside the registry count as
+    // benign.
+    let benign = |c: &CellAttribution| {
+        find_scenario(&c.scenario).is_none_or(|s| !s.env.label().starts_with("attack/"))
+    };
+    struct ClassSink<'a> {
+        label: String,
+        total: u64,
+        hottest: Option<(&'a CellAttribution, u64, f64)>,
+    }
+    let mut classes: Vec<ClassSink<'_>> = Vec::new();
+    for &regime in &Regime::ALL {
+        for &reason in &FallbackReason::ALL {
+            if reason == FallbackReason::McuActive {
+                continue;
+            }
+            let mut class_total = 0u64;
+            let mut hottest: Option<(&CellAttribution, u64, f64)> = None;
+            for c in cells {
+                let bin = c.attr.bin(regime, Some(reason));
+                class_total += bin.steps;
+                if bin.steps < MIN_SINK_STEPS || !benign(c) {
+                    continue;
+                }
+                let hours = c.attr.total_seconds() / 3600.0;
+                let rate = if hours > 0.0 {
+                    bin.steps as f64 / hours
+                } else {
+                    0.0
+                };
+                let beats = match hottest {
+                    None => true,
+                    // Tie on rate falls back to the lower cell id so the
+                    // table is deterministic across thread schedules.
+                    Some((prev, _, prev_rate)) => {
+                        rate > prev_rate || (rate == prev_rate && c.id < prev.id)
+                    }
+                };
+                if beats {
+                    hottest = Some((c, bin.steps, rate));
+                }
+            }
+            if class_total > 0 {
+                classes.push(ClassSink {
+                    label: format!("{} fine:{}", regime.label(), reason.label()),
+                    total: class_total,
+                    hottest,
+                });
+            }
+        }
+    }
+    classes.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.label.cmp(&b.label)));
+    for sink in classes {
+        let (id, steps, rate) = match sink.hottest {
+            Some((cell, steps, rate)) => (cell.id.clone(), steps.to_string(), format!("{rate:.0}")),
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        table.push_row(&[
+            sink.label,
+            sink.total.to_string(),
+            format!("{:.2}", 100.0 * sink.total as f64 / matrix_total as f64),
+            id,
+            steps,
+            rate,
+        ]);
+    }
+    table
 }
 
 /// Per-field tolerances for the CI conformance gate. Defaults absorb

@@ -26,6 +26,9 @@ use react_buffers::defense::{AttackDetector, DefenseConfig};
 use react_buffers::EnergyBuffer;
 use react_harvest::{PowerReplay, PowerSource, TraceSource, VictimEvent};
 use react_mcu::{Mcu, McuSpec, PowerGate, PowerMode};
+use react_telemetry::{
+    EventKind, FallbackReason, NullRecorder, Recorder, Regime, SimEvent, StrideKind,
+};
 use react_units::{Amps, Seconds};
 use react_workloads::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
@@ -76,7 +79,12 @@ pub enum KernelMode {
 /// default [`TraceSource`] replays a recorded trace exactly as before,
 /// while streaming `react-env` sources run unbounded environments —
 /// those need an explicit [`Simulator::with_horizon`].
-pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = TraceSource> {
+pub struct Simulator<
+    B = Box<dyn EnergyBuffer>,
+    W = Box<dyn Workload>,
+    S = TraceSource,
+    R = NullRecorder,
+> {
     replay: PowerReplay<S>,
     buffer: B,
     mcu: Mcu,
@@ -100,6 +108,9 @@ pub struct Simulator<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = Trace
     feedback: bool,
     /// Attack-detection defense; `None` runs undefended.
     defense: Option<DefenseConfig>,
+    /// Telemetry sink. [`NullRecorder`] by default, in which case every
+    /// instrumentation branch in the engine compiles away.
+    recorder: R,
 }
 
 impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
@@ -125,6 +136,34 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             software_overhead,
             feedback: false,
             defense: None,
+            recorder: NullRecorder,
+        }
+    }
+}
+
+impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> Simulator<B, W, S, R> {
+    /// Replaces the telemetry recorder (changing the simulator's
+    /// recorder type): `with_recorder(RingRecorder::default())` turns
+    /// event capture on, `with_recorder(StepAttribution::default())`
+    /// profiles where the engine steps go. Recording never changes
+    /// simulation results — the telemetry suite pins bit-identity
+    /// against [`NullRecorder`] runs.
+    pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> Simulator<B, W, S, R2> {
+        Simulator {
+            replay: self.replay,
+            buffer: self.buffer,
+            mcu: self.mcu,
+            gate: self.gate,
+            workload: self.workload,
+            dt: self.dt,
+            kernel: self.kernel,
+            probe_interval: self.probe_interval,
+            max_drain: self.max_drain,
+            horizon: self.horizon,
+            software_overhead: self.software_overhead,
+            feedback: self.feedback,
+            defense: self.defense,
+            recorder,
         }
     }
 
@@ -230,6 +269,19 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
         Ok(core.finish())
     }
 
+    /// [`Simulator::try_run`], but also yields the recorder with
+    /// everything it captured.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnboundedSource`] if the power source never ends and
+    /// no [`Simulator::with_horizon`] was set.
+    pub fn try_run_telemetry(self) -> Result<(RunOutcome, R), SimError> {
+        let mut core = self.try_into_core()?;
+        while core.advance() {}
+        Ok(core.finish_telemetry())
+    }
+
     /// Converts this configured simulator into its resumable engine
     /// core without running it. The fleet kernel interleaves thousands
     /// of cores this way; stepping a core to completion is exactly
@@ -241,7 +293,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
     ///
     /// [`SimError::UnboundedSource`] if the power source never ends and
     /// no [`Simulator::with_horizon`] was set.
-    pub fn try_into_core(self) -> Result<SimCore<B, W, S>, SimError> {
+    pub fn try_into_core(self) -> Result<SimCore<B, W, S, R>, SimError> {
         SimCore::new(self)
     }
 }
@@ -260,7 +312,12 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
 /// coarse stride (idle or LPM3-sleep fast path) or one fine `dt` step;
 /// [`SimCore::now`] exposes the cell clock between iterations for
 /// schedulers.
-pub struct SimCore<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = TraceSource> {
+pub struct SimCore<
+    B = Box<dyn EnergyBuffer>,
+    W = Box<dyn Workload>,
+    S = TraceSource,
+    R = NullRecorder,
+> {
     replay: PowerReplay<S>,
     /// The stepping source clone (what `PowerReplay::cursor` would
     /// own): sources are stateful segment walkers, so the core streams
@@ -302,10 +359,54 @@ pub struct SimCore<B = Box<dyn EnergyBuffer>, W = Box<dyn Workload>, S = TraceSo
     finished: bool,
     metrics: RunMetrics,
     series: Vec<VoltageSample>,
+    recorder: R,
+    /// Open coalesced fine-step span, `(regime, reason, start_s,
+    /// steps)`: consecutive fine steps sharing one classification
+    /// collapse into a single [`EventKind::FineSpan`] event, flushed on
+    /// class change, coarse stride, or finish. Only maintained while
+    /// `R::ENABLED`.
+    fine_span: Option<(Regime, FallbackReason, f64, u64)>,
+    /// Buffer reconfigurations already emitted as telemetry events.
+    tele_reconfig_count: u64,
+    /// Detector detections already emitted as telemetry events.
+    tele_detections: u64,
 }
 
-impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
-    fn new(sim: Simulator<B, W, S>) -> Result<Self, SimError> {
+/// Emits one [`EventKind::Reconfig`] event per not-yet-reported
+/// reconfiguration (free function so it can run inside disjoint field
+/// borrows of the core).
+fn tele_note_reconfigs<R: Recorder>(
+    recorder: &mut R,
+    count: u64,
+    seen: &mut u64,
+    t: f64,
+    defensive: bool,
+) {
+    while *seen < count {
+        *seen += 1;
+        recorder.record(&SimEvent {
+            t,
+            span: 0.0,
+            kind: EventKind::Reconfig { defensive },
+        });
+    }
+}
+
+/// Emits one [`EventKind::Detection`] event per not-yet-reported
+/// detector hit.
+fn tele_note_detections<R: Recorder>(recorder: &mut R, count: u64, seen: &mut u64, t: f64) {
+    while *seen < count {
+        *seen += 1;
+        recorder.record(&SimEvent {
+            t,
+            span: 0.0,
+            kind: EventKind::Detection,
+        });
+    }
+}
+
+impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<B, W, S, R> {
+    fn new(sim: Simulator<B, W, S, R>) -> Result<Self, SimError> {
         let Simulator {
             replay,
             buffer,
@@ -320,6 +421,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
             software_overhead,
             feedback,
             defense,
+            recorder,
         } = sim;
 
         // The harvest horizon: an explicit override, else the bounded
@@ -357,6 +459,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
         let sleep_fast = kernel == KernelMode::Adaptive && buffer.supports_powered_fast_path();
         let base_enable = gate.enable_voltage();
         let last_reconfig_count = buffer.reconfiguration_count();
+        let tele_reconfig_count = last_reconfig_count;
 
         Ok(Self {
             replay,
@@ -403,7 +506,39 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
             finished: false,
             metrics,
             series,
+            recorder,
+            fine_span: None,
+            tele_reconfig_count,
+            tele_detections: 0,
         })
+    }
+
+    /// Closes the open coalesced fine-step span (if any) at the current
+    /// clock and hands it to the recorder.
+    fn flush_fine_span(&mut self) {
+        if let Some((regime, reason, start, steps)) = self.fine_span.take() {
+            self.recorder.record(&SimEvent {
+                t: start,
+                span: self.t.get() - start,
+                kind: EventKind::FineSpan {
+                    regime,
+                    reason,
+                    steps,
+                },
+            });
+        }
+    }
+
+    /// Folds one classified fine step into the open span, flushing and
+    /// reopening on a (regime, reason) change.
+    fn tele_note_fine_step(&mut self, regime: Regime, reason: FallbackReason, t_entry: f64) {
+        match self.fine_span.as_mut() {
+            Some((r, re, _, steps)) if *r == regime && *re == reason => *steps += 1,
+            _ => {
+                self.flush_fine_span();
+                self.fine_span = Some((regime, reason, t_entry, 1));
+            }
+        }
     }
 
     /// The cell clock: simulated seconds advanced so far.
@@ -458,9 +593,33 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
     /// Books an advanced coarse stride: probe samples are stamped one
     /// step back, where the reference kernel records them.
     fn commit_stride(&mut self, advanced: Seconds, on: bool) {
+        if R::ENABLED {
+            self.flush_fine_span();
+            self.recorder.record(&SimEvent {
+                t: self.t.get(),
+                span: advanced.get(),
+                kind: EventKind::CoarseStride {
+                    kind: if on {
+                        StrideKind::Powered
+                    } else {
+                        StrideKind::Idle
+                    },
+                },
+            });
+        }
         self.engine_steps += 1;
         self.t += advanced;
         self.note_reconfigs();
+        if R::ENABLED {
+            let rc = self.buffer.reconfiguration_count();
+            tele_note_reconfigs(
+                &mut self.recorder,
+                rc,
+                &mut self.tele_reconfig_count,
+                self.t.get(),
+                false,
+            );
+        }
         if on {
             self.metrics.on_time += advanced;
         }
@@ -501,6 +660,24 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
         // on garbage) and is counted once per contiguous span.
         let v_ok = v.get().is_finite();
 
+        // Telemetry: classify this iteration from its *entry* state
+        // (the gate/MCU may flip mid-step). Fine steps coalesce into
+        // spans by (regime, reason); refusal reasons are captured at
+        // the refusing site below, structural reasons derived at the
+        // bottom. All of it folds away under `NullRecorder`.
+        let entry_regime = if !R::ENABLED {
+            Regime::Active // unused when recording is off
+        } else if !self.gate.is_closed() {
+            Regime::Idle
+        } else if self.mcu.is_running() && self.mcu.mode() == PowerMode::Sleep {
+            Regime::Sleep
+        } else {
+            Regime::Active
+        };
+        let entry_poll_debt = if R::ENABLED { self.poll_debt } else { 0.0 };
+        let t_entry = if R::ENABLED { self.t.get() } else { 0.0 };
+        let mut fine_reason: Option<FallbackReason> = None;
+
         // A defensive hold releases only once its backoff timer has
         // expired *and* the rail has recovered to the effective
         // enable level: waking mid-blackout with a half-drained
@@ -509,6 +686,13 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
         // recharge and always restarts from a full buffer.
         if v_ok && self.hold_until.is_some_and(|h| self.t >= h) && v >= self.gate.enable_voltage() {
             self.hold_until = None;
+            if R::ENABLED {
+                self.recorder.record(&SimEvent {
+                    t: self.t.get(),
+                    span: 0.0,
+                    kind: EventKind::BackoffRelease,
+                });
+            }
         }
 
         // Adaptive idle fast path: gate open, MCU dark — the only
@@ -537,6 +721,18 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
                     self.commit_stride(advanced, false);
                     return !self.finished;
                 }
+                if R::ENABLED {
+                    fine_reason = self
+                        .buffer
+                        .take_fallback()
+                        .or(Some(FallbackReason::NoClosedForm));
+                }
+            } else if R::ENABLED {
+                fine_reason = Some(if !p_rail.get().is_finite() {
+                    FallbackReason::NanGuard
+                } else {
+                    FallbackReason::ShortStride
+                });
             }
         }
 
@@ -631,7 +827,23 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
                         self.commit_stride(advanced, true);
                         return !self.finished;
                     }
+                    if R::ENABLED {
+                        fine_reason = self
+                            .buffer
+                            .take_fallback()
+                            .or(Some(FallbackReason::NoClosedForm));
+                    }
+                } else if R::ENABLED {
+                    fine_reason = Some(if !p_rail.get().is_finite() {
+                        FallbackReason::NanGuard
+                    } else {
+                        FallbackReason::ShortStride
+                    });
                 }
+            } else if R::ENABLED {
+                // The wake hint resolved to "now": immediate, stale,
+                // energy-satisfied, or deadline-due.
+                fine_reason = Some(FallbackReason::TransitionDue);
             }
         }
 
@@ -651,8 +863,23 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
                 if self.feedback {
                     self.source.observe(VictimEvent::Boot { at: self.t });
                 }
+                if R::ENABLED {
+                    self.recorder.record(&SimEvent {
+                        t: self.t.get(),
+                        span: 0.0,
+                        kind: EventKind::Boot,
+                    });
+                }
                 if let Some(det) = self.detector.as_mut() {
                     det.on_boot(self.t);
+                    if R::ENABLED {
+                        tele_note_detections(
+                            &mut self.recorder,
+                            det.detections(),
+                            &mut self.tele_detections,
+                            self.t.get(),
+                        );
+                    }
                     if det.alarmed() {
                         // Attack-correlated reboot: hold the
                         // workload back for the current backoff and
@@ -660,9 +887,26 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
                         let hold = det.backoff();
                         if hold.get() > 0.0 {
                             self.hold_until = Some(self.t + hold);
+                            if R::ENABLED {
+                                self.recorder.record(&SimEvent {
+                                    t: self.t.get(),
+                                    span: 0.0,
+                                    kind: EventKind::BackoffHold,
+                                });
+                            }
                         }
                         if self.buffer.defensive_reconfigure() {
                             self.defensive_reconfigs += 1;
+                            if R::ENABLED {
+                                let rc = self.buffer.reconfiguration_count();
+                                tele_note_reconfigs(
+                                    &mut self.recorder,
+                                    rc,
+                                    &mut self.tele_reconfig_count,
+                                    self.t.get(),
+                                    true,
+                                );
+                            }
                         }
                     }
                     self.gate
@@ -678,6 +922,22 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
                     self.cycles += 1;
                 }
                 self.off_since = Some(self.t);
+                if R::ENABLED {
+                    self.recorder.record(&SimEvent {
+                        t: self.t.get(),
+                        span: 0.0,
+                        kind: EventKind::BrownOut,
+                    });
+                    if self.hold_until.is_some() {
+                        // A brown-out cancels the defensive hold;
+                        // close its span here.
+                        self.recorder.record(&SimEvent {
+                            t: self.t.get(),
+                            span: 0.0,
+                            kind: EventKind::BackoffRelease,
+                        });
+                    }
+                }
                 self.hold_until = None;
                 if self.feedback {
                     self.source.observe(VictimEvent::BrownOut { at: self.t });
@@ -689,6 +949,14 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
                 }
                 if let Some(det) = self.detector.as_mut() {
                     det.on_brownout(self.t);
+                    if R::ENABLED {
+                        tele_note_detections(
+                            &mut self.recorder,
+                            det.detections(),
+                            &mut self.tele_detections,
+                            self.t.get(),
+                        );
+                    }
                     self.gate
                         .set_enable_voltage(self.base_enable + det.gate_raise());
                 }
@@ -799,6 +1067,16 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
         self.buffer
             .step(input, mcu_current + peripheral, dt, self.mcu.is_running());
         self.note_reconfigs();
+        if R::ENABLED {
+            let rc = self.buffer.reconfiguration_count();
+            tele_note_reconfigs(
+                &mut self.recorder,
+                rc,
+                &mut self.tele_reconfig_count,
+                self.t.get(),
+                false,
+            );
+        }
 
         // Accounting.
         if self.gate.is_closed() {
@@ -818,6 +1096,37 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
         }
 
         self.t += dt;
+        if R::ENABLED {
+            // Structural classification for fine steps no refusal site
+            // annotated: the entry state makes fine stepping inherent.
+            let reason = fine_reason.unwrap_or(match entry_regime {
+                Regime::Active => FallbackReason::McuActive,
+                Regime::Idle => {
+                    if !v_ok {
+                        FallbackReason::NanGuard
+                    } else if !self.fast_path {
+                        FallbackReason::FastPathOff
+                    } else {
+                        // Enable crossing due (boot edge) or a
+                        // post-brown-out MCU-discharge transient.
+                        FallbackReason::TransitionDue
+                    }
+                }
+                Regime::Sleep => {
+                    if !v_ok {
+                        FallbackReason::NanGuard
+                    } else if !self.sleep_fast {
+                        FallbackReason::FastPathOff
+                    } else if entry_poll_debt >= dt.get() {
+                        FallbackReason::PollDebt
+                    } else {
+                        // Brown-out crossing due, or a wake/hold edge.
+                        FallbackReason::TransitionDue
+                    }
+                }
+            });
+            self.tele_note_fine_step(entry_regime, reason, t_entry);
+        }
         self.check_termination();
         !self.finished
     }
@@ -837,7 +1146,17 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
     /// [`SimCore::advance`] returns `false`; finishing a live run
     /// truncates it at the current clock (metrics are finalized as if
     /// the run ended there).
-    pub fn finish(mut self) -> RunOutcome {
+    pub fn finish(self) -> RunOutcome {
+        self.finish_telemetry().0
+    }
+
+    /// [`SimCore::finish`], but also yields the recorder with
+    /// everything it captured (the open fine-step span is flushed
+    /// first).
+    pub fn finish_telemetry(mut self) -> (RunOutcome, R) {
+        if R::ENABLED {
+            self.flush_fine_span();
+        }
         // Close any open on-period.
         if let Some(start) = self.on_since {
             let len = (self.t - start).get();
@@ -881,10 +1200,13 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> SimCore<B, W, S> {
         }
         metrics.defensive_reconfigurations = self.defensive_reconfigs;
 
-        RunOutcome {
-            metrics,
-            voltage_series: self.series,
-        }
+        (
+            RunOutcome {
+                metrics,
+                voltage_series: self.series,
+            },
+            self.recorder,
+        )
     }
 }
 

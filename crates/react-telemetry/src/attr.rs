@@ -1,0 +1,329 @@
+//! Step attribution: an O(regimes × reasons) profile of where the
+//! engine steps and simulated seconds go.
+
+use serde::{Serialize, Value};
+
+use crate::event::{EventKind, FallbackReason, Regime, SimEvent};
+use crate::record::Recorder;
+
+/// Per-regime classes: one coarse-stride bin plus one bin per
+/// fine-step fallback reason.
+const CLASSES: usize = 1 + FallbackReason::COUNT;
+
+/// Total flattened bins: `Regime::COUNT × CLASSES`.
+const BINS: usize = Regime::COUNT * CLASSES;
+
+/// One attribution bin: engine steps taken and simulated seconds
+/// covered by a (regime × class) cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AttrBin {
+    /// Engine steps (a coarse stride counts as one step).
+    pub steps: u64,
+    /// Simulated seconds covered.
+    pub seconds: f64,
+}
+
+/// One non-empty attribution row, for rendering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttrRow {
+    /// The regime the steps were taken in.
+    pub regime: Regime,
+    /// `None` for closed-form coarse strides, `Some(reason)` for fine
+    /// steps.
+    pub reason: Option<FallbackReason>,
+    /// Engine steps in the bin.
+    pub steps: u64,
+    /// Simulated seconds covered by the bin.
+    pub seconds: f64,
+}
+
+impl AttrRow {
+    /// Human-readable class label, e.g. `"sleep coarse"` or
+    /// `"idle fine:short-stride"`.
+    pub fn label(&self) -> String {
+        match self.reason {
+            None => format!("{} coarse", self.regime.label()),
+            Some(r) => format!("{} fine:{}", self.regime.label(), r.label()),
+        }
+    }
+}
+
+/// Aggregated step attribution for one run (or a merge of many).
+///
+/// Memory is a fixed `Regime::COUNT × (1 + FallbackReason::COUNT)`
+/// array, so fleets can attribute 100k cells for the cost of one.
+/// Implements [`Recorder`] (folding [`EventKind::CoarseStride`] and
+/// [`EventKind::FineSpan`] events, ignoring instants), and merges
+/// deterministically: merge order never changes the result because
+/// each bin is an integer step count plus an f64 second sum folded in
+/// caller order, mirroring how `FleetAggregate` is reduced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepAttribution {
+    bins: [AttrBin; BINS],
+}
+
+impl Default for StepAttribution {
+    fn default() -> Self {
+        StepAttribution {
+            bins: [AttrBin::default(); BINS],
+        }
+    }
+}
+
+impl StepAttribution {
+    fn index(regime: Regime, reason: Option<FallbackReason>) -> usize {
+        let class = match reason {
+            None => 0,
+            Some(r) => 1 + r.index(),
+        };
+        regime.index() * CLASSES + class
+    }
+
+    /// The bin for a (regime, class) cell; `reason = None` is the
+    /// coarse-stride class.
+    pub fn bin(&self, regime: Regime, reason: Option<FallbackReason>) -> AttrBin {
+        self.bins[Self::index(regime, reason)]
+    }
+
+    /// Add one classified contribution.
+    pub fn add(
+        &mut self,
+        regime: Regime,
+        reason: Option<FallbackReason>,
+        steps: u64,
+        seconds: f64,
+    ) {
+        let bin = &mut self.bins[Self::index(regime, reason)];
+        bin.steps += steps;
+        bin.seconds += seconds;
+    }
+
+    /// Fold another attribution into this one, bin by bin.
+    pub fn merge(&mut self, other: &StepAttribution) {
+        for (dst, src) in self.bins.iter_mut().zip(other.bins.iter()) {
+            dst.steps += src.steps;
+            dst.seconds += src.seconds;
+        }
+    }
+
+    /// Total engine steps attributed (coarse strides count one each).
+    /// Exactly equals `RunMetrics::engine_steps` for a single run.
+    pub fn total_steps(&self) -> u64 {
+        self.bins.iter().map(|b| b.steps).sum()
+    }
+
+    /// Total simulated seconds attributed. Sums to the run's
+    /// `total_time` up to floating-point telescoping error.
+    pub fn total_seconds(&self) -> f64 {
+        self.bins.iter().map(|b| b.seconds).sum()
+    }
+
+    /// Engine steps spent in closed-form coarse strides.
+    pub fn coarse_steps(&self) -> u64 {
+        Regime::ALL.iter().map(|&r| self.bin(r, None).steps).sum()
+    }
+
+    /// Engine steps spent fine-stepping (any reason).
+    pub fn fine_steps(&self) -> u64 {
+        self.total_steps() - self.coarse_steps()
+    }
+
+    /// Simulated seconds covered within one regime (coarse + fine).
+    pub fn regime_seconds(&self, regime: Regime) -> f64 {
+        (0..CLASSES)
+            .map(|c| self.bins[regime.index() * CLASSES + c].seconds)
+            .sum()
+    }
+
+    /// Engine steps covered within one regime (coarse + fine).
+    pub fn regime_steps(&self, regime: Regime) -> u64 {
+        (0..CLASSES)
+            .map(|c| self.bins[regime.index() * CLASSES + c].steps)
+            .sum()
+    }
+
+    /// Non-empty bins as rows, sorted by steps descending (ties broken
+    /// by stable bin order).
+    pub fn rows(&self) -> Vec<AttrRow> {
+        let mut rows = Vec::new();
+        for &regime in &Regime::ALL {
+            let coarse = self.bin(regime, None);
+            if coarse.steps > 0 {
+                rows.push(AttrRow {
+                    regime,
+                    reason: None,
+                    steps: coarse.steps,
+                    seconds: coarse.seconds,
+                });
+            }
+            for &reason in &FallbackReason::ALL {
+                let bin = self.bin(regime, Some(reason));
+                if bin.steps > 0 {
+                    rows.push(AttrRow {
+                        regime,
+                        reason: Some(reason),
+                        steps: bin.steps,
+                        seconds: bin.seconds,
+                    });
+                }
+            }
+        }
+        rows.sort_by_key(|r| std::cmp::Reverse(r.steps));
+        rows
+    }
+
+    /// The largest fine-step row, if any fine steps were taken.
+    pub fn top_fine_row(&self) -> Option<AttrRow> {
+        self.rows().into_iter().find(|r| r.reason.is_some())
+    }
+
+    /// Render a plain-text "where the steps go" table.
+    pub fn render(&self) -> String {
+        let total = self.total_steps().max(1);
+        let mut out =
+            String::from("class                       steps      share     sim-seconds\n");
+        for row in self.rows() {
+            out.push_str(&format!(
+                "{:<24} {:>12} {:>9.2}% {:>15.3}\n",
+                row.label(),
+                row.steps,
+                100.0 * row.steps as f64 / total as f64,
+                row.seconds,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>10} {:>15.3}\n",
+            "total",
+            self.total_steps(),
+            "",
+            self.total_seconds(),
+        ));
+        out
+    }
+}
+
+impl Recorder for StepAttribution {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, event: &SimEvent) {
+        match event.kind {
+            EventKind::CoarseStride { kind } => {
+                self.add(kind.regime(), None, 1, event.span);
+            }
+            EventKind::FineSpan {
+                regime,
+                reason,
+                steps,
+            } => {
+                self.add(regime, Some(reason), steps, event.span);
+            }
+            _ => {}
+        }
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
+impl Serialize for StepAttribution {
+    fn to_value(&self) -> Value {
+        let rows = self
+            .rows()
+            .into_iter()
+            .map(|row| {
+                Value::Obj(vec![
+                    ("regime".to_string(), Value::Str(row.regime.label().into())),
+                    (
+                        "class".to_string(),
+                        Value::Str(match row.reason {
+                            None => "coarse".to_string(),
+                            Some(r) => r.label().to_string(),
+                        }),
+                    ),
+                    ("steps".to_string(), Value::Num(row.steps as f64)),
+                    ("seconds".to_string(), Value::Num(row.seconds)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            (
+                "total_steps".to_string(),
+                Value::Num(self.total_steps() as f64),
+            ),
+            (
+                "fine_steps".to_string(),
+                Value::Num(self.fine_steps() as f64),
+            ),
+            (
+                "total_seconds".to_string(),
+                Value::Num(self.total_seconds()),
+            ),
+            ("rows".to_string(), Value::Arr(rows)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StrideKind;
+
+    #[test]
+    fn attribution_folds_strides_and_spans() {
+        let mut attr = StepAttribution::default();
+        attr.record(&SimEvent {
+            t: 0.0,
+            span: 100.0,
+            kind: EventKind::CoarseStride {
+                kind: StrideKind::Idle,
+            },
+        });
+        attr.record(&SimEvent {
+            t: 100.0,
+            span: 0.5,
+            kind: EventKind::FineSpan {
+                regime: Regime::Active,
+                reason: FallbackReason::McuActive,
+                steps: 50,
+            },
+        });
+        attr.record(&SimEvent {
+            t: 100.5,
+            span: 0.0,
+            kind: EventKind::Boot,
+        });
+        assert_eq!(attr.total_steps(), 51);
+        assert_eq!(attr.coarse_steps(), 1);
+        assert_eq!(attr.fine_steps(), 50);
+        assert!((attr.total_seconds() - 100.5).abs() < 1e-12);
+        assert_eq!(attr.regime_steps(Regime::Idle), 1);
+        let top = attr.top_fine_row().expect("has a fine row");
+        assert_eq!(top.reason, Some(FallbackReason::McuActive));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = StepAttribution::default();
+        a.add(Regime::Idle, Some(FallbackReason::ShortStride), 3, 0.03);
+        let mut b = StepAttribution::default();
+        b.add(Regime::Sleep, Some(FallbackReason::GuardBand), 7, 0.07);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_steps(), 10);
+    }
+
+    #[test]
+    fn rows_sort_by_steps_descending() {
+        let mut attr = StepAttribution::default();
+        attr.add(Regime::Idle, None, 2, 20.0);
+        attr.add(Regime::Sleep, Some(FallbackReason::GuardBand), 9, 0.09);
+        let rows = attr.rows();
+        assert_eq!(rows[0].reason, Some(FallbackReason::GuardBand));
+        assert_eq!(rows[0].label(), "sleep fine:guard-band");
+        assert_eq!(rows[1].label(), "idle coarse");
+    }
+}

@@ -1,0 +1,305 @@
+//! Event-stream exporters: Chrome `trace_event` JSON and a plain-text
+//! timeline.
+
+use serde::Value;
+
+use crate::event::{EventKind, SimEvent};
+
+/// Track (thread) ids used in the Chrome trace: kernel stride/fine
+/// activity, lifecycle edges, and defense transitions.
+const TID_KERNEL: f64 = 1.0;
+const TID_LIFECYCLE: f64 = 2.0;
+const TID_DEFENSE: f64 = 3.0;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn micros(t: f64) -> Value {
+    Value::Num(t * 1e6)
+}
+
+/// A Chrome "complete" (`ph: "X"`) span event.
+fn span_event(name: &str, cat: &str, tid: f64, t: f64, dur: f64, args: Value) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("X".to_string())),
+        ("pid", Value::Num(1.0)),
+        ("tid", Value::Num(tid)),
+        ("ts", micros(t)),
+        ("dur", micros(dur)),
+        ("args", args),
+    ])
+}
+
+/// A Chrome "instant" (`ph: "i"`) event with thread scope.
+fn instant_event(name: &str, cat: &str, tid: f64, t: f64) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("i".to_string())),
+        ("s", Value::Str("t".to_string())),
+        ("pid", Value::Num(1.0)),
+        ("tid", Value::Num(tid)),
+        ("ts", micros(t)),
+    ])
+}
+
+/// A Chrome metadata (`ph: "M"`) event naming a process or thread.
+fn metadata_event(name: &str, tid: Option<f64>, value: &str) -> Value {
+    let mut fields = vec![
+        ("name", Value::Str(name.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::Num(1.0)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid", Value::Num(tid)));
+    }
+    fields.push(("args", obj(vec![("name", Value::Str(value.to_string()))])));
+    obj(fields)
+}
+
+/// Convert an event stream (sim-seconds) to Chrome `trace_event` JSON
+/// (microsecond timestamps), loadable in Perfetto or `chrome://tracing`.
+///
+/// Mapping: coarse strides and fine spans become `"X"` complete events
+/// on the *kernel* track; boots, brown-outs, and reconfigurations
+/// become instants on the *lifecycle* track; detections become
+/// instants and each `BackoffHold` → `BackoffRelease` pair becomes a
+/// `"backoff"` span on the *defense* track (an unreleased hold is
+/// closed at the last event's timestamp). Events need not arrive
+/// sorted; output order follows the input stream, which Chrome's
+/// format permits.
+pub fn chrome_trace_json(events: &[SimEvent], process_name: &str) -> String {
+    let mut trace_events = vec![
+        metadata_event("process_name", None, process_name),
+        metadata_event("thread_name", Some(TID_KERNEL), "kernel"),
+        metadata_event("thread_name", Some(TID_LIFECYCLE), "lifecycle"),
+        metadata_event("thread_name", Some(TID_DEFENSE), "defense"),
+    ];
+    let t_last = events.iter().fold(0.0_f64, |m, e| m.max(e.t + e.span));
+    let mut hold_start: Option<f64> = None;
+    for event in events {
+        match event.kind {
+            EventKind::CoarseStride { kind } => trace_events.push(span_event(
+                kind.label(),
+                "kernel",
+                TID_KERNEL,
+                event.t,
+                event.span,
+                obj(vec![("span_s", Value::Num(event.span))]),
+            )),
+            EventKind::FineSpan {
+                regime,
+                reason,
+                steps,
+            } => trace_events.push(span_event(
+                &format!("fine:{}", reason.label()),
+                "kernel",
+                TID_KERNEL,
+                event.t,
+                event.span,
+                obj(vec![
+                    ("regime", Value::Str(regime.label().to_string())),
+                    ("steps", Value::Num(steps as f64)),
+                ]),
+            )),
+            EventKind::Boot => {
+                trace_events.push(instant_event("boot", "lifecycle", TID_LIFECYCLE, event.t));
+            }
+            EventKind::BrownOut => trace_events.push(instant_event(
+                "brown-out",
+                "lifecycle",
+                TID_LIFECYCLE,
+                event.t,
+            )),
+            EventKind::Reconfig { defensive } => trace_events.push(instant_event(
+                if defensive {
+                    "defensive-reconfig"
+                } else {
+                    "reconfig"
+                },
+                "lifecycle",
+                TID_LIFECYCLE,
+                event.t,
+            )),
+            EventKind::Detection => {
+                trace_events.push(instant_event("detection", "defense", TID_DEFENSE, event.t));
+            }
+            EventKind::BackoffHold => {
+                // Nested holds extend the open span rather than nest.
+                if hold_start.is_none() {
+                    hold_start = Some(event.t);
+                }
+            }
+            EventKind::BackoffRelease => {
+                if let Some(start) = hold_start.take() {
+                    trace_events.push(span_event(
+                        "backoff",
+                        "defense",
+                        TID_DEFENSE,
+                        start,
+                        (event.t - start).max(0.0),
+                        obj(vec![]),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(start) = hold_start {
+        trace_events.push(span_event(
+            "backoff",
+            "defense",
+            TID_DEFENSE,
+            start,
+            (t_last - start).max(0.0),
+            obj(vec![]),
+        ));
+    }
+    let doc = obj(vec![
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+        ("traceEvents", Value::Arr(trace_events)),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Render an event stream as a plain-text timeline, sorted by time.
+///
+/// Span-like lines show the covered span; instants show only the
+/// timestamp. Times are sim-seconds.
+pub fn text_timeline(events: &[SimEvent]) -> String {
+    let mut sorted: Vec<&SimEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| a.t.total_cmp(&b.t));
+    let mut out = String::new();
+    for event in sorted {
+        let desc = match event.kind {
+            EventKind::CoarseStride { kind } => {
+                format!("{:<14} span {:.6} s", kind.label(), event.span)
+            }
+            EventKind::FineSpan {
+                regime,
+                reason,
+                steps,
+            } => format!(
+                "{:<14} span {:.6} s ({} {} steps)",
+                format!("fine:{}", reason.label()),
+                event.span,
+                steps,
+                regime.label(),
+            ),
+            EventKind::Boot => "boot".to_string(),
+            EventKind::BrownOut => "brown-out".to_string(),
+            EventKind::Reconfig { defensive: true } => "defensive-reconfig".to_string(),
+            EventKind::Reconfig { defensive: false } => "reconfig".to_string(),
+            EventKind::Detection => "detection".to_string(),
+            EventKind::BackoffHold => "backoff-hold".to_string(),
+            EventKind::BackoffRelease => "backoff-release".to_string(),
+        };
+        out.push_str(&format!("{:>16.6}  {desc}\n", event.t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FallbackReason, Regime, StrideKind};
+
+    fn sample() -> Vec<SimEvent> {
+        vec![
+            SimEvent {
+                t: 0.0,
+                span: 10.0,
+                kind: EventKind::CoarseStride {
+                    kind: StrideKind::Idle,
+                },
+            },
+            SimEvent {
+                t: 10.0,
+                span: 0.0,
+                kind: EventKind::Boot,
+            },
+            SimEvent {
+                t: 10.0,
+                span: 0.0,
+                kind: EventKind::Detection,
+            },
+            SimEvent {
+                t: 10.0,
+                span: 0.0,
+                kind: EventKind::BackoffHold,
+            },
+            SimEvent {
+                t: 12.5,
+                span: 0.0,
+                kind: EventKind::BackoffRelease,
+            },
+            SimEvent {
+                t: 12.5,
+                span: 0.2,
+                kind: EventKind::FineSpan {
+                    regime: Regime::Sleep,
+                    reason: FallbackReason::GuardBand,
+                    steps: 20,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_pairs_backoff() {
+        let json = chrome_trace_json(&sample(), "test-cell");
+        let doc: Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+        let events = doc.field("traceEvents").expect("traceEvents");
+        let Value::Arr(items) = events else {
+            panic!("traceEvents must be an array");
+        };
+        let names: Vec<String> = items
+            .iter()
+            .filter_map(|e| match e.field("name") {
+                Ok(Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.iter().any(|n| n == "backoff"));
+        assert!(names.iter().any(|n| n == "detection"));
+        assert!(names.iter().any(|n| n == "fine:guard-band"));
+        // The backoff span covers hold → release.
+        let backoff = items
+            .iter()
+            .find(|e| matches!(e.field("name"), Ok(Value::Str(s)) if s == "backoff"))
+            .expect("backoff span present");
+        let Ok(Value::Num(dur)) = backoff.field("dur") else {
+            panic!("backoff span has a duration");
+        };
+        assert!((dur - 2.5e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unreleased_hold_is_closed_at_stream_end() {
+        let mut events = sample();
+        events.retain(|e| e.kind != EventKind::BackoffRelease);
+        let json = chrome_trace_json(&events, "test-cell");
+        let doc: Value = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Arr(items) = doc.field("traceEvents").expect("traceEvents").clone() else {
+            panic!("array");
+        };
+        assert!(items
+            .iter()
+            .any(|e| matches!(e.field("name"), Ok(Value::Str(s)) if s == "backoff")));
+    }
+
+    #[test]
+    fn text_timeline_is_time_sorted() {
+        let text = text_timeline(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("idle-stride"));
+        assert!(lines.last().expect("non-empty").contains("fine:guard-band"));
+    }
+}

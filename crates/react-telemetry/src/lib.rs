@@ -1,0 +1,44 @@
+//! Structured simulation telemetry for the REACT engine.
+//!
+//! The engine spans two kernels, five buffer controllers, adaptive
+//! attack/defense machinery, and a 100k-node fleet runner, but a run
+//! normally reports only end-of-run counters. This crate adds the
+//! observability layer underneath those counters: a zero-overhead
+//! [`Recorder`] seam through which the simulation core emits typed
+//! [`SimEvent`]s — kernel stride decisions (closed-form vs fine-step,
+//! and *why* a fine step was taken), lifecycle edges (boot, brown-out,
+//! reconfiguration), and defense transitions (detection, backoff
+//! hold/release) — each stamped with sim-time and the span of simulated
+//! seconds it covers.
+//!
+//! Three recorders ship with the crate:
+//!
+//! - [`NullRecorder`] (the default everywhere): `ENABLED = false`, so
+//!   every instrumentation block in the engine is behind
+//!   `if R::ENABLED` on a monomorphized constant and compiles away.
+//!   Runs with the null recorder are bit-identical to pre-telemetry
+//!   builds.
+//! - [`RingRecorder`]: keeps the last *N* events in a bounded ring and
+//!   counts what it drops; feeds the [`export`] functions
+//!   ([`chrome_trace_json`], [`text_timeline`]).
+//! - [`StepAttribution`]: an O(regimes × reasons) profile of where the
+//!   engine steps and simulated seconds go, mergeable across cells and
+//!   fleet shards in deterministic order.
+//!
+//! The contract recorders rely on: **recording must never change
+//! simulation results.** The engine only reads telemetry state behind
+//! `R::ENABLED`, and the integration tests pin `to_bits`-equality of
+//! metrics between null and recording runs across the kernel
+//! equivalence matrix.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod attr;
+mod event;
+pub mod export;
+mod record;
+
+pub use attr::{AttrBin, AttrRow, StepAttribution};
+pub use event::{EventKind, FallbackReason, Regime, SimEvent, StrideKind};
+pub use export::{chrome_trace_json, text_timeline};
+pub use record::{NullRecorder, Recorder, RingRecorder};

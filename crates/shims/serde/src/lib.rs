@@ -76,6 +76,18 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Converts a value into the [`Value`] tree.
 pub trait Serialize {
     /// Builds the value tree.

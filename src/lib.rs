@@ -14,6 +14,8 @@
 //! * [`mcu`] — MSP430-class MCU power model, gate, and peripherals.
 //! * [`workloads`] — the DE / SC / RT / PF benchmarks and their substrates.
 //! * [`buffers`] — static, REACT, Morphy, and extension buffer designs.
+//! * [`telemetry`] — structured event tracing, step attribution, and
+//!   timeline export for the simulation engine.
 //! * [`core`] — the simulator, experiment matrix, metrics, and reports.
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@ pub use react_core as core;
 pub use react_env as env;
 pub use react_harvest as harvest;
 pub use react_mcu as mcu;
+pub use react_telemetry as telemetry;
 pub use react_traces as traces;
 pub use react_units as units;
 pub use react_workloads as workloads;

@@ -109,6 +109,7 @@ fn checkpointed_fleet_resumes_bit_identical() {
             checkpoint: Some(path.clone()),
             max_shards: Some(3),
             parallel: false,
+            ..Default::default()
         },
     )
     .expect("partial run");
@@ -121,6 +122,7 @@ fn checkpointed_fleet_resumes_bit_identical() {
             checkpoint: Some(path.clone()),
             max_shards: None,
             parallel: true,
+            ..Default::default()
         },
     )
     .expect("resumed run");
