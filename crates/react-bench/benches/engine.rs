@@ -581,6 +581,81 @@ fn compare_then_bench(c: &mut Criterion) {
         steps_per_sec: rec_m.engine_steps as f64 / t_rec.max(1e-9),
     });
 
+    // 9. Plateau sleep-stride collapse: the two cells whose fine-step
+    // sinks the staged un-equalized solve, the guard-band microstate
+    // offset, and the Morphy idle dead-band bulk stride eliminated.
+    // react-plateau-sc parks REACT's equilibrium inside the ±20 mV
+    // comparator band under MCU sleep (formerly ~16k no-closed-form +
+    // ~3.5k guard-band fine steps per simulated hour); stormy-day's
+    // Morphy cell idles MCU-off between sparse boots. Baseline is the
+    // NoFastPath legacy kernel (no controller closed forms — every
+    // powered or idle span fine-steps); fast is the adaptive kernel
+    // with the full stride stack. Both serial.
+    let stride_cells = [
+        find_scenario("react-plateau-sc")
+            .expect("registry scenario")
+            .with_buffer(react_buffers::BufferKind::React),
+        find_scenario("stormy-day-morphy-de")
+            .expect("registry scenario")
+            .with_buffer(react_buffers::BufferKind::Morphy),
+    ];
+    let stride_cell = |sc: &react_core::Scenario, fast: bool| -> (RunMetrics, f64) {
+        let replay = react_harvest::PowerReplay::from_source(sc.source(), sc.converter.build());
+        let workload = sc.workload.build_streaming(sc.horizon, sc.workload_seed());
+        let start = Instant::now();
+        let metrics = if fast {
+            Simulator::new(replay, sc.buffer.build(), workload)
+                .with_timestep(sc.dt)
+                .with_horizon(sc.horizon)
+                .with_gate(sc.gate())
+                .run()
+                .metrics
+        } else {
+            Simulator::new(replay, NoFastPath(sc.buffer.build()), workload)
+                .with_timestep(sc.dt)
+                .with_horizon(sc.horizon)
+                .with_gate(sc.gate())
+                .run()
+                .metrics
+        };
+        (metrics, start.elapsed().as_secs_f64())
+    };
+    let mut t_stride_legacy = 0.0;
+    let mut t_stride_fast = 0.0;
+    let mut stride_legacy_steps = 0u64;
+    let mut stride_fast_steps = 0u64;
+    let mut stride_agree = true;
+    for sc in &stride_cells {
+        let (legacy_m, t_l) = stride_cell(sc, false);
+        let (fast_m, t_f) = stride_cell(sc, true);
+        t_stride_legacy += t_l;
+        t_stride_fast += t_f;
+        stride_legacy_steps += legacy_m.engine_steps;
+        stride_fast_steps += fast_m.engine_steps;
+        let (a, b) = (fast_m.ops_completed as f64, legacy_m.ops_completed as f64);
+        stride_agree &= (a - b).abs() <= 0.02 * a.max(b) + 2.0;
+    }
+    let stride_speedup = t_stride_legacy / t_stride_fast.max(1e-9);
+    let stride_collapse = stride_legacy_steps as f64 / stride_fast_steps.max(1) as f64;
+    report.push_str(&format!(
+        "\nplateau sleep-stride collapse (react-plateau-sc × REACT + stormy-day × Morphy)\n\
+         \x20 NoFastPath legacy (fine-steps all spans): {:>8.1} ms ({} steps)\n\
+         \x20 staged/guard-band/dead-band strides     : {:>8.1} ms ({} steps)\n\
+         \x20 stride speedup: {stride_speedup:.1}× wall-clock, {stride_collapse:.0}× fewer steps  \
+         (results agree: {stride_agree})\n",
+        t_stride_legacy * 1e3,
+        stride_legacy_steps,
+        t_stride_fast * 1e3,
+        stride_fast_steps,
+    ));
+    perf.scenarios.push(BenchScenario {
+        name: "plateau_sleep_stride".into(),
+        wall_ms_baseline: t_stride_legacy * 1e3,
+        wall_ms_fast: t_stride_fast * 1e3,
+        speedup: stride_speedup,
+        steps_per_sec: stride_fast_steps as f64 / t_stride_fast.max(1e-9),
+    });
+
     println!("{report}");
     save_artifact("engine", &report, None);
     save_bench_report("engine", &perf);

@@ -1,0 +1,374 @@
+//! CI kernel-overhead budget gate for the scenario matrix's
+//! step-attribution profile.
+//!
+//! Usage:
+//!   `attribution_gate <baseline.json> <current-attribution.json> [max-drift]`
+//!   `attribution_gate --write-baseline <path> <current-attribution.json>`
+//!
+//! The scenario conformance gate pins *what* the matrix computes; this
+//! gate pins *how hard the kernel works to compute it*. Each baseline
+//! entry budgets one fallback class — engine steps per simulated hour,
+//! either matrix-wide over the benign cells (`"cell": "*"`) or for one
+//! named cell — against the fresh `SCENARIO_attribution.json` the
+//! conformance gate just produced. Like `bench_gate`, the comparison is
+//! two-sided:
+//!
+//! * above the budget (more fine-stepping) — the kernel REGRESSED: a
+//!   change re-opened a fallback path that had been collapsed into
+//!   closed-form strides;
+//! * below the floor (much less fine-stepping) — the committed baseline
+//!   is STALE: the kernel got structurally leaner and the win must be
+//!   re-pinned (refresh `ci/attribution-baseline.json` with
+//!   `--write-baseline`), otherwise the slack would mask the next
+//!   regression.
+//!
+//! Class labels use the attribution table's vocabulary, e.g.
+//! `"sleep fine:guard-band"` or `"idle fine:transition-due"`.
+//! `fine:mcu-active` classes are workload-driven (the MCU really is
+//! awake), so `--write-baseline` does not budget them; coarse bins are
+//! the steps the kernel is *supposed* to take and are likewise not
+//! budgeted. Cells whose scenario runs an `attack/*` environment are
+//! excluded from the matrix-wide rows — adversarial fields exist to
+//! force fine-stepping, so they would drown the benign budget.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::process::ExitCode;
+
+use react_core::find_scenario;
+use serde::Value;
+
+/// Tolerated relative drift per entry (either direction) before the
+/// gate fails; overridable as the third CLI argument.
+const DEFAULT_MAX_DRIFT: f64 = 0.25;
+
+/// Absolute slack (steps per simulated hour) under which drift is
+/// always tolerated, so near-zero budgets (a fully collapsed class)
+/// don't flap on a single libm-shifted step.
+const ABS_SLACK_PER_HOUR: f64 = 60.0;
+
+/// Cell × class budgets always emitted by `--write-baseline`, on top
+/// of the matrix-wide rows: the named step sinks the staged solve, the
+/// guard-band microstate offset, and the idle dead-band bulk stride
+/// were built to collapse. Pinning them per cell keeps a regression in
+/// one sink from hiding inside the matrix-wide average.
+const PINNED_CELLS: &[(&str, &str)] = &[
+    ("react-plateau-sc/REACT/s0", "sleep fine:no-closed-form"),
+    ("react-plateau-sc/REACT/s0", "sleep fine:guard-band"),
+    ("stormy-day-morphy-de/Morphy/s1", "idle fine:transition-due"),
+];
+
+/// One parsed attribution cell from `SCENARIO_attribution.json`.
+struct Cell {
+    id: String,
+    scenario: String,
+    hours: f64,
+    /// `(regime, class)` → steps, e.g. `("sleep", "guard-band")`.
+    rows: Vec<(String, String, f64)>,
+}
+
+impl Cell {
+    /// Steps in one `(regime, class)` bin (absent bins are zero).
+    fn steps(&self, regime: &str, class: &str) -> f64 {
+        self.rows
+            .iter()
+            .filter(|(r, c, _)| r == regime && c == class)
+            .map(|(_, _, s)| *s)
+            .sum()
+    }
+
+    /// Benign = the registry scenario does not run an `attack/*`
+    /// environment (same predicate as the class-sinks table).
+    fn benign(&self) -> bool {
+        find_scenario(&self.scenario).is_none_or(|s| !s.env.label().starts_with("attack/"))
+    }
+}
+
+/// One baseline budget row.
+struct Entry {
+    /// Cell id, or `"*"` for the benign matrix-wide aggregate.
+    cell: String,
+    /// Class label, `"<regime> fine:<reason>"`.
+    class: String,
+    steps_per_hour: f64,
+}
+
+fn load_value(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_cells(v: &Value) -> Result<Vec<Cell>, String> {
+    let Value::Arr(items) = v else {
+        return Err("attribution JSON: expected a top-level array of cells".into());
+    };
+    let mut cells = Vec::with_capacity(items.len());
+    for item in items {
+        let get_str = |key: &str| -> Result<String, String> {
+            match item.field(key) {
+                Ok(Value::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("attribution cell: missing string field `{key}`")),
+            }
+        };
+        let attr = item
+            .field("attr")
+            .map_err(|e| format!("attribution cell: {e}"))?;
+        let seconds = match attr.field("total_seconds") {
+            Ok(Value::Num(n)) => *n,
+            _ => return Err("attribution cell: missing attr.total_seconds".into()),
+        };
+        let mut rows = Vec::new();
+        if let Ok(Value::Arr(raw_rows)) = attr.field("rows") {
+            for row in raw_rows {
+                let field_str = |key: &str| match row.field(key) {
+                    Ok(Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                };
+                let steps = match row.field("steps") {
+                    Ok(Value::Num(n)) => *n,
+                    _ => continue,
+                };
+                if let (Some(regime), Some(class)) = (field_str("regime"), field_str("class")) {
+                    rows.push((regime, class, steps));
+                }
+            }
+        }
+        cells.push(Cell {
+            id: get_str("id")?,
+            scenario: get_str("scenario")?,
+            hours: seconds / 3600.0,
+            rows,
+        });
+    }
+    Ok(cells)
+}
+
+fn parse_baseline(v: &Value) -> Result<Vec<Entry>, String> {
+    let entries = v.field("entries").map_err(|e| format!("baseline: {e}"))?;
+    let Value::Arr(items) = entries else {
+        return Err("baseline: `entries` must be an array".into());
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let get_str = |key: &str| match item.field(key) {
+            Ok(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("baseline entry: missing string field `{key}`")),
+        };
+        let steps_per_hour = match item.field("steps_per_hour") {
+            Ok(Value::Num(n)) => *n,
+            _ => return Err("baseline entry: missing numeric `steps_per_hour`".into()),
+        };
+        out.push(Entry {
+            cell: get_str("cell")?,
+            class: get_str("class")?,
+            steps_per_hour,
+        });
+    }
+    Ok(out)
+}
+
+/// Splits `"sleep fine:guard-band"` into `("sleep", "guard-band")`.
+fn split_class(label: &str) -> Result<(&str, &str), String> {
+    label
+        .split_once(" fine:")
+        .ok_or_else(|| format!("class label {label:?} is not `<regime> fine:<reason>`"))
+}
+
+/// The measured rate for one baseline entry, or `None` when a named
+/// cell is missing from the current report.
+fn measure(cells: &[Cell], entry_cell: &str, regime: &str, class: &str) -> Option<f64> {
+    if entry_cell == "*" {
+        let (mut steps, mut hours) = (0.0, 0.0);
+        for c in cells.iter().filter(|c| c.benign()) {
+            steps += c.steps(regime, class);
+            hours += c.hours;
+        }
+        return Some(if hours > 0.0 { steps / hours } else { 0.0 });
+    }
+    cells.iter().find(|c| c.id == entry_cell).map(|c| {
+        if c.hours > 0.0 {
+            // `+ 0.0` normalizes the negative zero an absent bin's
+            // empty sum can produce.
+            c.steps(regime, class) / c.hours + 0.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Emits a fresh baseline from the current attribution: matrix-wide
+/// rows for every benign fallback class (except `mcu-active`), plus
+/// the pinned per-cell sinks.
+fn write_baseline(path: &str, cells: &[Cell]) -> Result<(), String> {
+    let mut classes: Vec<(String, String)> = Vec::new();
+    for c in cells.iter().filter(|c| c.benign()) {
+        for (regime, class, _) in &c.rows {
+            if class == "coarse" || class == "mcu-active" {
+                continue;
+            }
+            let key = (regime.clone(), class.clone());
+            if !classes.contains(&key) {
+                classes.push(key);
+            }
+        }
+    }
+    classes.sort();
+
+    let entry = |cell: &str, label: &str, rate: f64| {
+        // `+ 0.0` normalizes a negative zero out of the rounding.
+        let rounded = (rate * 10.0).round() / 10.0 + 0.0;
+        Value::Obj(vec![
+            ("cell".to_string(), Value::Str(cell.to_string())),
+            ("class".to_string(), Value::Str(label.to_string())),
+            ("steps_per_hour".to_string(), Value::Num(rounded)),
+        ])
+    };
+    let mut entries = Vec::new();
+    for (regime, class) in &classes {
+        let label = format!("{regime} fine:{class}");
+        if let Some(rate) = measure(cells, "*", regime, class) {
+            entries.push(entry("*", &label, rate));
+        }
+    }
+    for (cell, label) in PINNED_CELLS {
+        let (regime, class) = split_class(label)?;
+        match measure(cells, cell, regime, class) {
+            Some(rate) => entries.push(entry(cell, label, rate)),
+            None => return Err(format!("pinned cell {cell} missing from the report")),
+        }
+    }
+    let doc = Value::Obj(vec![
+        (
+            "comment".to_string(),
+            Value::Str(
+                "Kernel-overhead budget: fallback fine-steps per simulated hour over the \
+                 benign scenario matrix. Refresh with `attribution_gate --write-baseline` \
+                 after an intentional kernel change."
+                    .to_string(),
+            ),
+        ),
+        ("entries".to_string(), Value::Arr(entries)),
+    ]);
+    let json = serde_json::to_string(&doc).map_err(|e| format!("serialize baseline: {e:?}"))?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+    println!("attribution_gate: baseline written to {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+
+    if args.get(1).map(String::as_str) == Some("--write-baseline") {
+        let (Some(out), Some(cur)) = (args.get(2), args.get(3)) else {
+            eprintln!("usage: attribution_gate --write-baseline <path> <current-attribution.json>");
+            return ExitCode::from(2);
+        };
+        let result = load_value(cur)
+            .and_then(|v| parse_cells(&v))
+            .and_then(|cells| write_baseline(out, &cells));
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("attribution_gate: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if args.len() < 3 {
+        eprintln!("usage: attribution_gate <baseline.json> <current-attribution.json> [max-drift]");
+        return ExitCode::from(2);
+    }
+    let max_drift: f64 = match args.get(3) {
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("attribution_gate: max-drift must be a number, got {s:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_MAX_DRIFT,
+    };
+
+    let loaded = (
+        load_value(&args[1]).and_then(|v| parse_baseline(&v)),
+        load_value(&args[2]).and_then(|v| parse_cells(&v)),
+    );
+    let (baseline, cells) = match loaded {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("attribution_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut offenders: Vec<String> = Vec::new();
+    println!(
+        "{:<34} {:<28} {:>10} {:>10} {:>10}  verdict",
+        "cell", "class", "base/h", "cur/h", "slack/h"
+    );
+    for entry in &baseline {
+        let (regime, class) = match split_class(&entry.class) {
+            Ok(pair) => pair,
+            Err(e) => {
+                offenders.push(format!("{}: {e}", entry.cell));
+                continue;
+            }
+        };
+        let slack = (entry.steps_per_hour * max_drift).max(ABS_SLACK_PER_HOUR);
+        match measure(&cells, &entry.cell, regime, class) {
+            Some(cur) => {
+                let verdict = if cur > entry.steps_per_hour + slack {
+                    offenders.push(format!(
+                        "{} {}: {:.1} steps/h exceeds the {:.1}/h budget (+{:.1}/h slack) — \
+                         kernel-overhead regression, a collapsed fallback path re-opened",
+                        entry.cell, entry.class, cur, entry.steps_per_hour, slack
+                    ));
+                    "REGRESSED"
+                } else if cur < entry.steps_per_hour - slack {
+                    offenders.push(format!(
+                        "{} {}: {:.1} steps/h is far below the {:.1}/h budget (−{:.1}/h slack) — \
+                         baseline is stale, re-pin the win: attribution_gate --write-baseline \
+                         ci/attribution-baseline.json <current-attribution.json>",
+                        entry.cell, entry.class, cur, entry.steps_per_hour, slack
+                    ));
+                    "STALE BASELINE"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:<34} {:<28} {:>10.1} {:>10.1} {:>10.1}  {verdict}",
+                    entry.cell, entry.class, entry.steps_per_hour, cur, slack
+                );
+            }
+            None => {
+                offenders.push(format!(
+                    "{} {}: cell missing from the current attribution report",
+                    entry.cell, entry.class
+                ));
+                println!(
+                    "{:<34} {:<28} {:>10.1} {:>10} {:>10.1}  MISSING",
+                    entry.cell, entry.class, entry.steps_per_hour, "-", slack
+                );
+            }
+        }
+    }
+
+    if offenders.is_empty() {
+        println!(
+            "attribution_gate: all {} class budgets within ±{:.0}% (abs slack {:.0}/h)",
+            baseline.len(),
+            max_drift * 100.0,
+            ABS_SLACK_PER_HOUR
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("attribution_gate: {} budget(s) violated:", offenders.len());
+        for o in &offenders {
+            eprintln!("  {o}");
+        }
+        ExitCode::FAILURE
+    }
+}

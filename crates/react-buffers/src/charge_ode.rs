@@ -912,6 +912,53 @@ pub fn integrate_powered_quantized(
     Some((t_adv, fin))
 }
 
+/// Meet time of two *decoupled* trajectories: a bank charging from
+/// `v_bank` under `bank` (diode-isolated, so it takes the whole
+/// harvester input and no load) and a pack starting at `v_pack > v_bank`
+/// under `pack` (load + overhead, no input). This is REACT's
+/// un-equalized sleep state: the output diode blocks until the bank
+/// terminal rises to the falling pack voltage, at which point the two
+/// couple and move as one combined capacitor. Returns the first `t ≤
+/// horizon` with `v_bank(t) ≥ v_pack(t)`, or `None` when the
+/// trajectories do not meet within the horizon (or either closed form
+/// declines).
+///
+/// Both trajectories have exact closed forms, so the crossing is found
+/// by bisection on the *gap* `v_bank(t) − v_pack(t)` — each probe is two
+/// O(regimes) solver calls, not a simulation. The gap is negative at 0
+/// by precondition; the bracket `[lo, hi]` maintains `gap(lo) < 0 ≤
+/// gap(hi)`, so the returned time errs at most `horizon·2⁻⁵⁰` late —
+/// callers quantize it up onto the fine-step grid anyway.
+pub fn staged_meet_time(
+    bank: &ChargeOde,
+    v_bank: f64,
+    pack: &PoweredOde,
+    v_pack: f64,
+    horizon: f64,
+) -> Option<f64> {
+    if !horizon.is_finite() || horizon <= 0.0 || v_bank >= v_pack {
+        return None;
+    }
+    let gap = |t: f64| -> Option<f64> {
+        let vb = integrate(bank, v_bank, t, None)?.v_final;
+        let vp = integrate_powered(pack, v_pack, t, f64::NEG_INFINITY, None)?.v_final;
+        Some(vb - vp)
+    };
+    if gap(horizon)? < 0.0 {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0_f64, horizon);
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if gap(mid)? < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

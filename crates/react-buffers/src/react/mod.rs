@@ -23,11 +23,27 @@ use react_telemetry::FallbackReason;
 use react_units::{Amps, Coulombs, Farads, Joules, Seconds, Volts, Watts};
 
 use crate::charge_ode::{self, ChargeOde};
-use crate::{power_intake, EnergyBuffer};
+use crate::{power_intake, EnergyBuffer, CHARGE_CURRENT_LIMIT, CONVERSION_FLOOR};
 
 /// Rail voltage above which the comparators and instrumentation draw
 /// their quiescent power.
 const INSTRUMENTATION_FLOOR: f64 = 0.5;
+
+/// Residual comparator ambiguity (V) around `v_high`/`v_low` where the
+/// reconstructed LLB reading is not trusted to resolve a poll: the
+/// microstate-offset reconstruction is accurate to the fine-step churn's
+/// step-to-step spread (a load-dip plus one input deposit across the
+/// LLB, well under a millivolt at sleep currents), so only polls this
+/// close to a threshold still refuse the closed-form stride.
+const RESIDUAL_GUARD: f64 = 0.002;
+
+/// Input-power ceiling (W) for the staged un-equalized solve. The
+/// staged closed forms carry residual discretization error that grows
+/// with the square of the harvest power; below this ceiling the error
+/// is sub-microvolt over minutes-long strides, above it the fine-step
+/// reference is both exact and cheap (high power means imminent
+/// reconfigurations, so strides would be short regardless).
+const STAGED_INPUT_MAX: f64 = 2.0e-4;
 
 /// The REACT buffer: LLB + banks + instrumentation + controller FSM.
 #[derive(Clone, Debug)]
@@ -195,7 +211,14 @@ impl ReactBuffer {
     /// One software poll (§3.4): read the comparators, step the bank
     /// state machine.
     fn poll_controller(&mut self) {
-        let v = self.llb.voltage();
+        self.poll_controller_at(self.llb.voltage());
+    }
+
+    /// One software poll resolved against an explicit comparator
+    /// reading: the closed-form strides pass the *reconstructed* LLB
+    /// voltage (committed pack average plus the tracked microstate
+    /// offset) since the committed state only carries the average.
+    fn poll_controller_at(&mut self, v: Volts) {
         if v >= self.config.v_high {
             self.step_up();
         } else if v <= self.config.v_low {
@@ -259,6 +282,483 @@ impl ReactBuffer {
                 BankMode::Disconnected => continue,
             }
         }
+    }
+
+    /// Staged closed-form sleep integration for the *un-equalized* bank
+    /// state: one or more connected banks sit below the pack (freshly
+    /// connected drained banks still charging up behind their blocking
+    /// output diodes). While the diodes block, the circuit is a set of
+    /// decoupled closed-form trajectories — the input diodes route the
+    /// whole harvester intake to the *charging front* (the lowest-voltage
+    /// banks, which the per-step routing keeps level, so they charge as
+    /// one combined capacitance), every other low bank decays on its own
+    /// leak, and the LLB plus the already-equalized banks drain under the
+    /// sleep load and overhead. The stride walks poll-to-poll committing
+    /// all trajectories, bulk-striding the comparator dead band exactly
+    /// like the equalized path, and cuts every span at the earliest
+    /// predicted topology event: the front absorbing the next-lowest
+    /// bank, or a diode-coupling with the falling pack (from either
+    /// side). On coupling, `drain_banks_into_llb` equalizes the met pair
+    /// — booking the (second-order, quantization-sized) loss through the
+    /// same ∫q·dt energy closure the fine-step reference uses — and the
+    /// remainder of the stride re-enters `powered_advance`, which
+    /// re-partitions the (smaller) un-equalized set or continues in the
+    /// equalized combined-capacitor form.
+    #[allow(clippy::too_many_arguments)]
+    fn staged_powered_advance(
+        &mut self,
+        mut lows: Vec<usize>,
+        input: Watts,
+        load: Amps,
+        duration: Seconds,
+        v_stop: Volts,
+        v_wake: Option<Volts>,
+        fine_dt: Seconds,
+    ) -> Option<Seconds> {
+        let vs = v_stop.get();
+        let vw = v_wake.map(Volts::get);
+        let total = duration.get();
+        let dt = fine_dt.get();
+
+        // The pack: LLB plus every connected bank already equalized
+        // with it (the low banks are excluded by construction).
+        let pack: Vec<usize> = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| !lows.contains(i) && b.mode() != BankMode::Disconnected)
+            .map(|(i, _)| i)
+            .collect();
+        let llb_spec = *self.llb.spec();
+        let llb_v = self.llb.voltage().get();
+        let mut c_pack = llb_spec.capacitance.get();
+        let mut g_pack = charge_ode::leakage_conductance(&llb_spec.leakage);
+        let mut charge = c_pack * llb_v;
+        for &i in &pack {
+            let unit = self.banks[i].spec().unit;
+            let k = charge_ode::leakage_conductance(&unit.leakage) / unit.capacitance.get();
+            let c_term = self.banks[i].terminal_capacitance().get();
+            charge += c_term * self.banks[i].terminal_voltage().get();
+            c_pack += c_term;
+            g_pack += k * c_term;
+        }
+        let mut v_pack = charge / c_pack;
+        // LLB microstate offset for comparator reconstruction, exactly
+        // as in the equalized path.
+        let llb_offset = llb_v - v_pack;
+
+        // Low banks ascending by terminal voltage; per-bank terminal
+        // capacitance and leak rate ride along.
+        lows.sort_by(|&a, &b| {
+            self.banks[a]
+                .terminal_voltage()
+                .get()
+                .total_cmp(&self.banks[b].terminal_voltage().get())
+        });
+        let mut low_v: Vec<f64> = lows
+            .iter()
+            .map(|&i| self.banks[i].terminal_voltage().get())
+            .collect();
+        let low_c: Vec<f64> = lows
+            .iter()
+            .map(|&i| self.banks[i].terminal_capacitance().get())
+            .collect();
+        let low_k: Vec<f64> = lows
+            .iter()
+            .map(|&i| {
+                let unit = self.banks[i].spec().unit;
+                charge_ode::leakage_conductance(&unit.leakage) / unit.capacitance.get()
+            })
+            .collect();
+        // The charging front: `lows[..front_len]` share the lowest
+        // voltage and split the harvester intake, so they charge as one
+        // combined capacitance at `v_front`.
+        let mut front_len = 1usize;
+        let mut v_front = low_v[0];
+
+        // The powered stride only runs while the MCU is on (see the
+        // equalized path).
+        self.mcu_was_running = true;
+
+        let p_in = input.get().max(0.0);
+        let i_load = load.get().max(0.0);
+        // The overhead draw scales with every *connected* bank,
+        // including the ones still charging up.
+        let overhead = self.config.instrumentation_overhead.get()
+            + self.config.overhead_per_bank.get() * (pack.len() + lows.len()) as f64;
+        let pack_ode = charge_ode::PoweredOde {
+            c: c_pack,
+            g: g_pack,
+            v_max: llb_spec.max_voltage.get(),
+            p_in: 0.0,
+            i_load,
+            p_drain: overhead,
+            v_drain_min: INSTRUMENTATION_FLOOR,
+        };
+        let rail_clamp = self.config.rail_clamp.get();
+        let front_ode = |n: usize| {
+            let c: f64 = low_c[..n].iter().sum();
+            let g: f64 = low_c[..n].iter().zip(&low_k[..n]).map(|(c, k)| c * k).sum();
+            ChargeOde {
+                c,
+                g,
+                v_max: rail_clamp,
+                p_in,
+                p_drain: 0.0,
+                v_drain_min: f64::INFINITY,
+            }
+        };
+        // The fine reference deposits each step's intake charge at the
+        // step-*start* voltage, so every Euler step books a `dq²/2C`
+        // quadrature excess over the continuous closed form — material
+        // on a small, low-voltage charging front (`dq ∝ 1/v`). Summed
+        // along the front's own trajectory the excess has closed forms
+        // per converter regime: `i²·dt·t/2C` through the
+        // constant-current region and `(p·dt/4)·ln(v1²/v0²)` through
+        // constant-power. Booking it keeps staged strides step-faithful
+        // to the reference discretization.
+        let euler_intake_excess = |v0: f64, v1: f64, c: f64| -> f64 {
+            if p_in <= 0.0 || v1 <= v0 || c <= 0.0 {
+                return 0.0;
+            }
+            let v_floor = CONVERSION_FLOOR.get();
+            let i_limit = CHARGE_CURRENT_LIMIT.get();
+            let i_cc = (p_in / v_floor).min(i_limit);
+            let v_cc = v_floor.max(p_in / i_limit);
+            let mut excess = 0.0;
+            let v_cc_end = v1.min(v_cc);
+            if v0 < v_cc_end {
+                let t_cc = c * (v_cc_end - v0) / i_cc;
+                excess += i_cc * i_cc * dt * t_cc / (2.0 * c);
+            }
+            let va = v0.max(v_cc);
+            if v1 > va {
+                excess += p_in * dt * 0.25 * ((v1 * v1) / (va * va)).ln();
+            }
+            excess
+        };
+
+        // Books one decoupled span: the pack and the front land on
+        // their own closed-form finals, the remaining low banks decay
+        // on their leaks, and the ledger closes against the committed
+        // energies exactly (∫q·dt = ΔE on each trajectory, summed).
+        macro_rules! commit_staged {
+            ($pack_fin:expr, $front_fin:expr, $t_adv:expr) => {{
+                let pack_fin = $pack_fin;
+                let front_fin = $front_fin;
+                let t_adv = $t_adv;
+                let group_energy = |banks: &[SeriesParallelBank]| -> Joules {
+                    pack.iter()
+                        .chain(lows.iter())
+                        .map(|&i| banks[i].stored_energy())
+                        .sum()
+                };
+                let set_terminal = |bank: &mut SeriesParallelBank, v: f64| {
+                    let unit_v = match bank.mode() {
+                        BankMode::Series => v / bank.spec().count as f64,
+                        BankMode::Parallel => v,
+                        BankMode::Disconnected => unreachable!("staged banks are connected"),
+                    };
+                    bank.set_unit_voltage(Volts::new(unit_v));
+                };
+                let e_before = self.llb.energy() + group_energy(&self.banks);
+                self.llb.set_voltage(Volts::new(pack_fin.v_final));
+                for &i in &pack {
+                    set_terminal(&mut self.banks[i], pack_fin.v_final);
+                }
+                for j in 0..front_len {
+                    set_terminal(&mut self.banks[lows[j]], front_fin.v_final);
+                }
+                // Low banks behind both blocking diodes just leak; the
+                // drop is booked so the gross-delivery closure below
+                // stays an identity.
+                let mut decay_leaked = 0.0;
+                for j in front_len..lows.len() {
+                    let i = lows[j];
+                    let e_b = self.banks[i].stored_energy();
+                    low_v[j] *= (-low_k[j] * t_adv).exp();
+                    set_terminal(&mut self.banks[i], low_v[j]);
+                    decay_leaked += (e_b - self.banks[i].stored_energy()).get();
+                }
+                let e_after = self.llb.energy() + group_energy(&self.banks);
+                let delta_e = (e_after - e_before).get();
+                let leaked = pack_fin.leaked + front_fin.leaked + decay_leaked;
+                let clipped = pack_fin.clipped + front_fin.clipped;
+                let delivered_gross =
+                    (delta_e + leaked + pack_fin.load_consumed + pack_fin.drained + clipped)
+                        .max(0.0);
+                self.ledger.leaked += Joules::new(leaked);
+                self.ledger.load_consumed += Joules::new(pack_fin.load_consumed);
+                self.ledger.overhead_consumed += Joules::new(pack_fin.drained);
+                self.ledger.clipped += Joules::new(clipped);
+                self.ledger.delivered += Joules::new(delivered_gross - clipped);
+                self.ledger.harvested += Joules::new(delivered_gross);
+                for (i, bank) in self.banks.iter_mut().enumerate() {
+                    if pack.contains(&i) || lows.contains(&i) {
+                        continue;
+                    }
+                    let unit = bank.spec().unit;
+                    let k = charge_ode::leakage_conductance(&unit.leakage) / unit.capacitance.get();
+                    if k > 0.0 && bank.unit_voltage().get() > 0.0 {
+                        let e_b = bank.stored_energy();
+                        let v_unit = bank.unit_voltage().get() * (-k * t_adv).exp();
+                        bank.set_unit_voltage(Volts::new(v_unit));
+                        self.ledger.leaked += e_b - bank.stored_energy();
+                    }
+                }
+                self.note_dwell(t_adv);
+                v_pack = pack_fin.v_final;
+                v_front = front_fin.v_final;
+            }};
+        }
+
+        // Topology events resolve once trajectories are within the
+        // equalization sweep's own epsilon of each other.
+        const MEET_EPS: f64 = 1e-6;
+        // Quantize a predicted event time up onto the step grid.
+        let quantize_meet = |meet: Option<f64>, horizon: f64| -> f64 {
+            match meet {
+                Some(t) => ((t / dt).ceil() * dt).max(dt).min(horizon),
+                None => horizon,
+            }
+        };
+
+        let period = self.config.poll_period.get();
+        let mut elapsed = 0.0_f64;
+        let mut refusal = FallbackReason::TransitionDue;
+        let mut coupled = false;
+        while elapsed < total {
+            // The front absorbs the next-lowest bank once level with it
+            // (per-step routing alternates deposits between them, which
+            // is charge-equivalent to charging the merged capacitance).
+            while front_len < lows.len() && v_front >= low_v[front_len] - MEET_EPS {
+                let c_f: f64 = low_c[..front_len].iter().sum();
+                let j = front_len;
+                v_front = (c_f * v_front + low_c[j] * low_v[j]) / (c_f + low_c[j]);
+                front_len += 1;
+            }
+            if v_pack <= vs || vw.is_some_and(|vw| v_pack >= vw) {
+                break;
+            }
+            // Diode coupling: the front caught the falling pack, or the
+            // pack fell onto a decaying low bank. Either way that output
+            // diode conducts and the decoupled forms are stale.
+            if v_front >= v_pack - MEET_EPS
+                || (front_len < lows.len() && low_v[lows.len() - 1] >= v_pack - MEET_EPS)
+            {
+                coupled = true;
+                break;
+            }
+
+            // The earliest predicted topology event bounds every span
+            // this iteration integrates.
+            let fr_ode = front_ode(front_len);
+            let event_cut = |h: f64| -> f64 {
+                let mut cut = quantize_meet(
+                    charge_ode::staged_meet_time(&fr_ode, v_front, &pack_ode, v_pack, h),
+                    h,
+                );
+                if front_len < lows.len() {
+                    let j = front_len;
+                    let next_fall = charge_ode::PoweredOde {
+                        c: low_c[j],
+                        g: low_c[j] * low_k[j],
+                        v_max: rail_clamp,
+                        p_in: 0.0,
+                        i_load: 0.0,
+                        p_drain: 0.0,
+                        v_drain_min: f64::INFINITY,
+                    };
+                    cut = cut.min(quantize_meet(
+                        charge_ode::staged_meet_time(&fr_ode, v_front, &next_fall, low_v[j], h),
+                        h,
+                    ));
+                    let top = lows.len() - 1;
+                    let top_rise = ChargeOde {
+                        c: low_c[top],
+                        g: low_c[top] * low_k[top],
+                        v_max: rail_clamp,
+                        p_in: 0.0,
+                        p_drain: 0.0,
+                        v_drain_min: f64::INFINITY,
+                    };
+                    cut = cut.min(quantize_meet(
+                        charge_ode::staged_meet_time(&top_rise, low_v[top], &pack_ode, v_pack, h),
+                        h,
+                    ));
+                }
+                cut
+            };
+
+            // 0. Comparator dead band, in bulk — same guard bounds as
+            // the equalized path, additionally cut at the predicted
+            // topology events.
+            const BAND_GUARD: f64 = 0.02;
+            let band_lo = (self.config.v_low.get() + BAND_GUARD).max(vs);
+            let band_hi = self.config.v_high.get() - BAND_GUARD;
+            let band_stop_up = vw.map_or(band_hi, |vw| vw.min(band_hi));
+            let whole = (((total - elapsed) / dt).floor() * dt).max(0.0);
+            if v_pack > band_lo && v_pack < band_stop_up && whole > 3.0 * period {
+                let window = event_cut(whole);
+                if window > 3.0 * period {
+                    if let Some((t_adv, pack_fin)) = charge_ode::integrate_powered_quantized(
+                        &pack_ode,
+                        v_pack,
+                        window,
+                        band_lo,
+                        Some(band_stop_up),
+                        dt,
+                    ) {
+                        if t_adv > 2.0 * period {
+                            let Some(mut front_fin) =
+                                charge_ode::integrate(&fr_ode, v_front, t_adv, None)
+                            else {
+                                refusal = FallbackReason::NoClosedForm;
+                                break;
+                            };
+                            if front_fin.clipped == 0.0 {
+                                let e = euler_intake_excess(v_front, front_fin.v_final, fr_ode.c);
+                                front_fin.v_final = (front_fin.v_final * front_fin.v_final
+                                    + 2.0 * e / fr_ode.c)
+                                    .sqrt()
+                                    .min(rail_clamp);
+                            }
+                            commit_staged!(pack_fin, front_fin, t_adv);
+                            let steps = (t_adv / dt).round() as u64;
+                            self.poll_acc = Seconds::new(crate::bulk_poll_acc(
+                                self.poll_acc.get(),
+                                steps,
+                                dt,
+                                period,
+                            ));
+                            elapsed += t_adv;
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // 1. Replay the controller's per-step bookkeeping to find
+            // how many fine steps remain until the next poll fires.
+            let mut acc = self.poll_acc.get();
+            let mut sim_elapsed = elapsed;
+            let mut seg_steps = 0usize;
+            while sim_elapsed < total {
+                let h = dt.min(total - sim_elapsed);
+                sim_elapsed += h;
+                acc += h;
+                seg_steps += 1;
+                if acc >= period {
+                    break;
+                }
+            }
+            let seg_polls = acc >= period;
+            let seg_horizon = sim_elapsed - elapsed;
+
+            // 2. All decoupled closed forms over the segment, cut at
+            // the earliest topology event so no committed span ever
+            // integrates past a routing or coupling change.
+            let horizon_eff = event_cut(seg_horizon);
+            let Some((t_adv, pack_fin)) =
+                charge_ode::integrate_powered_quantized(&pack_ode, v_pack, horizon_eff, vs, vw, dt)
+            else {
+                refusal = FallbackReason::NoClosedForm;
+                break;
+            };
+            if t_adv <= 0.0 {
+                refusal = FallbackReason::NoClosedForm;
+                break;
+            }
+            let (steps_taken, finished_segment) = if t_adv >= seg_horizon - 1e-15 {
+                (seg_steps, true)
+            } else {
+                ((t_adv / dt).round().max(1.0) as usize, false)
+            };
+            let Some(mut front_fin) = charge_ode::integrate(&fr_ode, v_front, t_adv, None) else {
+                refusal = FallbackReason::NoClosedForm;
+                break;
+            };
+            if front_fin.clipped == 0.0 {
+                let e = euler_intake_excess(v_front, front_fin.v_final, fr_ode.c);
+                front_fin.v_final = (front_fin.v_final * front_fin.v_final + 2.0 * e / fr_ode.c)
+                    .sqrt()
+                    .min(rail_clamp);
+            }
+
+            // Guard band: resolve the poll against the reconstructed
+            // LLB voltage; only the residual sliver still refuses.
+            let v_poll = pack_fin.v_final + llb_offset;
+            if seg_polls
+                && finished_segment
+                && ((v_poll - self.config.v_high.get()).abs() < RESIDUAL_GUARD
+                    || (v_poll - self.config.v_low.get()).abs() < RESIDUAL_GUARD)
+            {
+                if elapsed == 0.0 {
+                    self.fallback = Some(FallbackReason::GuardBand);
+                    return None;
+                }
+                refusal = FallbackReason::GuardBand;
+                break;
+            }
+
+            // 3. Commit every trajectory and the energy books.
+            commit_staged!(pack_fin, front_fin, t_adv);
+
+            // 4. Controller bookkeeping; a poll can only land on the
+            // segment's last step.
+            let mut fire = false;
+            for _ in 0..steps_taken {
+                let h = dt.min(total - elapsed);
+                elapsed += h;
+                self.poll_acc += Seconds::new(h);
+                if self.poll_acc >= self.config.poll_period {
+                    self.poll_acc = Seconds::ZERO;
+                    fire = true;
+                }
+            }
+            if fire && finished_segment {
+                let before = self.reconfigurations;
+                self.poll_controller_at(Volts::new(v_pack + llb_offset));
+                if self.reconfigurations != before {
+                    self.drain_banks_into_llb();
+                    // Bank topology changed: every trajectory is
+                    // stale, so hand control back to the kernel.
+                    break;
+                }
+            }
+        }
+
+        if coupled && elapsed < total {
+            // A diode conducts: equalize the met pair (booking the
+            // quantization-sized second-order loss through the
+            // reference's own diode-loss closure) and continue the
+            // stride from the re-partitioned state.
+            self.drain_banks_into_llb();
+            return match self.powered_advance(
+                input,
+                load,
+                Seconds::new(total - elapsed),
+                v_stop,
+                v_wake,
+                fine_dt,
+            ) {
+                Some(rest) => Some(Seconds::new(elapsed) + rest),
+                // The re-partitioned walk refused from the
+                // post-coupling state; the staged prefix still
+                // advanced, so commit it and let the kernel re-stride
+                // (clearing the refusal the inner call recorded — this
+                // stride is not refused).
+                None if elapsed > 0.0 => {
+                    self.fallback = None;
+                    Some(Seconds::new(elapsed))
+                }
+                None => None,
+            };
+        }
+        if elapsed == 0.0 {
+            self.fallback = Some(refusal);
+        }
+        Some(Seconds::new(elapsed))
     }
 }
 
@@ -500,9 +1000,12 @@ impl EnergyBuffer for ReactBuffer {
         // Diode-coupled steady state: the fine-step loop's per-step
         // interleaving (load draw → bank equalization → deposit into
         // the lowest element) keeps every connected bank within one
-        // step's deposit of the LLB. Anything further out — a freshly
-        // connected drained bank still charging up to the rail — is a
-        // genuinely decoupled state with no closed form.
+        // step's deposit of the LLB. A bank sitting *below* that band —
+        // a freshly connected drained bank still charging up behind its
+        // blocking output diode — is a genuinely decoupled state, which
+        // the staged two-trajectory solve handles; a bank pinned *above*
+        // the LLB (forced test states — continuous diode conduction
+        // would have equalized it) has no closed form.
         let llb_v = self.llb.voltage().get();
         let connected: Vec<usize> = self
             .banks
@@ -511,12 +1014,36 @@ impl EnergyBuffer for ReactBuffer {
             .filter(|(_, b)| b.mode() != BankMode::Disconnected)
             .map(|(i, _)| i)
             .collect();
-        for &i in &connected {
-            let vt = self.banks[i].terminal_voltage().get();
-            if (vt - llb_v).abs() > 0.01 * llb_v.abs().max(1.0) {
+        let equalize_tol = 0.01 * llb_v.abs().max(1.0);
+        let low_banks: Vec<usize> = connected
+            .iter()
+            .copied()
+            .filter(|&i| self.banks[i].terminal_voltage().get() < llb_v - equalize_tol)
+            .collect();
+        if connected
+            .iter()
+            .any(|&i| self.banks[i].terminal_voltage().get() > llb_v + equalize_tol)
+        {
+            self.fallback = Some(FallbackReason::NoClosedForm);
+            return None;
+        }
+        if !low_banks.is_empty() {
+            // The staged decoupled solve only engages at micro-power
+            // intake. Its per-step discretization corrections (the
+            // charging front's `dq²/2C` quadrature) scale with the
+            // *square* of the input power, so at trickle currents —
+            // the plateau-parked regime it exists for — the closed
+            // forms track the fine reference to sub-microvolt, while
+            // during harvest bursts the un-equalized state fine-steps
+            // exactly like the reference (bursts also reconfigure the
+            // banks within a poll or two, so there is no long stride
+            // to win there anyway).
+            if input.get() > STAGED_INPUT_MAX {
                 self.fallback = Some(FallbackReason::NoClosedForm);
                 return None;
             }
+            return self
+                .staged_powered_advance(low_banks, input, load, duration, v_stop, v_wake, fine_dt);
         }
 
         // Enter the stride from the charge-weighted combined voltage
@@ -538,6 +1065,16 @@ impl EnergyBuffer for ReactBuffer {
             }
             num / den
         };
+
+        // LLB microstate offset: the combined capacitor reproduces the
+        // *pack average*, but the 10 Hz comparator reads the LLB
+        // specifically, which the fine-step churn (load dip →
+        // re-equalization → input deposit) holds a quasi-stationary few
+        // mV off the average. The offset at entry — left behind by the
+        // genuine microdynamics of the preceding fine steps, under the
+        // same input/load this stride integrates — reconstructs the
+        // comparator's reading at every in-stride poll.
+        let llb_offset = llb_v - v_cur;
 
         // The powered stride only runs while the MCU is on; keep the
         // normally-open-switch bookkeeping consistent for the next
@@ -719,26 +1256,27 @@ impl EnergyBuffer for ReactBuffer {
                 ((t_adv / dt).round().max(1.0) as usize, false)
             };
 
-            // Comparator guard band: with banks connected, the combined
-            // capacitor reproduces the *pack average*, but the 10 Hz
-            // poll reads the LLB specifically — which sits within one
-            // step-deposit (a few mV) of the average in the fine-step
-            // loop's churn. That bias is invisible except exactly at
-            // the comparator thresholds, where it can flip a
-            // reconfiguration decision, so a poll landing inside the
-            // band runs on fine steps (which *are* the reference
-            // microdynamics) instead.
+            // Comparator guard band: polls landing near a threshold
+            // resolve against the *reconstructed* LLB voltage (pack
+            // average plus the tracked microstate offset) instead of
+            // refusing the whole ±20 mV band. Only a residual sliver —
+            // where the reconstruction error (the churn's step-to-step
+            // spread, well under a millivolt at sleep currents) could
+            // genuinely flip the comparator — still falls back to fine
+            // steps, which are the reference microdynamics.
             const THRESHOLD_GUARD: f64 = 0.02;
+            let v_poll = fin.v_final + llb_offset;
             if seg_polls
                 && finished_segment
                 && !connected.is_empty()
-                && ((fin.v_final - self.config.v_high.get()).abs() < THRESHOLD_GUARD
-                    || (fin.v_final - self.config.v_low.get()).abs() < THRESHOLD_GUARD)
+                && ((v_poll - self.config.v_high.get()).abs() < RESIDUAL_GUARD
+                    || (v_poll - self.config.v_low.get()).abs() < RESIDUAL_GUARD)
             {
                 if elapsed == 0.0 {
                     self.fallback = Some(FallbackReason::GuardBand);
                     return None;
                 }
+                refusal = FallbackReason::GuardBand;
                 break;
             }
 
@@ -759,7 +1297,9 @@ impl EnergyBuffer for ReactBuffer {
             }
             if fire && finished_segment {
                 let before = self.reconfigurations;
-                self.poll_controller();
+                // The comparator reads the reconstructed LLB voltage,
+                // not the committed pack average.
+                self.poll_controller_at(Volts::new(v_cur + llb_offset));
                 if self.reconfigurations != before {
                     self.drain_banks_into_llb();
                     // Bank topology changed: the combined capacitor is

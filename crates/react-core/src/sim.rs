@@ -29,7 +29,7 @@ use react_mcu::{Mcu, McuSpec, PowerGate, PowerMode};
 use react_telemetry::{
     EventKind, FallbackReason, NullRecorder, Recorder, Regime, SimEvent, StrideKind,
 };
-use react_units::{Amps, Seconds};
+use react_units::{Amps, Seconds, Volts};
 use react_workloads::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
 use crate::calib;
@@ -719,6 +719,20 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                         .idle_advance(p_rail, stride, self.gate.enable_voltage(), dt);
                 if advanced.get() > 0.0 {
                     self.commit_stride(advanced, false);
+                    // A stride that parked on the enable crossing has
+                    // *discovered* the boot edge: service the gate at
+                    // the commit so the next iteration fine-steps in
+                    // the regime it actually runs in (the MCU's first
+                    // boot step) instead of burning an idle fine step
+                    // on the hand-off.
+                    let v_now = self.buffer.rail_voltage();
+                    if !self.finished && v_now.get().is_finite() {
+                        self.service_gate(v_now);
+                        // The serviced edge can flip the termination
+                        // condition (a trace-end brown-out must end the
+                        // run here, not after another stride).
+                        self.check_termination();
+                    }
                     return !self.finished;
                 }
                 if R::ENABLED {
@@ -825,6 +839,20 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                         .unwrap_or(Seconds::ZERO);
                     if advanced.get() > 0.0 {
                         self.commit_stride(advanced, true);
+                        // Symmetric to the idle path: a stride that
+                        // parked on the brown-out crossing services
+                        // the gate edge at the commit, so the MCU
+                        // powers down here and the next iteration
+                        // coarse-strides the dark rail instead of
+                        // spending a sleep fine step on the hand-off.
+                        let v_now = self.buffer.rail_voltage();
+                        if !self.finished && v_now.get().is_finite() {
+                            self.service_gate(v_now);
+                            // The serviced edge can flip the
+                            // termination condition (a trace-end
+                            // brown-out must end the run here).
+                            self.check_termination();
+                        }
                         return !self.finished;
                     }
                     if R::ENABLED {
@@ -850,6 +878,21 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
         self.engine_steps += 1;
 
         // Power gate.
+        self.service_gate(v);
+
+        self.post_gate_fine_step(v, dt, entry_regime, entry_poll_debt, t_entry, fine_reason)
+    }
+
+    /// Services the power gate against the rail voltage `v` at the
+    /// current clock: a closing edge boots the MCU (with detector,
+    /// defense, and feedback hooks), an opening edge powers it down
+    /// and closes the duty-cycle books. Called from every fine step
+    /// and from coarse-stride commits whose closed form parked the
+    /// rail on a gate crossing — servicing the edge at the commit
+    /// keeps the hand-off out of the next iteration's fine-step
+    /// attribution while leaving the physics timeline unchanged (the
+    /// edge fires at the same simulated instant either way).
+    fn service_gate(&mut self, v: Volts) {
         if self.gate.update(v) {
             if self.gate.is_closed() {
                 self.mcu.power_on();
@@ -962,6 +1005,21 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                 }
             }
         }
+    }
+
+    /// The tail of a fine step past the gate edge: workload software,
+    /// MCU sequencing, harvest + buffer physics, accounting, and the
+    /// step's telemetry classification.
+    fn post_gate_fine_step(
+        &mut self,
+        v: Volts,
+        dt: Seconds,
+        entry_regime: Regime,
+        entry_poll_debt: f64,
+        t_entry: f64,
+        fine_reason: Option<FallbackReason>,
+    ) -> bool {
+        let v_ok = v.get().is_finite();
 
         // Workload software (only past boot).
         let mut peripheral = Amps::ZERO;
