@@ -1,0 +1,186 @@
+//! The fault-campaign report runner and CI conformance gate.
+//!
+//! ```text
+//! fault_report                         # full campaign matrix: tables + FAULT_report.json
+//! fault_report --check <baseline.json> [tolerance-scale]
+//! fault_report --write-baseline <path>
+//! fault_report --quick                 # horizons capped at 15 min (preview only)
+//! ```
+//!
+//! The default mode runs the fault-campaign registry — every drift
+//! campaign (capacitance fade + comparator offset, harvester derate,
+//! stuck-closed switch, stochastic drift) as an unaudited/audited twin
+//! pair, plus the healthy twins the survival scoring normalizes
+//! against — prints the cell and survival tables, and writes the
+//! machine-readable report to `target/paper-artifacts/FAULT_report.json`.
+//!
+//! `--check` diffs the fresh report against a committed baseline
+//! (`ci/fault-baseline.json` in CI) under the default per-field
+//! tolerances — optionally scaled by `tolerance-scale` — and exits
+//! non-zero listing every out-of-tolerance cell. On top of the usual
+//! FoM fields the gate covers the fault counters (`faults-injected`,
+//! `audit-trips`), survival ratios, and flags any cell whose auditor
+//! detection *flipped* (tripping where the baseline was clean, or
+//! going silent where the baseline tripped). Because fault plans are
+//! seeded per cell, a violation means fault *behavior* changed: either
+//! a regression, or an intentional change that must ship with a
+//! refreshed baseline (`--write-baseline`).
+//!
+//! `--quick` caps every horizon at 15 minutes for a fast local
+//! preview; its numbers are **not** comparable to the committed
+//! baseline, so it refuses to combine with `--check`.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::process::ExitCode;
+
+use react_bench::save_named_artifact;
+use react_core::{build_fault_report, compare_reports, ScenarioReport, Tolerances};
+use react_units::Seconds;
+
+/// Horizon cap for `--quick` previews.
+const QUICK_HORIZON: Seconds = Seconds::new(900.0);
+
+fn load(path: &str) -> Result<ScenarioReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned());
+    let tolerance_scale: f64 = match args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 2))
+    {
+        Some(raw) => match raw.parse() {
+            Ok(scale) => scale,
+            Err(_) => {
+                eprintln!("fault_report: tolerance-scale {raw:?} is not a number");
+                return ExitCode::from(2);
+            }
+        },
+        None => 1.0,
+    };
+    let write_baseline = args
+        .iter()
+        .position(|a| a == "--write-baseline")
+        .map(|i| args.get(i + 1).cloned());
+
+    if quick && (check.is_some() || write_baseline.is_some()) {
+        eprintln!("fault_report: --quick output is not comparable to a committed baseline");
+        return ExitCode::from(2);
+    }
+    if let Some(None) = check {
+        eprintln!("usage: fault_report --check <baseline.json> [tolerance-scale]");
+        return ExitCode::from(2);
+    }
+    if let Some(None) = write_baseline {
+        eprintln!("usage: fault_report --write-baseline <path>");
+        return ExitCode::from(2);
+    }
+
+    let started = std::time::Instant::now();
+    let report = build_fault_report(quick.then_some(QUICK_HORIZON), true);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    print!("{}", report.render_cells().render());
+    println!();
+    print!("{}", report.render_survival().render());
+    println!(
+        "\n{} cells ({} survival pairs) in {:.1} s wall-clock{}",
+        report.cells.len(),
+        report.survival().len(),
+        elapsed,
+        if quick { "  (--quick preview)" } else { "" }
+    );
+
+    if !report.poisoned.is_empty() {
+        eprintln!(
+            "fault_report: {} poisoned cell(s) — the matrix completed around them:",
+            report.poisoned.len()
+        );
+        for p in &report.poisoned {
+            eprintln!("  {}: {}", p.id(), p.message);
+        }
+    }
+
+    let json = match serde_json::to_string(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("fault_report: serialize: {e:?}");
+            return ExitCode::from(2);
+        }
+    };
+    match save_named_artifact("FAULT_report.json", &json) {
+        Ok(path) => println!("report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("fault_report: write report: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Load the check baseline *before* any baseline write, so
+    // `--check X --write-baseline X` gates against the committed file
+    // rather than the bytes we just produced.
+    let check_baseline = match check {
+        Some(Some(ref path)) => match load(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("fault_report: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
+    };
+
+    if let Some(Some(path)) = write_baseline {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("fault_report: write baseline {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {path}");
+    }
+
+    if let (Some(Some(path)), Some(baseline)) = (check, check_baseline) {
+        let tol = Tolerances::default().scaled(tolerance_scale);
+        let violations = compare_reports(&baseline, &report, &tol);
+        let new_cells = report
+            .cells
+            .iter()
+            .filter(|c| baseline.cell(&c.id()).is_none())
+            .count();
+        if new_cells > 0 {
+            println!("{new_cells} cell(s) have no baseline yet (new campaigns)");
+        }
+        if violations.is_empty() {
+            println!(
+                "fault gate: all {} baseline cells conformant (tolerance ×{tolerance_scale})",
+                baseline.cells.len()
+            );
+        } else {
+            eprintln!(
+                "fault gate: {} violation(s) vs {path} (tolerance ×{tolerance_scale}):",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!("if the change is intentional, refresh the baseline with --write-baseline");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !report.poisoned.is_empty() {
+        // Distinct from the gate's FAILURE so CI logs separate "a cell
+        // crashed" from "a cell drifted".
+        return ExitCode::from(3);
+    }
+
+    ExitCode::SUCCESS
+}

@@ -200,6 +200,29 @@ pub trait EnergyBuffer {
         None
     }
 
+    /// Applies a hardware-drift fault to the live buffer. Returns
+    /// `true` when the buffer models this fault kind — the drift
+    /// mutated its *actual* component values while the closed-form
+    /// fast paths keep integrating with the stale datasheet (believed)
+    /// values, which is exactly the divergence the invariant auditor
+    /// exists to catch. The default declines every kind: buffers
+    /// without a believed/actual split simply don't drift (kernel-level
+    /// faults — comparator offset, harvester derate, stuck switches —
+    /// are applied by the simulator and affect every buffer).
+    fn apply_fault(&mut self, kind: react_circuit::FaultKind) -> bool {
+        let _ = kind;
+        false
+    }
+
+    /// The *actual* instantaneous leakage power at the present
+    /// operating point — the invariant auditor's shadow probe, checked
+    /// against the closed forms' believed leakage booking. `None` when
+    /// the buffer cannot report a single-capacitor leakage law
+    /// (composite topologies), which skips the shadow check.
+    fn leakage_probe(&self) -> Option<Watts> {
+        None
+    }
+
     /// Energy accounting so far.
     fn ledger(&self) -> &EnergyLedger;
 }
@@ -322,6 +345,14 @@ impl<T: EnergyBuffer + ?Sized> EnergyBuffer for Box<T> {
 
     fn take_fallback(&mut self) -> Option<FallbackReason> {
         (**self).take_fallback()
+    }
+
+    fn apply_fault(&mut self, kind: react_circuit::FaultKind) -> bool {
+        (**self).apply_fault(kind)
+    }
+
+    fn leakage_probe(&self) -> Option<Watts> {
+        (**self).leakage_probe()
     }
 
     fn ledger(&self) -> &EnergyLedger {

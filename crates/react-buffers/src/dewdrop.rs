@@ -132,6 +132,16 @@ impl EnergyBuffer for DewdropBuffer {
         self.inner.rail_voltage_for_usable(energy, v_floor)
     }
 
+    /// Hardware drift hits the underlying capacitor, so fault support
+    /// (and the believed/actual split) forwards to the inner buffer.
+    fn apply_fault(&mut self, kind: react_circuit::FaultKind) -> bool {
+        self.inner.apply_fault(kind)
+    }
+
+    fn leakage_probe(&self) -> Option<Watts> {
+        self.inner.leakage_probe()
+    }
+
     fn ledger(&self) -> &EnergyLedger {
         self.inner.ledger()
     }

@@ -7,10 +7,19 @@ use crate::charge_ode::{self, ChargeOde};
 use crate::{power_intake, EnergyBuffer};
 
 /// A single static buffer capacitor with an overvoltage clamp.
+///
+/// Carries a believed/actual spec split for hardware-drift faults: the
+/// `cap` holds the *actual* (possibly drifted) component values that
+/// [`StaticBuffer::step`] — the honest fine integrator — always uses,
+/// while `believed` freezes the datasheet values the closed-form fast
+/// paths keep assuming. Until a fault fires the two are identical and
+/// every code path is bit-identical to the pre-fault implementation.
 #[derive(Clone, Debug)]
 pub struct StaticBuffer {
     name: String,
     cap: Capacitor,
+    believed: CapacitorSpec,
+    faulted: bool,
     ledger: EnergyLedger,
 }
 
@@ -22,10 +31,26 @@ impl StaticBuffer {
     /// Creates a static buffer from a capacitor spec, clamped at the
     /// shared rail voltage.
     pub fn new(name: impl Into<String>, spec: CapacitorSpec) -> Self {
+        let spec = spec.with_max_voltage(RAIL_CLAMP);
         Self {
             name: name.into(),
-            cap: Capacitor::new(spec.with_max_voltage(RAIL_CLAMP)),
+            cap: Capacitor::new(spec),
+            believed: spec,
+            faulted: false,
             ledger: EnergyLedger::new(),
+        }
+    }
+
+    /// The spec the closed-form fast paths integrate with: the stale
+    /// *believed* (datasheet) values once a fault has drifted the
+    /// hardware, and the live spec verbatim on the benign path — the
+    /// benign expression is untouched, so fault support costs nothing
+    /// in bit-identity.
+    fn model_spec(&self) -> CapacitorSpec {
+        if self.faulted {
+            self.believed
+        } else {
+            *self.cap.spec()
         }
     }
 
@@ -102,7 +127,7 @@ impl EnergyBuffer for StaticBuffer {
         if v0 >= vs || duration.get() <= 0.0 {
             return Seconds::ZERO;
         }
-        let spec = *self.cap.spec();
+        let spec = self.model_spec();
         let ode = ChargeOde {
             c: spec.capacitance.get(),
             g: charge_ode::leakage_conductance(&spec.leakage),
@@ -116,7 +141,15 @@ impl EnergyBuffer for StaticBuffer {
                 .expect("drain-free charge ODE is total");
         let e0 = self.cap.energy();
         self.cap.set_voltage(Volts::new(fin.v_final));
-        let delta_e = self.cap.energy() - e0;
+        // Under drift the books carry the *believed* energy delta
+        // (½·C_believed·Δv²) while the stored pool moved by the actual
+        // one — the inconsistency the invariant auditor's per-stride
+        // ledger residual detects.
+        let delta_e = if self.faulted {
+            Joules::new(0.5 * spec.capacitance.get() * (fin.v_final * fin.v_final - v0 * v0))
+        } else {
+            self.cap.energy() - e0
+        };
         // delivered := ΔE + leaked keeps the ledger residual exactly
         // zero; clamp the p = 0 case's rounding dust at zero.
         let delivered = Joules::new((delta_e.get() + fin.leaked).max(0.0));
@@ -155,7 +188,7 @@ impl EnergyBuffer for StaticBuffer {
         if v0 <= v_stop.get() || duration.get() <= 0.0 {
             return Some(Seconds::ZERO);
         }
-        let spec = *self.cap.spec();
+        let spec = self.model_spec();
         let ode = charge_ode::PoweredOde {
             c: spec.capacitance.get(),
             g: charge_ode::leakage_conductance(&spec.leakage),
@@ -178,7 +211,12 @@ impl EnergyBuffer for StaticBuffer {
         }
         let e0 = self.cap.energy();
         self.cap.set_voltage(Volts::new(fin.v_final));
-        let delta_e = self.cap.energy() - e0;
+        // Believed-model booking under drift; see `idle_advance`.
+        let delta_e = if self.faulted {
+            Joules::new(0.5 * spec.capacitance.get() * (fin.v_final * fin.v_final - v0 * v0))
+        } else {
+            self.cap.energy() - e0
+        };
         // delivered := ΔE + losses keeps the ledger residual exactly
         // zero against the committed (re-rounded) stored energy.
         let delivered =
@@ -219,6 +257,37 @@ impl EnergyBuffer for StaticBuffer {
         self.ledger.delivered += delivered;
         self.ledger.clipped += clipped;
         self.ledger.harvested += delivered + clipped;
+    }
+
+    /// Capacitance fade and leakage growth drift the *actual* spec in
+    /// place; the `believed` copy the closed forms use stays at the
+    /// datasheet values, which is the whole fault model. The fade's
+    /// stored-energy loss (voltage-preserving, `½·ΔC·V²`) is booked as
+    /// leakage so the fine-stepped reference kernel's full-run ledger
+    /// still balances exactly.
+    fn apply_fault(&mut self, kind: react_circuit::FaultKind) -> bool {
+        match kind {
+            react_circuit::FaultKind::CapacitanceFade { factor } => {
+                self.ledger.leaked += self.cap.fade_capacitance(factor);
+                self.faulted = true;
+                true
+            }
+            react_circuit::FaultKind::LeakageGrowth { factor } => {
+                self.cap.grow_leakage(factor);
+                self.faulted = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Actual leakage power at the present operating point (`I(V)·V`
+    /// from the live — possibly drifted — spec), for the auditor's
+    /// shadow check against the believed leakage booking.
+    fn leakage_probe(&self) -> Option<Watts> {
+        let v = self.cap.voltage();
+        let i = self.cap.spec().leakage.current_at(v);
+        Some(Watts::new(i.get() * v.get().max(0.0)))
     }
 
     fn ledger(&self) -> &EnergyLedger {

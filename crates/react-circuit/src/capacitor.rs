@@ -240,6 +240,35 @@ impl Capacitor {
         before - self.energy()
     }
 
+    /// Capacitance-fade fault: scales the capacitance in place while
+    /// preserving the terminal voltage (the dielectric degrades; the
+    /// plates stay at the same potential). The stored energy drops by
+    /// `½·ΔC·V²`; the loss is returned so callers can book it to an
+    /// [`EnergyLedger`](crate::EnergyLedger) — a charge-preserving fade
+    /// would *create* energy (`E = Q²/2C`), which no fault does.
+    pub fn fade_capacitance(&mut self, factor: f64) -> Joules {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "capacitance fade factor must be positive and finite"
+        );
+        let v = self.voltage();
+        let before = self.energy();
+        self.spec.capacitance = Farads::new(self.spec.capacitance.get() * factor);
+        self.charge = self.spec.capacitance * v;
+        (before - self.energy()).max(Joules::ZERO)
+    }
+
+    /// Leakage-growth fault: scales the datasheet leakage current in
+    /// place (temperature/aging drift).
+    pub fn grow_leakage(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "leakage growth factor must be positive and finite"
+        );
+        self.spec.leakage.current_at_rated =
+            Amps::new(self.spec.leakage.current_at_rated.get() * factor);
+    }
+
     /// Headroom to the max voltage expressed as charge.
     #[inline]
     pub fn charge_headroom(&self) -> Coulombs {
@@ -349,6 +378,30 @@ mod tests {
         // Supercap scaling: 10 mF = 2× the 5 mF part's leakage.
         let sc = CapacitorSpec::supercap_scaled(Farads::from_milli(10.0));
         assert!((sc.leakage.current_at_rated.to_micro() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fade_preserves_voltage_and_returns_the_energy_lost() {
+        let mut cap = lossless(1000.0);
+        cap.set_voltage(Volts::new(3.0));
+        let before = cap.energy();
+        let lost = cap.fade_capacitance(0.7);
+        assert!((cap.voltage().get() - 3.0).abs() < 1e-12);
+        assert!((cap.capacitance().to_micro() - 700.0).abs() < 1e-9);
+        // E drops by ½·ΔC·V² = ½·0.3 mF·9 V².
+        assert!((lost.get() - 0.5 * 0.3e-3 * 9.0).abs() < 1e-12);
+        assert!((before.get() - cap.energy().get() - lost.get()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn leakage_growth_scales_the_datasheet_current() {
+        let spec = CapacitorSpec::new(Farads::from_milli(1.0)).with_leakage(LeakageSpec {
+            current_at_rated: Amps::from_micro(2.0),
+            rated_voltage: Volts::new(6.3),
+        });
+        let mut cap = Capacitor::with_voltage(spec, Volts::new(3.0));
+        cap.grow_leakage(5.0);
+        assert!((cap.spec().leakage.current_at_rated.to_micro() - 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,10 +28,13 @@
 //! assert!((cap.voltage().get() - 3.0).abs() < 1e-12);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod bank;
 mod capacitor;
 mod diode;
 pub mod equalize;
+mod fault;
 mod ledger;
 mod network;
 mod switch;
@@ -40,6 +43,7 @@ pub use bank::{BankMode, BankSpec, SeriesParallelBank};
 pub use capacitor::{Capacitor, CapacitorSpec, LeakageSpec};
 pub use diode::{Diode, DiodeKind, DiodeTransfer};
 pub use equalize::{pair_equalize, pool_equalize, EqualizeOutcome};
+pub use fault::{offset_enable, FaultCampaign, FaultEvent, FaultKind, FaultPlan};
 pub use ledger::EnergyLedger;
 pub use network::{ChainNetwork, Partition, PartitionError};
 pub use switch::{BreakBeforeMake, SwitchPhase};

@@ -213,6 +213,10 @@ pub struct NodeStats {
     pub boots: f64,
     /// Operations completed.
     pub ops: f64,
+    /// Hardware-drift fault events injected (0 for benign fleets).
+    pub faults: f64,
+    /// Invariant-auditor trips that degraded a fast path.
+    pub trips: f64,
 }
 
 impl NodeStats {
@@ -224,8 +228,35 @@ impl NodeStats {
             outage_s: m.max_off_period.get(),
             boots: m.boots as f64,
             ops: m.ops_completed as f64,
+            faults: m.faults_injected as f64,
+            trips: m.audit_trips as f64,
         }
     }
+}
+
+/// A fleet cell whose run panicked. The batched kernel catches the
+/// unwind, records the node here, and keeps the shard going — one
+/// diverging cell never takes down its 1023 neighbours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoisonedNode {
+    /// Fleet node index.
+    pub node: f64,
+    /// The panic payload, when it was a string (it almost always is).
+    pub message: String,
+}
+
+/// A fleet cell that exceeded its engine-step watchdog budget — a
+/// fault-wedged cell (e.g. a welded switch fine-stepping below
+/// brown-out forever) becomes a reported entry instead of a hung
+/// shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedOutNode {
+    /// Fleet node index.
+    pub node: f64,
+    /// Engine steps spent when the watchdog fired.
+    pub engine_steps: f64,
+    /// Simulated time reached when the watchdog fired, seconds.
+    pub sim_time_s: f64,
 }
 
 /// Histogram binning bounds for a fleet run. Fixed per-run so every
@@ -294,12 +325,37 @@ pub struct FleetAggregate {
     pub outage_s: Histogram,
     /// Boot-count distribution.
     pub boots: Histogram,
+    /// Exact total fault events injected across the fleet.
+    #[serde(default)]
+    pub total_faults: f64,
+    /// Exact total auditor trips across the fleet.
+    #[serde(default)]
+    pub total_trips: f64,
+    /// Per-node auditor-trip distribution (degradation histogram).
+    /// Fixed binning `[0, 64)` × 64 so shards merge exactly; `None`
+    /// only when deserialized from a pre-fault-era checkpoint.
+    #[serde(default)]
+    pub trips: Option<Histogram>,
+    /// Nodes whose run panicked (isolated, not fatal to the shard).
+    /// Empty for a healthy fleet; any entry fails the CI gate.
+    #[serde(default)]
+    pub poisoned: Vec<PoisonedNode>,
+    /// Nodes that blew their engine-step watchdog budget. Empty for a
+    /// healthy fleet; any entry fails the CI gate.
+    #[serde(default)]
+    pub timed_out: Vec<TimedOutNode>,
 }
 
 impl FleetAggregate {
+    /// Fixed binning of the per-node auditor-trip histogram: a cell
+    /// trips at most once per (regime × fault window), so 64 covers
+    /// any realistic campaign while staying merge-exact everywhere.
+    pub const TRIPS_BINS: (f64, f64, usize) = (0.0, 64.0, 64);
+
     /// An empty aggregate with the given binning.
     pub fn new(bins: FleetBins) -> Self {
         let n = bins.bin_count();
+        let (tlo, thi, tn) = Self::TRIPS_BINS;
         FleetAggregate {
             nodes: 0.0,
             total_ops: 0.0,
@@ -307,6 +363,11 @@ impl FleetAggregate {
             on_frac: Histogram::new(0.0, 1.0, n),
             outage_s: Histogram::new(0.0, bins.outage_cap_s, n),
             boots: Histogram::new(0.0, bins.boots_cap, n),
+            total_faults: 0.0,
+            total_trips: 0.0,
+            trips: Some(Histogram::new(tlo, thi, tn)),
+            poisoned: Vec::new(),
+            timed_out: Vec::new(),
         }
     }
 
@@ -318,6 +379,11 @@ impl FleetAggregate {
         self.on_frac.record(s.on_frac);
         self.outage_s.record(s.outage_s);
         self.boots.record(s.boots);
+        self.total_faults += s.faults;
+        self.total_trips += s.trips;
+        if let Some(trips) = &mut self.trips {
+            trips.record(s.trips);
+        }
     }
 
     /// Merges a shard aggregate (identical binning) into this one.
@@ -328,6 +394,18 @@ impl FleetAggregate {
         self.on_frac.merge(&other.on_frac);
         self.outage_s.merge(&other.outage_s);
         self.boots.merge(&other.boots);
+        self.total_faults += other.total_faults;
+        self.total_trips += other.total_trips;
+        // A pre-fault-era side (trips = None) contributes nothing: it
+        // could only have recorded zero trips.
+        if let Some(theirs) = &other.trips {
+            match &mut self.trips {
+                Some(mine) => mine.merge(theirs),
+                None => self.trips = Some(theirs.clone()),
+            }
+        }
+        self.poisoned.extend(other.poisoned.iter().cloned());
+        self.timed_out.extend(other.timed_out.iter().cloned());
     }
 
     /// Collapses the aggregate into the headline percentile summary.
@@ -347,6 +425,10 @@ impl FleetAggregate {
             outage_p95_s: self.outage_s.quantile(0.95),
             outage_max_s: self.outage_s.max,
             boots_mean: self.boots.mean(),
+            total_faults: self.total_faults,
+            total_trips: self.total_trips,
+            poisoned_nodes: self.poisoned.len() as f64,
+            timed_out_nodes: self.timed_out.len() as f64,
         }
     }
 }
@@ -382,6 +464,19 @@ pub struct FleetSummary {
     pub outage_max_s: f64,
     /// Mean boot count.
     pub boots_mean: f64,
+    /// Total fault events injected fleet-wide (0 for benign fleets).
+    #[serde(default)]
+    pub total_faults: f64,
+    /// Total auditor trips fleet-wide.
+    #[serde(default)]
+    pub total_trips: f64,
+    /// Nodes whose run panicked (any non-zero value fails the gate).
+    #[serde(default)]
+    pub poisoned_nodes: f64,
+    /// Nodes that blew their watchdog budget (any non-zero value
+    /// fails the gate).
+    #[serde(default)]
+    pub timed_out_nodes: f64,
 }
 
 // ---------------------------------------------------------------------------
@@ -404,6 +499,13 @@ pub struct FleetSpec {
     pub chunk: Seconds,
     /// Histogram binning shared by every shard.
     pub bins: FleetBins,
+    /// Explicit per-cell engine-step watchdog budget. `None` (the
+    /// default, and the only fingerprint-neutral value) derives the
+    /// budget from the cell's scenario: `4·(horizon/dt) + 10_000`
+    /// engine steps — four times what the fixed-`dt` reference would
+    /// spend, so no honest cell can trip it while a fault-wedged cell
+    /// becomes a [`TimedOutNode`] instead of a hung shard.
+    pub step_budget: Option<u64>,
 }
 
 impl FleetSpec {
@@ -416,6 +518,7 @@ impl FleetSpec {
             shard_size: DEFAULT_SHARD_SIZE,
             chunk: DEFAULT_CHUNK,
             bins: FleetBins::default_for(base.horizon),
+            step_budget: None,
         }
     }
 
@@ -445,7 +548,7 @@ impl FleetSpec {
     pub fn fingerprint(&self) -> String {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let rendered = format!(
+        let mut rendered = format!(
             "{}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.base.name,
             self.nodes,
@@ -457,6 +560,18 @@ impl FleetSpec {
             self.bins.outage_cap_s,
             self.bins.bin_count(),
         );
+        // Fault-era segments append only when non-default, so every
+        // pre-fault fingerprint (and its committed baselines and
+        // checkpoints) is untouched.
+        if self.base.fault != react_circuit::FaultCampaign::None {
+            rendered.push_str(&format!("|fault:{}", self.base.fault.label()));
+        }
+        if self.base.audited {
+            rendered.push_str("|audited");
+        }
+        if let Some(budget) = self.step_budget {
+            rendered.push_str(&format!("|budget:{budget}"));
+        }
         let h = rendered
             .bytes()
             .fold(FNV_OFFSET, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME));
@@ -504,6 +619,28 @@ pub struct FleetSimT<R: Recorder + Default = NullRecorder> {
     recorders: Vec<Option<R>>,
     chunk: Seconds,
     bins: FleetBins,
+    /// Fleet node index of cell 0 (shards report fleet-global indices).
+    first_node: usize,
+    /// Explicit watchdog budget; `None` derives per-cell defaults.
+    budget_override: Option<u64>,
+    poisoned: Vec<PoisonedNode>,
+    timed_out: Vec<TimedOutNode>,
+}
+
+/// Default watchdog budget for one cell: four times the fixed-`dt`
+/// reference step count plus slack for boot/servicing overhead.
+fn default_step_budget(s: &Scenario) -> u64 {
+    4 * (s.horizon.get() / s.dt.get()).round() as u64 + 10_000
+}
+
+/// How one heap pop left its cell.
+enum CellAdvance {
+    /// Still live; re-queue at its new clock.
+    Running,
+    /// Ran out of simulation; drain the outcome.
+    Finished,
+    /// Blew the watchdog budget; report and drop.
+    Overran,
 }
 
 /// The production fleet kernel: no telemetry, no overhead.
@@ -540,13 +677,20 @@ impl<R: Recorder + Default> FleetSimT<R> {
             heap,
             chunk,
             bins,
+            first_node: 0,
+            budget_override: None,
+            poisoned: Vec::new(),
+            timed_out: Vec::new(),
         })
     }
 
     /// Builds the shard `[start, end)` of a fleet spec.
     pub fn from_spec_range(spec: &FleetSpec, start: usize, end: usize) -> Result<Self, String> {
         let scenarios: Vec<Scenario> = (start..end).map(|i| spec.node_scenario(i)).collect();
-        FleetSimT::from_scenarios(scenarios, spec.chunk, spec.bins)
+        let mut sim = FleetSimT::from_scenarios(scenarios, spec.chunk, spec.bins)?;
+        sim.first_node = start;
+        sim.budget_override = spec.step_budget;
+        Ok(sim)
     }
 
     /// Cells still running.
@@ -556,6 +700,13 @@ impl<R: Recorder + Default> FleetSimT<R> {
 
     /// Advances the laggard cell by one chunk. Returns `false` once
     /// every cell has finished.
+    ///
+    /// The advancement loop runs at `advance()` granularity inside
+    /// `catch_unwind`: a panicking cell becomes a [`PoisonedNode`] and
+    /// a cell that exceeds its engine-step watchdog budget becomes a
+    /// [`TimedOutNode`] — either way the shard keeps going and the
+    /// failure is a reported aggregate entry, not a crashed or hung
+    /// run.
     pub fn step(&mut self) -> bool {
         let Some(Reverse((_, idx))) = self.heap.pop() else {
             return false;
@@ -564,16 +715,49 @@ impl<R: Recorder + Default> FleetSimT<R> {
             .as_mut()
             .expect("heap entry for a drained cell");
         let limit = cell.now() + self.chunk;
-        if cell.advance_until(limit) {
-            self.heap.push(Reverse((cell.now().get().to_bits(), idx)));
-        } else {
-            let core = self.cells[idx].take().expect("cell vanished mid-drain");
-            let (outcome, recorder) = core.finish_telemetry();
-            self.outcomes[idx] = Some(NodeStats::from_metrics(
-                &self.scenarios[idx],
-                &outcome.metrics,
-            ));
-            self.recorders[idx] = Some(recorder);
+        let budget = self
+            .budget_override
+            .unwrap_or_else(|| default_step_budget(&self.scenarios[idx]));
+        let advanced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            if cell.engine_steps() >= budget {
+                break CellAdvance::Overran;
+            }
+            if !cell.advance() {
+                break CellAdvance::Finished;
+            }
+            if cell.now() >= limit {
+                break CellAdvance::Running;
+            }
+        }));
+        match advanced {
+            Ok(CellAdvance::Running) => {
+                self.heap.push(Reverse((cell.now().get().to_bits(), idx)));
+            }
+            Ok(CellAdvance::Finished) => {
+                let core = self.cells[idx].take().expect("cell vanished mid-drain");
+                let (outcome, recorder) = core.finish_telemetry();
+                self.outcomes[idx] = Some(NodeStats::from_metrics(
+                    &self.scenarios[idx],
+                    &outcome.metrics,
+                ));
+                self.recorders[idx] = Some(recorder);
+            }
+            Ok(CellAdvance::Overran) => {
+                let core = self.cells[idx].take().expect("cell vanished mid-drain");
+                self.timed_out.push(TimedOutNode {
+                    node: (self.first_node + idx) as f64,
+                    engine_steps: core.engine_steps() as f64,
+                    sim_time_s: core.now().get(),
+                });
+            }
+            Err(payload) => {
+                // The unwound cell is in an unknown state; drop it.
+                self.cells[idx] = None;
+                self.poisoned.push(PoisonedNode {
+                    node: (self.first_node + idx) as f64,
+                    message: crate::scenario_report::panic_message(payload),
+                });
+            }
         }
         !self.heap.is_empty()
     }
@@ -587,6 +771,8 @@ impl<R: Recorder + Default> FleetSimT<R> {
         for stats in self.outcomes.iter().flatten() {
             agg.record(stats);
         }
+        agg.poisoned = self.poisoned;
+        agg.timed_out = self.timed_out;
         let mut recorder = R::default();
         for r in self.recorders.into_iter().flatten() {
             recorder.absorb(r);
@@ -673,8 +859,34 @@ fn load_checkpoint(path: &Path, fingerprint: &str) -> Result<Vec<ShardEntry>, St
     }
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("reading checkpoint {}: {e}", path.display()))?;
-    let ckpt: FleetCheckpoint = serde_json::from_str(&text)
-        .map_err(|e| format!("parsing checkpoint {}: {e}", path.display()))?;
+    // A corrupt checkpoint (truncated write, garbled JSON) is not a
+    // fatal error: move it aside loudly and restart the fleet clean.
+    // A *fingerprint mismatch* below stays fatal — that file is a
+    // valid checkpoint for some other configuration.
+    let ckpt: FleetCheckpoint = match serde_json::from_str(&text) {
+        Ok(ckpt) => ckpt,
+        Err(e) => {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("checkpoint");
+            let corrupt = path.with_file_name(format!("{name}.corrupt"));
+            match std::fs::rename(path, &corrupt) {
+                Ok(()) => eprintln!(
+                    "fleet checkpoint {} is corrupt ({e}); moved aside to {} and \
+                     restarting the fleet from scratch",
+                    path.display(),
+                    corrupt.display()
+                ),
+                Err(mv) => eprintln!(
+                    "fleet checkpoint {} is corrupt ({e}); could not move it aside \
+                     ({mv}); ignoring it and restarting the fleet from scratch",
+                    path.display()
+                ),
+            }
+            return Ok(Vec::new());
+        }
+    };
     if ckpt.fingerprint != fingerprint {
         return Err(format!(
             "checkpoint {} fingerprint {} does not match fleet config {fingerprint}; \
@@ -934,6 +1146,34 @@ pub fn compare_fleet_reports(
     if b.nodes != f.nodes {
         v.push(format!("nodes: baseline {} vs fresh {}", b.nodes, f.nodes));
     }
+    // Poisoned or watchdog-timed-out nodes in the fresh run are
+    // unconditional violations: a crashed or wedged cell is never
+    // within tolerance of anything.
+    for p in &fresh.aggregate.poisoned {
+        v.push(format!("node {}: poisoned: {}", p.node, p.message));
+    }
+    for t in &fresh.aggregate.timed_out {
+        v.push(format!(
+            "node {}: watchdog timeout after {} engine steps at t={:.0} s",
+            t.node, t.engine_steps, t.sim_time_s
+        ));
+    }
+    gate_field(
+        &mut v,
+        "total_faults",
+        b.total_faults,
+        f.total_faults,
+        tol.rel,
+        tol.boots_floor,
+    );
+    gate_field(
+        &mut v,
+        "total_trips",
+        b.total_trips,
+        f.total_trips,
+        tol.rel,
+        tol.boots_floor,
+    );
     gate_field(
         &mut v,
         "total_ops",
@@ -1184,6 +1424,8 @@ mod tests {
             outage_s: 17.25,
             boots: 3.0,
             ops: 123.0,
+            faults: 2.0,
+            trips: 1.0,
         });
         let ckpt = FleetCheckpoint {
             fingerprint: "deadbeefdeadbeef".to_string(),

@@ -38,6 +38,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod audit;
 pub mod calib;
 mod experiment;
 pub mod fleet;
@@ -49,18 +50,22 @@ pub mod scenario_report;
 mod sim;
 pub mod sweep;
 
+pub use audit::{AuditConfig, AuditSnapshot, InvariantAuditor};
 pub use experiment::{Experiment, ExperimentMatrix, MatrixCell, MatrixRow, WorkloadKind};
 pub use fleet::{
     compare_fleet_reports, run_fleet, run_shard, run_shard_attributed, FleetAggregate, FleetBins,
     FleetCheckpoint, FleetReport, FleetRunOptions, FleetRunResult, FleetSim, FleetSimT, FleetSpec,
-    FleetSummary, FleetTolerances, Histogram, NodeStats, ShardEntry,
+    FleetSummary, FleetTolerances, Histogram, NodeStats, PoisonedNode, ShardEntry, TimedOutNode,
 };
 pub use metrics::{LevelDwell, RunMetrics, RunOutcome, VoltageSample};
-pub use scenario::{find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario};
+pub use scenario::{
+    fault_scenario_registry, find_scenario, run_scenarios, scenario_registry, EnvKind, Scenario,
+};
 pub use scenario_report::{
-    build_attributed_report, build_full_report, build_report, build_report_with, compare_reports,
-    merged_attribution, render_attribution, render_class_sinks, report_scenarios, CellAttribution,
-    PoisonedCell, ResilienceRow, ScenarioCell, ScenarioReport, Tolerances,
+    build_attributed_report, build_fault_report, build_full_report, build_report,
+    build_report_with, compare_reports, merged_attribution, render_attribution, render_class_sinks,
+    report_scenarios, CellAttribution, PoisonedCell, ResilienceRow, ScenarioCell, ScenarioReport,
+    SurvivalRow, Tolerances,
 };
 pub use sim::{ConstantLoad, KernelMode, SimCore, SimError, Simulator};
 pub use sweep::SweepOptions;

@@ -57,6 +57,17 @@ pub struct RunMetrics {
     /// included in [`reconfigurations`](Self::reconfigurations)).
     #[serde(default)]
     pub defensive_reconfigurations: u64,
+    /// Hardware-drift fault events the fault plan injected mid-run.
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Committed strides the invariant auditor cross-checked.
+    #[serde(default)]
+    pub audit_checks: u64,
+    /// Auditor divergences: strides whose cross-checks failed, each
+    /// permanently degrading the affected regime's fast path to fine
+    /// stepping. Zero for every benign run — the fault suite asserts it.
+    #[serde(default)]
+    pub audit_trips: u64,
     /// Time spent at each capacitance level (§3.4.1 surrogate), in
     /// ascending level order. Empty for buffers without levels.
     pub capacitance_dwell: Vec<LevelDwell>,

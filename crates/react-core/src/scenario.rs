@@ -18,6 +18,7 @@
 use rayon::prelude::*;
 use react_buffers::defense::DefenseConfig;
 use react_buffers::BufferKind;
+use react_circuit::FaultCampaign;
 use react_env::{
     AdaptiveAttack, AttackPolicy, Diurnal, EnergyAttack, MarkovRf, Mobility, PowerSource,
     TraceSource,
@@ -27,6 +28,7 @@ use react_telemetry::{RingRecorder, StepAttribution};
 use react_traces::{paper_trace, PaperTrace};
 use react_units::{Seconds, Watts};
 
+use crate::audit::AuditConfig;
 use crate::metrics::RunOutcome;
 use crate::sim::{KernelMode, Simulator};
 use crate::WorkloadKind;
@@ -311,6 +313,17 @@ pub struct Scenario {
     /// pairs each adversary with a defended and an undefended entry;
     /// benign scenarios run undefended.
     pub defended: bool,
+    /// Hardware-drift fault campaign, expanded into a per-node
+    /// [`FaultPlan`](react_circuit::FaultPlan) from the scenario's
+    /// fault seed. [`FaultCampaign::None`] (every pre-existing entry)
+    /// leaves the run untouched.
+    pub fault: FaultCampaign,
+    /// Whether the run arms the kernel invariant auditor
+    /// ([`AuditConfig`] default tolerances). Audited runs clamp stride
+    /// lengths, so their step counts differ from unaudited twins; the
+    /// fault registry pairs each campaign with an audited and an
+    /// unaudited entry.
+    pub audited: bool,
 }
 
 impl Scenario {
@@ -336,6 +349,45 @@ impl Scenario {
     pub fn with_defended(mut self, defended: bool) -> Self {
         self.defended = defended;
         self
+    }
+
+    /// This scenario under a hardware-drift fault campaign (the fault
+    /// registry's campaign axis).
+    pub fn with_fault(mut self, fault: FaultCampaign) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// This scenario with the kernel invariant auditor armed (or
+    /// disarmed).
+    pub fn with_audited(mut self, audited: bool) -> Self {
+        self.audited = audited;
+        self
+    }
+
+    /// Deterministic seed for this scenario's fault plan: the workload
+    /// seed (already name- and salt-derived, so fleet nodes get
+    /// distinct plans for free through `seed_salt`) remixed through a
+    /// fault-specific constant so fault timing never correlates with
+    /// workload event arrivals.
+    pub fn fault_seed(&self) -> u64 {
+        self.workload_seed() ^ 0xFAD3_D21F_7C65_A1B3
+    }
+
+    /// The healthy-twin scenario a faulted run is scored against: the
+    /// same environment, buffer, workload, and horizon with no fault
+    /// campaign and no auditor. `None` for unfaulted scenarios. The
+    /// fault report divides faulted FoM by the twin's to get *FoM
+    /// retained under faults*.
+    pub fn healthy_twin(&self) -> Option<&'static str> {
+        if self.fault == FaultCampaign::None {
+            return None;
+        }
+        match self.buffer {
+            BufferKind::Static10mF => Some("rf-ge-hour-10mf-de"),
+            BufferKind::Dewdrop => Some("rf-ge-hour-dewdrop-de"),
+            _ => None,
+        }
     }
 
     /// The benign-twin scenario this adversarial scenario is scored
@@ -463,6 +515,12 @@ impl Scenario {
         if self.defended {
             sim = sim.with_defense(DefenseConfig::default());
         }
+        if self.fault != FaultCampaign::None {
+            sim = sim.with_faults(self.fault.plan(self.fault_seed(), self.horizon));
+        }
+        if self.audited {
+            sim = sim.with_auditor(AuditConfig::default());
+        }
         sim
     }
 }
@@ -486,6 +544,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_LONG,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "mobility-week-pf",
@@ -498,6 +558,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_LONG,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "diurnal-day-react-sc",
@@ -510,6 +572,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_LONG,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "stormy-day-morphy-de",
@@ -522,6 +586,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_LONG,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "rf-ge-hour-react-de",
@@ -534,6 +600,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "rf-ge-hour-10mf-de",
@@ -546,6 +614,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "mobility-day-10mf-sc",
@@ -558,6 +628,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_LONG,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-blackout-hour-react-rt",
@@ -570,6 +642,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-spoof-hour-react-de",
@@ -582,6 +656,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "paper-rfcart-de",
@@ -594,6 +670,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     // ---- Red-vs-blue family: each stateful adversary paired with an
     // undefended and a defended entry, scored as FoM retained against
@@ -609,6 +687,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-bootstrike-hour-de-defended",
@@ -621,6 +701,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: true,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-baitswitch-hour-de",
@@ -633,6 +715,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-baitswitch-hour-de-defended",
@@ -645,6 +729,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: true,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-budget-hour-de",
@@ -657,6 +743,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "attack-budget-hour-de-defended",
@@ -669,6 +757,8 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_FINE,
         seed_salt: 0,
         defended: true,
+        fault: FaultCampaign::None,
+        audited: false,
     },
     Scenario {
         name: "react-plateau-sc",
@@ -681,6 +771,143 @@ pub const SCENARIOS: [Scenario; 17] = [
         dt: DT_LONG,
         seed_salt: 0,
         defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
+    },
+];
+
+/// The fault-campaign registry: hardware-drift campaigns on the office
+/// RF field, each paired as an unaudited and an audited entry, plus
+/// the healthy Dewdrop twin the Dewdrop campaign is scored against.
+/// Kept separate from [`SCENARIOS`] so the benign scenario and fleet
+/// baselines stay byte-identical; the fault report and the
+/// `fault-smoke` CI gate run this registry.
+pub const FAULT_SCENARIOS: [Scenario; 9] = [
+    Scenario {
+        name: "fault-fade-offset-hour-10mf-de",
+        description: "capacitance fade then comparator offset mid-run, undefended kernel",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Static10mF,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::FadeOffset,
+        audited: false,
+    },
+    Scenario {
+        name: "fault-fade-offset-hour-10mf-de-audited",
+        description: "the fade-then-offset campaign with the invariant auditor armed",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Static10mF,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::FadeOffset,
+        audited: true,
+    },
+    Scenario {
+        name: "fault-derate-hour-10mf-de",
+        description: "harvester derating to 60 % mid-run, undefended kernel",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Static10mF,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::Derate,
+        audited: false,
+    },
+    Scenario {
+        name: "fault-derate-hour-10mf-de-audited",
+        description: "the derating campaign with the invariant auditor armed",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Static10mF,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::Derate,
+        audited: true,
+    },
+    Scenario {
+        name: "fault-stuck-closed-hour-10mf-de",
+        description: "power switch welding closed mid-run, undefended kernel",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Static10mF,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::StuckClosed,
+        audited: false,
+    },
+    Scenario {
+        name: "fault-stuck-closed-hour-10mf-de-audited",
+        description: "the welded-switch campaign with the invariant auditor armed",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Static10mF,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::StuckClosed,
+        audited: true,
+    },
+    Scenario {
+        name: "fault-drift-hour-dewdrop-de",
+        description: "stochastic drift events (fade/leakage/derate/offset) on Dewdrop",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Dewdrop,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::Drift,
+        audited: false,
+    },
+    Scenario {
+        name: "fault-drift-hour-dewdrop-de-audited",
+        description: "the stochastic drift campaign with the invariant auditor armed",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Dewdrop,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::Drift,
+        audited: true,
+    },
+    Scenario {
+        name: "rf-ge-hour-dewdrop-de",
+        description: "healthy Dewdrop twin the drift campaign is scored against",
+        env: EnvKind::RfGilbertElliott,
+        buffer: BufferKind::Dewdrop,
+        workload: WorkloadKind::DataEncryption,
+        converter: ConverterKind::RfRectifier,
+        horizon: Seconds::new(3600.0),
+        dt: DT_FINE,
+        seed_salt: 0,
+        defended: false,
+        fault: FaultCampaign::None,
+        audited: false,
     },
 ];
 
@@ -689,9 +916,18 @@ pub fn scenario_registry() -> &'static [Scenario] {
     &SCENARIOS
 }
 
-/// Looks up a scenario by name.
+/// The fault-campaign registry (see [`FAULT_SCENARIOS`]).
+pub fn fault_scenario_registry() -> &'static [Scenario] {
+    &FAULT_SCENARIOS
+}
+
+/// Looks up a scenario by name, searching the benign registry first
+/// and the fault registry second.
 pub fn find_scenario(name: &str) -> Option<&'static Scenario> {
-    SCENARIOS.iter().find(|s| s.name == name)
+    SCENARIOS
+        .iter()
+        .chain(FAULT_SCENARIOS.iter())
+        .find(|s| s.name == name)
 }
 
 /// Runs a selection of scenarios, fanning the runs out over worker
@@ -712,12 +948,13 @@ mod tests {
 
     #[test]
     fn registry_names_are_unique_and_findable() {
-        for s in scenario_registry() {
+        let all: Vec<&Scenario> = scenario_registry()
+            .iter()
+            .chain(fault_scenario_registry())
+            .collect();
+        for s in &all {
             assert_eq!(
-                scenario_registry()
-                    .iter()
-                    .filter(|o| o.name == s.name)
-                    .count(),
+                all.iter().filter(|o| o.name == s.name).count(),
                 1,
                 "duplicate scenario name {}",
                 s.name
@@ -727,6 +964,46 @@ mod tests {
             assert!(s.dt.get() > 0.0);
         }
         assert!(find_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn benign_registry_carries_no_faults() {
+        for s in scenario_registry() {
+            assert_eq!(s.fault, FaultCampaign::None, "{}", s.name);
+            assert!(!s.audited, "{}", s.name);
+            assert!(s.healthy_twin().is_none(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fault_registry_twins_resolve() {
+        for s in fault_scenario_registry() {
+            if s.fault == FaultCampaign::None {
+                continue;
+            }
+            let twin = s.healthy_twin().expect("faulted scenario has a twin");
+            let healthy = find_scenario(twin).expect("twin registered");
+            assert_eq!(healthy.fault, FaultCampaign::None, "{twin}");
+            assert!(!healthy.audited, "{twin}");
+            assert_eq!(healthy.buffer, s.buffer, "{}", s.name);
+            assert_eq!(healthy.env, s.env, "{}", s.name);
+            assert_eq!(healthy.workload, s.workload, "{}", s.name);
+            // The plan is seeded and non-empty inside the horizon.
+            let plan = s.fault.plan(s.fault_seed(), s.horizon);
+            assert!(!plan.is_empty(), "{}", s.name);
+            let again = s.fault.plan(s.fault_seed(), s.horizon);
+            assert_eq!(plan.events().len(), again.events().len(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn audited_fault_scenario_injects_and_detects() {
+        let mut s = *find_scenario("fault-fade-offset-hour-10mf-de-audited").expect("registered");
+        s.horizon = Seconds::new(2400.0); // past both events, still quick
+        let out = s.run();
+        assert!(out.metrics.faults_injected >= 1, "no fault fired");
+        assert!(out.metrics.audit_checks > 0, "auditor never ran");
+        assert!(out.metrics.audit_trips >= 1, "fade escaped the auditor");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use rayon::prelude::*;
 use react_buffers::BufferKind;
 use react_env::dark_stats;
 use react_telemetry::{FallbackReason, Regime, StepAttribution};
-use react_units::Watts;
+use react_units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
 use crate::fom::{figure_of_merit, fom_per_hour};
@@ -77,6 +77,9 @@ pub struct ScenarioCell {
     /// Whether the detect-and-degrade defense was armed for this cell.
     #[serde(default)]
     pub defended: bool,
+    /// Whether the kernel invariant auditor was armed for this cell.
+    #[serde(default)]
+    pub audited: bool,
     /// The paper's figure of merit (ops, or rx+tx for PF).
     pub fom: f64,
     /// FoM per deployed hour (comparable across horizons).
@@ -104,6 +107,18 @@ pub struct ScenarioCell {
     /// Reconfigurations commanded by the defense specifically.
     #[serde(default)]
     pub defensive_reconfigurations: u64,
+    /// Hardware-drift fault events the fault plan injected (0 for
+    /// every benign registry cell).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Committed strides the invariant auditor cross-checked (0 when
+    /// unaudited).
+    #[serde(default)]
+    pub audit_checks: u64,
+    /// Auditor divergences that degraded a fast path (0 for every
+    /// benign cell — the fault suite asserts it).
+    #[serde(default)]
+    pub audit_trips: u64,
     /// Kernel iterations the engine spent on the cell (not gated:
     /// performance is `bench_gate`'s job; kept for the fast-path
     /// collapse column).
@@ -131,6 +146,7 @@ impl PartialEq for ScenarioCell {
             && self.converter == other.converter
             && self.seed == other.seed
             && self.defended == other.defended
+            && self.audited == other.audited
             && self.fom == other.fom
             && self.fom_per_hour == other.fom_per_hour
             && self.on_time_fraction == other.on_time_fraction
@@ -141,6 +157,9 @@ impl PartialEq for ScenarioCell {
             && self.detections == other.detections
             && self.false_positives == other.false_positives
             && self.defensive_reconfigurations == other.defensive_reconfigurations
+            && self.faults_injected == other.faults_injected
+            && self.audit_checks == other.audit_checks
+            && self.audit_trips == other.audit_trips
             && self.engine_steps == other.engine_steps
             && self.fixed_dt_steps == other.fixed_dt_steps
     }
@@ -208,6 +227,43 @@ pub struct ResilienceRow {
 
 impl ResilienceRow {
     /// Stable identity of the attacked cell, aligned with
+    /// [`ScenarioCell::id`].
+    pub fn id(&self) -> String {
+        format!("{}/{}/s{}", self.scenario, self.buffer, self.seed)
+    }
+}
+
+/// One faulted cell paired with its healthy twin: how much of the
+/// figure of merit survived the hardware-drift campaign, and whether
+/// the invariant auditor caught the drift.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SurvivalRow {
+    /// Faulted registry scenario.
+    pub scenario: String,
+    /// Fault campaign label.
+    pub campaign: String,
+    /// Buffer design label.
+    pub buffer: String,
+    /// Seed salt.
+    pub seed: u64,
+    /// Whether the invariant auditor was armed.
+    pub audited: bool,
+    /// Fault events injected over the run.
+    pub faults_injected: u64,
+    /// Auditor divergences that degraded a fast path.
+    pub audit_trips: u64,
+    /// Figure of merit under the fault campaign.
+    pub fom_faulted: f64,
+    /// Figure of merit of the healthy twin (same environment, buffer,
+    /// and workload, no faults, no auditor).
+    pub fom_healthy: f64,
+    /// `fom_faulted / fom_healthy` (1.0 when the twin did no work — a
+    /// fault cannot lose work that was never available).
+    pub retained: f64,
+}
+
+impl SurvivalRow {
+    /// Stable identity of the faulted cell, aligned with
     /// [`ScenarioCell::id`].
     pub fn id(&self) -> String {
         format!("{}/{}/s{}", self.scenario, self.buffer, self.seed)
@@ -390,6 +446,77 @@ impl ScenarioReport {
             .collect()
     }
 
+    /// Pairs every faulted cell with its healthy twin (same buffer and
+    /// seed, [`Scenario::healthy_twin`] scenario) and computes the
+    /// fraction of the figure of merit that survived the fault
+    /// campaign. Cells whose twin is absent from the report are
+    /// skipped — a partial matrix cannot score survival. The twin may
+    /// live in either report (fault reports carry their own healthy
+    /// twins; the benign registry baseline carries the rest), so the
+    /// lookup searches this report's cells only.
+    pub fn survival(&self) -> Vec<SurvivalRow> {
+        self.cells
+            .iter()
+            .filter_map(|c| {
+                let s = find_scenario(&c.scenario)?;
+                let twin = s.healthy_twin()?;
+                let healthy = self
+                    .cells
+                    .iter()
+                    .find(|h| h.scenario == twin && h.buffer == c.buffer && h.seed == c.seed)?;
+                let retained = if healthy.fom > 0.0 {
+                    c.fom / healthy.fom
+                } else {
+                    1.0
+                };
+                Some(SurvivalRow {
+                    scenario: c.scenario.clone(),
+                    campaign: s.fault.label().to_string(),
+                    buffer: c.buffer.clone(),
+                    seed: c.seed,
+                    audited: c.audited,
+                    faults_injected: c.faults_injected,
+                    audit_trips: c.audit_trips,
+                    fom_faulted: c.fom,
+                    fom_healthy: healthy.fom,
+                    retained,
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the FoM-retained-under-faults table.
+    pub fn render_survival(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "FoM retained under faults (faulted / healthy twin)",
+            &[
+                "scenario",
+                "campaign",
+                "buffer",
+                "audited",
+                "faults",
+                "trips",
+                "FoM",
+                "healthy FoM",
+                "retained",
+            ],
+        );
+        for r in self.survival() {
+            table.push_row(&[
+                r.scenario.clone(),
+                r.campaign.clone(),
+                r.buffer.clone(),
+                if r.audited { "yes" } else { "no" }.to_string(),
+                r.faults_injected.to_string(),
+                r.audit_trips.to_string(),
+                format!("{:.0}", r.fom_faulted),
+                format!("{:.0}", r.fom_healthy),
+                format!("{:.3}", r.retained),
+            ]);
+        }
+        table
+    }
+
     /// Renders the FoM-retained-under-attack table.
     pub fn render_resilience(&self) -> TextTable {
         let mut table = TextTable::new(
@@ -466,7 +593,7 @@ pub fn report_scenarios() -> Vec<Scenario> {
 }
 
 /// Best-effort string form of a panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -536,6 +663,7 @@ pub fn build_report_with(
             converter: s.converter.label().to_string(),
             seed: s.seed_salt,
             defended: s.defended,
+            audited: s.audited,
             fom: figure_of_merit(s.workload, m),
             fom_per_hour: fom_per_hour(s.workload, m, s.horizon),
             on_time_fraction: m.duty_cycle(),
@@ -546,6 +674,9 @@ pub fn build_report_with(
             detections: m.detections,
             false_positives: m.false_positives,
             defensive_reconfigurations: m.defensive_reconfigurations,
+            faults_injected: m.faults_injected,
+            audit_checks: m.audit_checks,
+            audit_trips: m.audit_trips,
             engine_steps: m.engine_steps,
             fixed_dt_steps: (s.horizon.get() / s.dt.get()).round() as u64,
             elapsed_s,
@@ -613,6 +744,57 @@ pub fn build_full_report(parallel: bool) -> ScenarioReport {
         &REPORT_SEEDS,
         parallel,
     )
+}
+
+/// Builds the fault-campaign report: every [`FAULT_SCENARIOS`] entry
+/// run *as declared* (its own buffer — faulted scenarios are not
+/// expanded over a buffer axis, because each campaign's healthy twin
+/// is buffer-specific), plus any healthy twins that live in the benign
+/// registry, so [`ScenarioReport::survival`] can score every campaign
+/// in-report. This is what `fault_report` renders and the
+/// `fault-smoke` CI gate diffs against `ci/fault-baseline.json`.
+///
+/// [`FAULT_SCENARIOS`]: crate::scenario::FAULT_SCENARIOS
+pub fn build_fault_report(horizon_cap: Option<Seconds>, parallel: bool) -> ScenarioReport {
+    let mut runs: Vec<Scenario> = crate::scenario::fault_scenario_registry().to_vec();
+    // Pull in healthy twins the fault registry itself doesn't carry.
+    let twins: Vec<Scenario> = runs
+        .iter()
+        .filter_map(|s| s.healthy_twin())
+        .filter_map(find_scenario)
+        .copied()
+        .collect();
+    for twin in twins {
+        if !runs.iter().any(|s| s.name == twin.name) {
+            runs.push(twin);
+        }
+    }
+    if let Some(cap) = horizon_cap {
+        for s in &mut runs {
+            s.horizon = s.horizon.min(cap);
+        }
+    }
+    // Group by buffer so `build_report`'s buffer axis is the identity
+    // for every run; merge preserves group-major deterministic order.
+    let mut buffers: Vec<BufferKind> = Vec::new();
+    for s in &runs {
+        if !buffers.contains(&s.buffer) {
+            buffers.push(s.buffer);
+        }
+    }
+    let mut merged = ScenarioReport::default();
+    for buffer in buffers {
+        let group: Vec<Scenario> = runs
+            .iter()
+            .filter(|s| s.buffer == buffer)
+            .copied()
+            .collect();
+        let r = build_report(&group, &[buffer], &[0], parallel);
+        merged.environments.extend(r.environments);
+        merged.cells.extend(r.cells);
+        merged.poisoned.extend(r.poisoned);
+    }
+    merged
 }
 
 /// One report cell's step-attribution profile: where the engine's
@@ -935,6 +1117,30 @@ pub fn compare_reports(
             ));
         }
     }
+    // Fault survival is gated the same way: the faulted and healthy
+    // cells can drift together within their own tolerances while the
+    // degradation story quietly changes.
+    let current_survival = current.survival();
+    for base in baseline.survival() {
+        let id = base.id();
+        let Some(cur) = current_survival.iter().find(|r| r.id() == id) else {
+            continue;
+        };
+        if !within(cur.retained, base.retained, 0.0, tol.retained_abs) {
+            violations.push(format!(
+                "{id}: FoM retained under faults {:.3} vs baseline {:.3} (±{:.3})",
+                cur.retained, base.retained, tol.retained_abs
+            ));
+        }
+        // An audited campaign that stops tripping (or a benign twin
+        // that starts) is a detection regression, not noise.
+        if (base.audit_trips > 0) != (cur.audit_trips > 0) {
+            violations.push(format!(
+                "{id}: audit trips {} vs baseline {} (detection flipped)",
+                cur.audit_trips, base.audit_trips
+            ));
+        }
+    }
     for base in &baseline.cells {
         let id = base.id();
         let Some(cur) = current.cell(&id) else {
@@ -968,6 +1174,8 @@ pub fn compare_reports(
                 cur.reconfigurations,
                 base.reconfigurations,
             ),
+            ("faults-injected", cur.faults_injected, base.faults_injected),
+            ("audit-trips", cur.audit_trips, base.audit_trips),
         ] {
             if !within(cur_n as f64, base_n as f64, tol.count_rel, tol.count_abs) {
                 violations.push(format!(
@@ -1190,6 +1398,49 @@ mod tests {
         let violations = compare_reports(&r, &drifted, &Tolerances::default());
         assert!(
             violations.iter().any(|v| v.contains("retained")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn fault_survival_pairs_faulted_cells_with_their_healthy_twin() {
+        let horizon = Seconds::new(600.0);
+        let mut audited =
+            *find_scenario("fault-fade-offset-hour-10mf-de-audited").expect("registered");
+        let mut unaudited = *find_scenario("fault-fade-offset-hour-10mf-de").expect("registered");
+        let mut healthy = *find_scenario("rf-ge-hour-10mf-de").expect("registered");
+        audited.horizon = horizon;
+        unaudited.horizon = horizon;
+        healthy.horizon = horizon;
+        let r = build_report(
+            &[audited, unaudited, healthy],
+            &[BufferKind::Static10mF],
+            &[0],
+            false,
+        );
+        let rows = r.survival();
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        for row in &rows {
+            assert_eq!(row.campaign, "fade-offset");
+            assert!(row.faults_injected >= 1, "{row:?}");
+            assert!(row.fom_healthy > 0.0, "{row:?}");
+            assert!(row.retained >= 0.0, "{row:?}");
+        }
+        let audited_row = rows.iter().find(|r| r.audited).expect("audited row");
+        assert!(audited_row.audit_trips >= 1, "{audited_row:?}");
+        assert!(!r.render_survival().render().is_empty());
+        // An audited campaign that stops tripping is a detection
+        // regression the gate must flag, whatever the FoM does.
+        let mut drifted = r.clone();
+        let idx = drifted
+            .cells
+            .iter()
+            .position(|c| c.audited)
+            .expect("audited cell present");
+        drifted.cells[idx].audit_trips = 0;
+        let violations = compare_reports(&r, &drifted, &Tolerances::default());
+        assert!(
+            violations.iter().any(|v| v.contains("detection flipped")),
             "{violations:?}"
         );
     }

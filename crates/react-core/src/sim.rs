@@ -24,6 +24,7 @@
 
 use react_buffers::defense::{AttackDetector, DefenseConfig};
 use react_buffers::EnergyBuffer;
+use react_circuit::{FaultKind, FaultPlan};
 use react_harvest::{PowerReplay, PowerSource, TraceSource, VictimEvent};
 use react_mcu::{Mcu, McuSpec, PowerGate, PowerMode};
 use react_telemetry::{
@@ -32,6 +33,7 @@ use react_telemetry::{
 use react_units::{Amps, Seconds, Volts};
 use react_workloads::{LoadDemand, WakeHint, Workload, WorkloadEnv};
 
+use crate::audit::{AuditConfig, AuditSnapshot, InvariantAuditor};
 use crate::calib;
 use crate::metrics::{RunMetrics, RunOutcome, VoltageSample};
 
@@ -108,6 +110,10 @@ pub struct Simulator<
     feedback: bool,
     /// Attack-detection defense; `None` runs undefended.
     defense: Option<DefenseConfig>,
+    /// Scheduled hardware-drift faults; empty by default (healthy run).
+    faults: FaultPlan,
+    /// Invariant-auditor tolerances; `None` runs unaudited.
+    audit: Option<AuditConfig>,
     /// Telemetry sink. [`NullRecorder`] by default, in which case every
     /// instrumentation branch in the engine compiles away.
     recorder: R,
@@ -136,6 +142,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone> Simulator<B, W, S> {
             software_overhead,
             feedback: false,
             defense: None,
+            faults: FaultPlan::empty(),
+            audit: None,
             recorder: NullRecorder,
         }
     }
@@ -163,6 +171,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> Simulato
             software_overhead: self.software_overhead,
             feedback: self.feedback,
             defense: self.defense,
+            faults: self.faults,
+            audit: self.audit,
             recorder,
         }
     }
@@ -240,6 +250,28 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> Simulato
     /// reboot.
     pub fn with_defense(mut self, config: DefenseConfig) -> Self {
         self.defense = Some(config);
+        self
+    }
+
+    /// Schedules mid-run hardware-drift faults ([`FaultPlan`]):
+    /// capacitance fade, leakage growth, comparator offset, stuck
+    /// switches, harvester derating. Events fire at the top of the
+    /// engine iteration whose clock has reached them, and coarse
+    /// strides never integrate across a pending event.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Arms the kernel-level invariant auditor: every committed coarse
+    /// stride is cross-checked online (ledger residual, voltage and
+    /// dwell sanity, harvest bound, sampled leakage shadow check), and
+    /// a divergence permanently degrades the faulted regime's fast
+    /// path to honest fine stepping. Audited runs also clamp stride
+    /// lengths to [`AuditConfig::max_stride`], so their step counts —
+    /// not their physics — differ from unaudited runs.
+    pub fn with_auditor(mut self, config: AuditConfig) -> Self {
+        self.audit = Some(config);
         self
     }
 
@@ -356,6 +388,23 @@ pub struct SimCore<
     last_reconfig_count: u64,
     radio_on: bool,
     guard_active: bool,
+    /// Scheduled hardware-drift faults, applied in time order.
+    fault_plan: FaultPlan,
+    /// Index of the next unapplied fault event.
+    fault_next: usize,
+    /// Accumulated comparator-offset drift on the enable threshold, in
+    /// volts (folded into every effective-enable computation).
+    comparator_offset: f64,
+    /// Multiplicative harvester derating on rail power (1.0 healthy).
+    derate: f64,
+    /// Stuck power-gate switch: `Some(closed)` pins the gate.
+    stuck: Option<bool>,
+    /// Online stride auditor; `None` runs unaudited.
+    auditor: Option<InvariantAuditor>,
+    /// Auditor verdicts: a tripped regime's fast path is permanently
+    /// degraded to fine stepping for the rest of the run.
+    idle_degraded: bool,
+    sleep_degraded: bool,
     finished: bool,
     metrics: RunMetrics,
     series: Vec<VoltageSample>,
@@ -421,6 +470,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
             software_overhead,
             feedback,
             defense,
+            faults,
+            audit,
             recorder,
         } = sim;
 
@@ -503,6 +554,14 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
             // offending span and counts it (once per contiguous span)
             // instead of propagating NaNs.
             guard_active: false,
+            fault_plan: faults,
+            fault_next: 0,
+            comparator_offset: 0.0,
+            derate: 1.0,
+            stuck: None,
+            auditor: audit.map(InvariantAuditor::new),
+            idle_degraded: false,
+            sleep_degraded: false,
             finished: false,
             metrics,
             series,
@@ -546,6 +605,14 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
         self.t
     }
 
+    /// Engine iterations executed so far (fine steps plus coarse
+    /// strides). The fleet kernel's per-cell watchdog meters this to
+    /// turn a wedged cell into a reported timeout instead of a hung
+    /// shard.
+    pub fn engine_steps(&self) -> u64 {
+        self.engine_steps
+    }
+
     /// Whether the run has terminated (drained past the horizon or hit
     /// the hard cap). Once finished, [`SimCore::advance`] is a no-op
     /// and [`SimCore::finish`] yields the outcome.
@@ -571,7 +638,125 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                 .rail_power_from(seg.power, self.buffer.input_voltage());
             (p, seg.end.min(self.trace_end))
         };
-        (p_rail, window_end.min(self.hard_end))
+        // Harvester derating scales rail power; the healthy 1.0 path
+        // leaves the value untouched bit-for-bit.
+        let p_rail = if self.derate != 1.0 {
+            react_units::Watts::new(p_rail.get() * self.derate)
+        } else {
+            p_rail
+        };
+        let mut end = window_end.min(self.hard_end);
+        // Closed forms never integrate across a pending fault event —
+        // the stride stops at the event so it fires on time and the
+        // post-fault physics start from the event's state.
+        end = end.min(self.fault_plan.next_at(self.fault_next));
+        // While auditing, clamp stride length: one wrong believed-model
+        // stride can run at most `max_stride` before its commit is
+        // cross-checked (the auditor's detection-latency bound).
+        if let Some(aud) = &self.auditor {
+            end = end.min(self.t + aud.max_stride());
+        }
+        (p_rail, end)
+    }
+
+    /// Applies every fault event whose time has arrived, in schedule
+    /// order. Buffer-level drifts go through
+    /// [`EnergyBuffer::apply_fault`]; comparator offset, stuck
+    /// switches, and harvester derating act on the engine's own
+    /// periphery models.
+    fn apply_due_faults(&mut self) {
+        while self.fault_next < self.fault_plan.events().len() {
+            let ev = self.fault_plan.events()[self.fault_next];
+            if self.t < ev.at {
+                break;
+            }
+            self.fault_next += 1;
+            self.metrics.faults_injected += 1;
+            if R::ENABLED {
+                self.recorder.record(&SimEvent {
+                    t: self.t.get(),
+                    span: 0.0,
+                    kind: EventKind::FaultInjected {
+                        label: ev.kind.label(),
+                    },
+                });
+            }
+            match ev.kind {
+                FaultKind::ComparatorOffset { volts } => {
+                    self.comparator_offset += volts;
+                    let raise = self
+                        .detector
+                        .as_ref()
+                        .map_or(Volts::new(0.0), |d| d.gate_raise());
+                    let eff = react_circuit::offset_enable(
+                        self.base_enable + raise,
+                        self.comparator_offset,
+                        self.gate.brownout_voltage(),
+                    );
+                    self.gate.set_enable_voltage(eff);
+                }
+                FaultKind::HarvesterDerate { factor } => {
+                    self.derate *= factor;
+                }
+                FaultKind::SwitchStuckOpen => {
+                    self.stuck = Some(false);
+                }
+                FaultKind::SwitchStuckClosed => {
+                    self.stuck = Some(true);
+                }
+                kind => {
+                    // Capacitance fade / leakage growth: buffers that
+                    // do not model the drift simply ignore it.
+                    let _ = self.buffer.apply_fault(kind);
+                }
+            }
+        }
+    }
+
+    /// Cross-checks a just-committed stride against its pre-stride
+    /// snapshot; a trip permanently degrades the regime's fast path
+    /// and is surfaced as an [`EventKind::AuditTrip`].
+    fn audit_stride(
+        &mut self,
+        snap: Option<AuditSnapshot>,
+        p_rail: react_units::Watts,
+        advanced: Seconds,
+        window: Seconds,
+        regime: Regime,
+    ) {
+        let Some(snap) = snap else { return };
+        let Some(aud) = self.auditor.as_mut() else {
+            return;
+        };
+        if aud.check(&snap, &self.buffer, p_rail, advanced, window, self.dt) {
+            match regime {
+                Regime::Idle => self.idle_degraded = true,
+                _ => self.sleep_degraded = true,
+            }
+            if R::ENABLED {
+                self.recorder.record(&SimEvent {
+                    t: self.t.get(),
+                    span: 0.0,
+                    kind: EventKind::AuditTrip { regime },
+                });
+            }
+        }
+    }
+
+    /// The enable threshold the gate should sit at, folding the
+    /// defensive raise and any comparator-offset drift together. With
+    /// no offset this is exactly the pre-fault expression.
+    fn effective_enable(&self, raise: Volts) -> Volts {
+        let nominal = self.base_enable + raise;
+        if self.comparator_offset != 0.0 {
+            react_circuit::offset_enable(
+                nominal,
+                self.comparator_offset,
+                self.gate.brownout_voltage(),
+            )
+        } else {
+            nominal
+        }
     }
 
     /// Reports controller reconfigurations to the feedback channel by
@@ -653,8 +838,17 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
         if self.finished {
             return false;
         }
+        if self.fault_next < self.fault_plan.events().len() {
+            self.apply_due_faults();
+        }
         let dt = self.dt;
         let v = self.buffer.rail_voltage();
+        // A freshly-stuck switch flips the gate *now*, at the fault's
+        // instant — not at the next natural comparator servicing, which
+        // a coarse stride could push hours away.
+        if self.stuck.is_some_and(|c| c != self.gate.is_closed()) && v.get().is_finite() {
+            self.service_gate(v);
+        }
         // Invariant guard: a non-finite rail voltage disables both
         // fast paths for this span (their closed forms would chew
         // on garbage) and is counted once per contiguous span.
@@ -701,6 +895,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
         // piecewise-constant input, which `idle_advance` integrates
         // in one stride.
         if self.fast_path
+            && !self.idle_degraded
             && v_ok
             && !self.gate.is_closed()
             && !self.mcu.is_powered()
@@ -714,11 +909,16 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
             }
             let stride = stride_end - self.t;
             if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
+                let snap = self
+                    .auditor
+                    .is_some()
+                    .then(|| AuditSnapshot::capture(&self.buffer));
                 let advanced =
                     self.buffer
                         .idle_advance(p_rail, stride, self.gate.enable_voltage(), dt);
                 if advanced.get() > 0.0 {
                     self.commit_stride(advanced, false);
+                    self.audit_stride(snap, p_rail, advanced, stride, Regime::Idle);
                     // A stride that parked on the enable crossing has
                     // *discovered* the boot edge: service the gate at
                     // the commit so the next iteration fine-steps in
@@ -760,6 +960,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
         // pending poll-service debt keeps the stretch on fine steps
         // (the serviced step runs the CPU active).
         if self.sleep_fast
+            && !self.sleep_degraded
             && v_ok
             && self.gate.is_closed()
             && self.mcu.is_running()
@@ -826,6 +1027,10 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                 let stride = stride_end - self.t;
                 if p_rail.get().is_finite() && stride >= calib::MIN_COARSE_STRIDE.max(dt + dt) {
                     let i_sleep = self.mcu.running_current() + self.sleep_peripheral;
+                    let snap = self
+                        .auditor
+                        .is_some()
+                        .then(|| AuditSnapshot::capture(&self.buffer));
                     let advanced = self
                         .buffer
                         .powered_advance(
@@ -839,6 +1044,7 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                         .unwrap_or(Seconds::ZERO);
                     if advanced.get() > 0.0 {
                         self.commit_stride(advanced, true);
+                        self.audit_stride(snap, p_rail, advanced, stride, Regime::Sleep);
                         // Symmetric to the idle path: a stride that
                         // parked on the brown-out crossing services
                         // the gate edge at the commit, so the MCU
@@ -893,7 +1099,13 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
     /// attribution while leaving the physics timeline unchanged (the
     /// edge fires at the same simulated instant either way).
     fn service_gate(&mut self, v: Volts) {
-        if self.gate.update(v) {
+        // A stuck switch overrides the comparator entirely; the healthy
+        // path is the untouched pre-fault update.
+        let changed = match self.stuck {
+            Some(closed) => self.gate.force(closed),
+            None => self.gate.update(v),
+        };
+        if changed {
             if self.gate.is_closed() {
                 self.mcu.power_on();
                 if self.metrics.first_on_latency.is_none() {
@@ -952,8 +1164,9 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                             }
                         }
                     }
-                    self.gate
-                        .set_enable_voltage(self.base_enable + det.gate_raise());
+                    let raise = det.gate_raise();
+                    let eff = self.effective_enable(raise);
+                    self.gate.set_enable_voltage(eff);
                 }
             } else {
                 self.mcu.power_off();
@@ -1000,8 +1213,9 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                             self.t.get(),
                         );
                     }
-                    self.gate
-                        .set_enable_voltage(self.base_enable + det.gate_raise());
+                    let raise = det.gate_raise();
+                    let eff = self.effective_enable(raise);
+                    self.gate.set_enable_voltage(eff);
                 }
             }
         }
@@ -1103,8 +1317,16 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
             react_units::Watts::ZERO
         } else {
             let available = self.source.power_at(self.t);
-            self.replay
-                .rail_power_from(available, self.buffer.input_voltage())
+            let p = self
+                .replay
+                .rail_power_from(available, self.buffer.input_voltage());
+            // Harvester derating, matching `stride_window` so both
+            // kernels (and both step shapes) see the same faulted rail.
+            if self.derate != 1.0 {
+                react_units::Watts::new(p.get() * self.derate)
+            } else {
+                p
+            }
         };
         // Invariant guard, input side: a non-finite harvest sample
         // is sanitized to zero before it can poison the buffer
@@ -1164,6 +1386,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                         FallbackReason::NanGuard
                     } else if !self.fast_path {
                         FallbackReason::FastPathOff
+                    } else if self.idle_degraded {
+                        FallbackReason::AuditDegraded
                     } else {
                         // Enable crossing due (boot edge) or a
                         // post-brown-out MCU-discharge transient.
@@ -1175,6 +1399,8 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
                         FallbackReason::NanGuard
                     } else if !self.sleep_fast {
                         FallbackReason::FastPathOff
+                    } else if self.sleep_degraded {
+                        FallbackReason::AuditDegraded
                     } else if entry_poll_debt >= dt.get() {
                         FallbackReason::PollDebt
                     } else {
@@ -1257,6 +1483,10 @@ impl<B: EnergyBuffer, W: Workload, S: PowerSource + Clone, R: Recorder> SimCore<
             metrics.false_positives = det.false_positives();
         }
         metrics.defensive_reconfigurations = self.defensive_reconfigs;
+        if let Some(aud) = &self.auditor {
+            metrics.audit_checks = aud.checks();
+            metrics.audit_trips = aud.trips();
+        }
 
         (
             RunOutcome {

@@ -29,6 +29,8 @@
 //! assert!(i.get() >= 0.0);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod converter;
 mod panel;
 mod replay;

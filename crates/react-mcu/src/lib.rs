@@ -16,6 +16,8 @@
 //!   including across power failures (cited work \[8\]).
 //! * [`Fram`] — nonvolatile state that survives power cycles.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod checkpoint;
 mod fram;
 mod gate;

@@ -37,6 +37,10 @@ pub enum FallbackReason {
     /// The MCU is actively executing; fine stepping is inherent to the
     /// active regime, not a fallback.
     McuActive,
+    /// The invariant auditor tripped on a committed stride and
+    /// permanently degraded this regime's fast path to fine stepping
+    /// for the rest of the run.
+    AuditDegraded,
 }
 
 impl FallbackReason {
@@ -50,10 +54,11 @@ impl FallbackReason {
         FallbackReason::ShortStride,
         FallbackReason::FastPathOff,
         FallbackReason::McuActive,
+        FallbackReason::AuditDegraded,
     ];
 
     /// Number of distinct reasons.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Stable index into [`FallbackReason::ALL`].
     pub fn index(self) -> usize {
@@ -66,6 +71,7 @@ impl FallbackReason {
             FallbackReason::ShortStride => 5,
             FallbackReason::FastPathOff => 6,
             FallbackReason::McuActive => 7,
+            FallbackReason::AuditDegraded => 8,
         }
     }
 
@@ -80,6 +86,7 @@ impl FallbackReason {
             FallbackReason::ShortStride => "short-stride",
             FallbackReason::FastPathOff => "fast-path-off",
             FallbackReason::McuActive => "mcu-active",
+            FallbackReason::AuditDegraded => "audit-degraded",
         }
     }
 }
@@ -187,6 +194,19 @@ pub enum EventKind {
     /// The backoff hold released (timer expired with energy recovered,
     /// or cancelled by a brown-out).
     BackoffRelease,
+    /// A scheduled or stochastic hardware-drift fault fired mid-run.
+    FaultInjected {
+        /// Kebab-case label of the fault kind from the circuit taxonomy
+        /// (capacitance fade, leakage growth, comparator offset, stuck
+        /// switch, harvester derate).
+        label: &'static str,
+    },
+    /// The invariant auditor detected a cross-check divergence on a
+    /// committed stride and degraded the regime's fast path.
+    AuditTrip {
+        /// Regime whose fast path was degraded.
+        regime: Regime,
+    },
 }
 
 /// One telemetry event: a kind stamped with sim-time and the simulated

@@ -150,6 +150,18 @@ pub fn chrome_trace_json(events: &[SimEvent], process_name: &str) -> String {
                     ));
                 }
             }
+            EventKind::FaultInjected { label } => trace_events.push(instant_event(
+                &format!("fault:{label}"),
+                "fault",
+                TID_DEFENSE,
+                event.t,
+            )),
+            EventKind::AuditTrip { regime } => trace_events.push(instant_event(
+                &format!("audit-trip:{}", regime.label()),
+                "fault",
+                TID_DEFENSE,
+                event.t,
+            )),
         }
     }
     if let Some(start) = hold_start {
@@ -200,6 +212,8 @@ pub fn text_timeline(events: &[SimEvent]) -> String {
             EventKind::Detection => "detection".to_string(),
             EventKind::BackoffHold => "backoff-hold".to_string(),
             EventKind::BackoffRelease => "backoff-release".to_string(),
+            EventKind::FaultInjected { label } => format!("fault:{label}"),
+            EventKind::AuditTrip { regime } => format!("audit-trip:{}", regime.label()),
         };
         out.push_str(&format!("{:>16.6}  {desc}\n", event.t));
     }

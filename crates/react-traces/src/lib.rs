@@ -20,6 +20,8 @@
 //! assert!((stats.mean_power.to_milli() - 2.12).abs() < 0.05);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod cursor;
 mod io;
 mod library;

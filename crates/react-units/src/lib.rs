@@ -21,6 +21,8 @@
 //!
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod ops;
 mod scalar;
 

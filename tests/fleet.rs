@@ -131,3 +131,141 @@ fn checkpointed_fleet_resumes_bit_identical() {
     assert_eq!(resumed.aggregate, uninterrupted.aggregate);
     let _ = std::fs::remove_file(&path);
 }
+
+/// A corrupt checkpoint (truncated write, garbled JSON) must not kill
+/// the run or poison the result: the file is moved aside to
+/// `*.corrupt` and the fleet restarts clean, bit-identical to a run
+/// that never had a checkpoint.
+#[test]
+fn corrupt_checkpoint_is_quarantined_and_fleet_restarts_clean() {
+    let dir = std::env::temp_dir().join("react-fleet-corrupt-ckpt");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("fleet.ckpt.json");
+    let corrupt = dir.join("fleet.ckpt.json.corrupt");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&corrupt);
+
+    let mut spec = FleetSpec::new(base_scenario(1800.0), 10, 33);
+    spec.shard_size = 4;
+    let clean = run_fleet(&spec, &FleetRunOptions::default()).expect("clean run");
+
+    // Write a valid partial checkpoint, then truncate it mid-JSON the
+    // way a crash mid-write would.
+    run_fleet(
+        &spec,
+        &FleetRunOptions {
+            checkpoint: Some(path.clone()),
+            max_shards: Some(2),
+            parallel: false,
+            ..Default::default()
+        },
+    )
+    .expect("partial run");
+    let text = std::fs::read_to_string(&path).expect("checkpoint written");
+    assert!(text.len() > 40);
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate checkpoint");
+
+    let recovered = run_fleet(
+        &spec,
+        &FleetRunOptions {
+            checkpoint: Some(path.clone()),
+            max_shards: None,
+            parallel: false,
+            ..Default::default()
+        },
+    )
+    .expect("recovered run");
+    // Nothing resumed — the corrupt file contributed no shards — and
+    // the rebuilt aggregate is bit-identical to the clean run.
+    assert_eq!(recovered.shards_resumed, 0);
+    assert!(recovered.complete());
+    assert_eq!(recovered.aggregate, clean.aggregate);
+    // The corrupt file was quarantined, not deleted, and the fresh
+    // checkpoint took its place.
+    assert!(corrupt.exists(), "corrupt checkpoint not moved aside");
+    assert!(path.exists(), "fresh checkpoint not rewritten");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&corrupt);
+}
+
+/// A starved watchdog budget turns every cell into a reported
+/// [`TimedOutNode`](react_repro::core::TimedOutNode) instead of a hung
+/// shard, and the fleet gate treats any such node as an unconditional
+/// violation.
+#[test]
+fn watchdog_budget_reports_timed_out_nodes() {
+    use react_repro::core::{compare_fleet_reports, FleetReport, FleetTolerances};
+
+    let mut spec = FleetSpec::new(base_scenario(1800.0), 6, 9);
+    spec.shard_size = 3;
+    let healthy = run_fleet(&spec, &FleetRunOptions::default()).expect("healthy run");
+    assert!(healthy.aggregate.timed_out.is_empty());
+    assert!(healthy.aggregate.poisoned.is_empty());
+
+    // 8 engine steps cannot cover a 1800 s horizon for any cell.
+    spec.step_budget = Some(8);
+    let starved = run_fleet(&spec, &FleetRunOptions::default()).expect("starved run");
+    assert_eq!(starved.aggregate.timed_out.len(), spec.nodes);
+    assert_eq!(starved.aggregate.nodes, 0.0);
+    // Node indices are fleet-global and unique.
+    let mut nodes: Vec<f64> = starved.aggregate.timed_out.iter().map(|t| t.node).collect();
+    nodes.sort_by(f64::total_cmp);
+    assert_eq!(nodes, (0..spec.nodes).map(|i| i as f64).collect::<Vec<_>>());
+    let summary = starved.aggregate.summary();
+    assert_eq!(summary.timed_out_nodes, spec.nodes as f64);
+
+    // The explicit budget changes the fingerprint (a budgeted run is a
+    // different configuration), and the gate flags every wedged node.
+    let healthy_spec = {
+        let mut s = spec;
+        s.step_budget = None;
+        s
+    };
+    assert_ne!(spec.fingerprint(), healthy_spec.fingerprint());
+    let baseline = FleetReport::from_run(
+        &spec,
+        {
+            let mut agg = starved.aggregate.clone();
+            agg.timed_out.clear();
+            agg
+        },
+        1.0,
+    );
+    let fresh = FleetReport::from_run(&spec, starved.aggregate.clone(), 1.0);
+    let violations = compare_fleet_reports(&baseline, &fresh, &FleetTolerances::default());
+    assert!(
+        violations.iter().any(|v| v.contains("watchdog timeout")),
+        "{violations:?}"
+    );
+}
+
+/// A fleet over a faulted, audited base scenario: every salted node
+/// gets its own deterministic fault plan, the auditor counters flow
+/// into the aggregate, and the degradation (trips) histogram is
+/// populated. The whole thing stays bit-identical to scalar runs.
+#[test]
+fn faulted_fleet_aggregates_fault_and_audit_counters() {
+    let mut base = *find_scenario("fault-fade-offset-hour-10mf-de-audited").expect("registered");
+    base.horizon = Seconds::new(900.0);
+    let mut spec = FleetSpec::new(base, 6, 0xFA_0175);
+    spec.shard_size = 3;
+
+    let fleet = run_fleet(&spec, &FleetRunOptions::default()).expect("faulted fleet run");
+    assert!(fleet.complete());
+    assert_eq!(fleet.aggregate, scalar_reference(&spec));
+    // Two scheduled events per node (fade at 25 %, offset at 50 %).
+    assert_eq!(fleet.aggregate.total_faults, 2.0 * spec.nodes as f64);
+    assert!(
+        fleet.aggregate.total_trips >= 1.0,
+        "no node tripped the auditor"
+    );
+    let trips = fleet.aggregate.trips.as_ref().expect("trips histogram");
+    assert_eq!(trips.count, spec.nodes as u64);
+    assert!(trips.max >= 1.0);
+    let summary = fleet.aggregate.summary();
+    assert_eq!(summary.total_faults, fleet.aggregate.total_faults);
+    assert_eq!(summary.total_trips, fleet.aggregate.total_trips);
+    // No cell wedged or panicked under the campaign.
+    assert!(fleet.aggregate.poisoned.is_empty());
+    assert!(fleet.aggregate.timed_out.is_empty());
+}
